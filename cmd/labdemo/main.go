@@ -1,0 +1,149 @@
+// Command labdemo runs the emulated-testbed experiments of Section V-C2
+// on the Global P4 Lab subset:
+//
+//	labdemo -exp latency     Fig. 11: agile migration to a lower-latency path
+//	labdemo -exp aggregate   Fig. 12: flow aggregation over multiple paths
+//	labdemo -exp failover    extension: recovery from a core link failure
+//	labdemo -exp workload    extension: 4-policy soak under a churning workload
+//	labdemo -exp fct         extension: flow-completion-time comparison
+//
+// Both print the measured time series (the figures' data) followed by a
+// phase summary and the ingress edge router's final freeRtr-style
+// configuration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "latency", `experiment to run: "latency" (Fig. 11), "aggregate" (Fig. 12), "failover", "workload" or "fct"`)
+	model := flag.String("model", "RFR", "Hecate regressor (see internal/ml registry)")
+	phase1 := flag.Float64("phase1", 60, "seconds of the arbitrary allocation phase")
+	phase2 := flag.Float64("phase2", 60, "seconds of the optimized allocation phase")
+	flag.Parse()
+
+	cfg := experiments.DefaultTestbedConfig()
+	cfg.Model = *model
+	cfg.Phase1Sec = *phase1
+	cfg.Phase2Sec = *phase2
+
+	var err error
+	switch *exp {
+	case "latency":
+		err = runLatency(cfg)
+	case "aggregate":
+		err = runAggregate(cfg)
+	case "failover":
+		err = runFailover(cfg)
+	case "workload":
+		err = runWorkload()
+	case "fct":
+		err = runFCT()
+	default:
+		err = fmt.Errorf("unknown experiment %q", *exp)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "labdemo:", err)
+		os.Exit(1)
+	}
+}
+
+func runLatency(cfg experiments.TestbedConfig) error {
+	res, err := experiments.RunLatencyMigration(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 11 — agile migration to a path with lower latency")
+	fmt.Println("t_s,rtt_ms,tunnel")
+	for _, s := range res.Samples {
+		fmt.Printf("%.0f,%.2f,%d\n", s.Time, s.RTTms, s.Tunnel)
+	}
+	fmt.Printf("\nmigration at t=%.0f s: tunnel %d (MIA-SAO-AMS) -> tunnel %d (MIA-CHI-AMS)\n",
+		res.MigrationTime, res.FromTunnel, res.ToTunnel)
+	fmt.Printf("mean RTT before: %.1f ms   after: %.1f ms\n", res.PreMeanRTT, res.PostMeanRTT)
+	fmt.Println("\ningress edge configuration after migration:")
+	fmt.Println(res.EdgeConfig)
+	return nil
+}
+
+func runAggregate(cfg experiments.TestbedConfig) error {
+	res, err := experiments.RunFlowAggregation(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Fig. 12 — flow aggregation with multiple paths")
+	fmt.Println("t_s,flow1_mbps,flow2_mbps,flow3_mbps,total_mbps")
+	for _, s := range res.Samples {
+		fmt.Printf("%.0f,%.2f,%.2f,%.2f,%.2f\n",
+			s.Time, s.PerFlow["flow1"], s.PerFlow["flow2"], s.PerFlow["flow3"], s.Total)
+	}
+	fmt.Printf("\nreallocation at t=%.0f s\n", res.ReallocationTime)
+	var names []string
+	for name := range res.Placements {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %s -> tunnel %d\n", name, res.Placements[name])
+	}
+	fmt.Printf("mean total throughput: phase 1 = %.1f Mbps, phase 2 = %.1f Mbps (paper: <20 -> ~30)\n",
+		res.Phase1MeanTotal, res.Phase2MeanTotal)
+	fmt.Println("\ningress edge configuration after reallocation:")
+	fmt.Println(res.EdgeConfig)
+	return nil
+}
+
+func runFailover(cfg experiments.TestbedConfig) error {
+	res, err := experiments.RunFailureRecovery(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Failure recovery — MIA-SAO dies, the framework reroutes at the edge")
+	fmt.Println("t_s,rate_mbps")
+	for _, s := range res.Samples {
+		fmt.Printf("%.0f,%.2f\n", s.Time, s.Total)
+	}
+	fmt.Printf("\nlink failed at t=%.0f s; recovered onto tunnel %d at t=%.0f s (outage %.0f s)\n",
+		res.FailureTime, res.RecoveredTunnel, res.RecoveryTime, res.OutageSec)
+	fmt.Printf("steady rate: %.1f Mbps before -> %.1f Mbps after (tunnel-2 bottleneck)\n",
+		res.SteadyBefore, res.SteadyAfter)
+	return nil
+}
+
+func runWorkload() error {
+	fmt.Println("Workload soak — carried load under a churning overloaded workload")
+	for _, policy := range []experiments.WorkloadPolicy{
+		experiments.PolicyStatic, experiments.PolicyRandom,
+		experiments.PolicyReactive, experiments.PolicyPredictive,
+	} {
+		res, err := experiments.RunWorkload(experiments.DefaultWorkloadConfig(policy))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s mean %5.1f Mbps  peak %5.1f Mbps  (%d flows admitted)\n",
+			res.Policy, res.MeanTotalMbps, res.PeakTotalMbps, res.FlowsAdmitted)
+	}
+	fmt.Println("static pins everything to tunnel 1; TE policies use all three tunnels")
+	return nil
+}
+
+func runFCT() error {
+	fmt.Println("Flow completion time — finite transfers under three placement policies")
+	for _, policy := range []experiments.WorkloadPolicy{
+		experiments.PolicyStatic, experiments.PolicyRandom, experiments.PolicyReactive,
+	} {
+		res, err := experiments.RunFCT(experiments.DefaultFCTConfig(policy))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-10s mean FCT %6.1f s  p95 %6.1f s  makespan %6.1f s  (%d/24 completed)\n",
+			res.Policy, res.MeanFCTSec, res.P95FCTSec, res.MakespanSec, res.Completed)
+	}
+	return nil
+}

@@ -1,0 +1,129 @@
+// Command mlcompare regenerates the paper's ML evaluation artifacts:
+//
+//	mlcompare                   Fig. 6 RMSE table for all 18 regressors + ranking
+//	mlcompare -model RFR        Fig. 7 observed-vs-predicted series (RFR)
+//	mlcompare -model GPR        Fig. 8 observed-vs-predicted series (GPR)
+//	mlcompare -trace            Fig. 5b dataset trace as CSV on stdout
+//	mlcompare -importance       per-lag permutation importance of the deployed model
+//
+// The dataset is the synthetic UQ-like two-path trace (see
+// internal/dataset); -seed varies it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/experiments"
+	"repro/internal/ml"
+)
+
+func main() {
+	model := flag.String("model", "", "print observed-vs-predicted series for one model (e.g. RFR, GPR)")
+	trace := flag.Bool("trace", false, "emit the Fig. 5b dataset as CSV on stdout")
+	importance := flag.Bool("importance", false, "print per-lag permutation importance (with -model)")
+	seed := flag.Int64("seed", 1, "dataset seed")
+	flag.Parse()
+
+	cfg := experiments.DefaultMLConfig()
+	cfg.Dataset.Seed = *seed
+
+	var err error
+	switch {
+	case *trace:
+		err = dataset.Generate(cfg.Dataset).WriteCSV(os.Stdout)
+	case *importance:
+		name := *model
+		if name == "" {
+			name = "RFR"
+		}
+		err = printImportance(name, cfg)
+	case *model != "":
+		err = printObservedVsPredicted(*model, cfg)
+	default:
+		err = printComparison(cfg)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlcompare:", err)
+		os.Exit(1)
+	}
+}
+
+// printComparison renders the Fig. 6 table and the joint-RMSE ranking.
+func printComparison(cfg experiments.MLConfig) error {
+	res, err := experiments.RunMLComparison(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: WiFi mean=%.1f std=%.1f | LTE mean=%.1f std=%.1f (seed %d)\n\n",
+		res.Trace.WiFi.Mean(), res.Trace.WiFi.Std(),
+		res.Trace.LTE.Mean(), res.Trace.LTE.Std(), cfg.Dataset.Seed)
+	fmt.Println("Fig. 6 — RMSE per regressor (Path 1 = WiFi, Path 2 = LTE):")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-4s %-11s wifi=%7.2f  lte=%7.2f\n", r.Code, r.Name, r.RMSEPath1, r.RMSEPath2)
+	}
+	fmt.Println("\nRanking by joint RMSE (toward the scatter origin = better):")
+	for i, r := range res.Ranked {
+		marker := ""
+		switch {
+		case i == 0:
+			marker = "  <- best (paper: RFR/GBR corner)"
+		case i == len(res.Ranked)-1:
+			marker = "  <- outlier excluded from the paper's scatter (GPR)"
+		}
+		fmt.Printf("  %2d. %-11s wifi=%7.2f  lte=%7.2f%s\n", i+1, r.Name, r.RMSEPath1, r.RMSEPath2, marker)
+	}
+	return nil
+}
+
+// printObservedVsPredicted renders the Fig. 7/8 aligned series.
+func printObservedVsPredicted(model string, cfg experiments.MLConfig) error {
+	res, err := experiments.RunObservedVsPredicted(model, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s observed vs predicted (test split, original Mbit/s units)\n", res.Model)
+	fmt.Printf("WiFi (Path 1): RMSE=%.2f MAE=%.2f R2=%.3f\n", res.WiFi.RMSE, res.WiFi.MAE, res.WiFi.R2)
+	fmt.Printf("LTE  (Path 2): RMSE=%.2f MAE=%.2f R2=%.3f\n\n", res.LTE.RMSE, res.LTE.MAE, res.LTE.R2)
+	fmt.Println("t_s,wifi_observed,wifi_predicted,lte_observed,lte_predicted")
+	n := len(res.WiFi.Observed)
+	if m := len(res.LTE.Observed); m < n {
+		n = m
+	}
+	for i := 0; i < n; i++ {
+		fmt.Printf("%d,%.3f,%.3f,%.3f,%.3f\n",
+			res.WiFi.TestStart+i,
+			res.WiFi.Observed[i], res.WiFi.Predicted[i],
+			res.LTE.Observed[i], res.LTE.Predicted[i])
+	}
+	return nil
+}
+
+// printImportance fits the named model on the WiFi trace's lag windows and
+// prints how much shuffling each lag degrades the RMSE.
+func printImportance(model string, cfg experiments.MLConfig) error {
+	spec, err := ml.ModelByName(model)
+	if err != nil {
+		return err
+	}
+	tr := dataset.Generate(cfg.Dataset)
+	X, y, err := ml.MakeWindows(tr.WiFi.Values(), cfg.Pipeline.Lag)
+	if err != nil {
+		return err
+	}
+	r := spec.New()
+	if err := r.Fit(X, y); err != nil {
+		return err
+	}
+	imp, err := ml.PermutationImportance(r, X, y, 5, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s permutation importance per lag (WiFi trace, RMSE increase when shuffled):\n", spec.Name)
+	for j, v := range imp {
+		fmt.Printf("  t-%-2d  %7.3f\n", len(imp)-j, v)
+	}
+	return nil
+}

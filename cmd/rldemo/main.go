@@ -1,0 +1,68 @@
+// Command rldemo trains the DeepRoute-style tabular Q-learning allocator
+// (the paper's reinforcement-learning future-work direction) on the
+// emulated Global P4 Lab and compares it against the reactive greedy
+// heuristic and random placement on an identical flow workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/rl"
+)
+
+func main() {
+	episodes := flag.Int("episodes", 80, "training episodes")
+	flag.Parse()
+	if err := run(*episodes); err != nil {
+		fmt.Fprintln(os.Stderr, "rldemo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(episodes int) error {
+	env, err := rl.NewEnv()
+	if err != nil {
+		return err
+	}
+	caps := env.Capacities()
+	fmt.Printf("environment: %d flows/episode over tunnels with bottlenecks %v Mbps\n",
+		env.FlowsPerEpisode, []float64{caps[1], caps[2], caps[3]})
+
+	agent, err := rl.NewAgent([]int{1, 2, 3}, rl.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("training Q-learning agent for %d episodes ...\n", episodes)
+	if err := env.Train(agent, episodes); err != nil {
+		return err
+	}
+	fmt.Printf("learned Q-table covers %d states\n\n", agent.States())
+
+	policies := []struct {
+		name   string
+		choose rl.Chooser
+	}{
+		{"q-learning (trained)", rl.PolicyChooser(agent, caps)},
+		{"greedy (reactive)", rl.GreedyChooser()},
+		{"random", rl.RandomChooser([]int{1, 2, 3}, 99)},
+	}
+	fmt.Println("evaluation on one deterministic 5-flow workload:")
+	for _, p := range policies {
+		total, perFlow, err := env.Evaluate(p.choose)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-22s total %5.1f Mbps  per-flow %v\n", p.name, total, round1(perFlow))
+	}
+	return nil
+}
+
+func round1(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(int(x*10+0.5)) / 10
+	}
+	return out
+}

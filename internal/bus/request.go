@@ -1,0 +1,67 @@
+package bus
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// correlationCounter generates process-unique correlation IDs.
+var correlationCounter atomic.Int64
+
+// NewCorrelationID returns a fresh correlation ID.
+func NewCorrelationID() string {
+	return "c" + strconv.FormatInt(correlationCounter.Add(1), 10)
+}
+
+// Request publishes a request on reqTopic and waits for the reply carrying
+// the same correlation ID on replyTopic. It is the synchronous
+// request/reply idiom of the sequence diagram (askHecatePath → return,
+// configureTunnel → return). The subscription is created before the
+// publish, so the reply cannot be lost to a race.
+func Request(b Bus, req Message, replyTopic string, timeout time.Duration) (Message, error) {
+	if req.CorrelationID == "" {
+		req.CorrelationID = NewCorrelationID()
+	}
+	ch, cancel, err := b.Subscribe(replyTopic)
+	if err != nil {
+		return Message{}, err
+	}
+	defer cancel()
+	if err := b.Publish(req); err != nil {
+		return Message{}, err
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for {
+		select {
+		case m, ok := <-ch:
+			if !ok {
+				return Message{}, ErrClosed
+			}
+			if m.CorrelationID == req.CorrelationID {
+				return m, nil
+			}
+			// A reply to someone else's request; keep waiting.
+		case <-deadline.C:
+			return Message{}, fmt.Errorf("bus: request %s/%s timed out after %v waiting on %q",
+				req.Topic, req.Type, timeout, replyTopic)
+		}
+	}
+}
+
+// Reply constructs the reply message for a request: same correlation ID,
+// addressed to the given topic.
+func Reply(req Message, topic, msgType string, payload interface{}) (Message, error) {
+	p, err := EncodePayload(payload)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{
+		Topic:         topic,
+		Type:          msgType,
+		CorrelationID: req.CorrelationID,
+		Payload:       p,
+	}, nil
+}

@@ -1,0 +1,289 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// The TCP transport runs a tiny broker speaking newline-delimited JSON
+// frames:
+//
+//	{"op":"sub","topic":"controller"}
+//	{"op":"pub","msg":{"topic":"controller","type":"newFlow",...}}
+//
+// Every client connection may subscribe to any number of topics; the
+// broker fans published messages out to all matching connections
+// (including the publisher's, if subscribed). This is the multi-process
+// deployment shape of the framework — services on different hosts
+// connected to one queue — with the same Bus interface as InProc.
+
+// frame is the wire envelope.
+type frame struct {
+	Op    string   `json:"op"` // "sub" or "pub"
+	Topic string   `json:"topic,omitempty"`
+	Msg   *Message `json:"msg,omitempty"`
+}
+
+// Broker is the TCP message broker.
+type Broker struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[*brokerConn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type brokerConn struct {
+	c      net.Conn
+	enc    *json.Encoder
+	encMu  sync.Mutex
+	topics map[string]bool
+	mu     sync.Mutex
+}
+
+func (bc *brokerConn) subscribed(topic string) bool {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	return bc.topics[topic]
+}
+
+func (bc *brokerConn) subscribe(topic string) {
+	bc.mu.Lock()
+	defer bc.mu.Unlock()
+	bc.topics[topic] = true
+}
+
+func (bc *brokerConn) send(f frame) error {
+	bc.encMu.Lock()
+	defer bc.encMu.Unlock()
+	return bc.enc.Encode(f)
+}
+
+// NewBroker starts a broker listening on addr ("127.0.0.1:0" picks a free
+// port; read the chosen address back with Addr).
+func NewBroker(addr string) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: broker listen: %w", err)
+	}
+	b := &Broker{ln: ln, conns: make(map[*brokerConn]bool)}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the broker's listen address.
+func (b *Broker) Addr() string { return b.ln.Addr().String() }
+
+func (b *Broker) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		c, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		bc := &brokerConn{c: c, enc: json.NewEncoder(c), topics: make(map[string]bool)}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		b.conns[bc] = true
+		b.mu.Unlock()
+		b.wg.Add(1)
+		go b.serve(bc)
+	}
+}
+
+func (b *Broker) serve(bc *brokerConn) {
+	defer b.wg.Done()
+	defer func() {
+		b.mu.Lock()
+		delete(b.conns, bc)
+		b.mu.Unlock()
+		_ = bc.c.Close()
+	}()
+	sc := bufio.NewScanner(bc.c)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var f frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			return // protocol violation: drop the connection
+		}
+		switch f.Op {
+		case "sub":
+			if f.Topic != "" {
+				bc.subscribe(f.Topic)
+			}
+		case "pub":
+			if f.Msg == nil || f.Msg.Topic == "" {
+				continue
+			}
+			b.fanOut(*f.Msg)
+		}
+	}
+}
+
+// fanOut delivers a message to every connection subscribed to its topic.
+func (b *Broker) fanOut(m Message) {
+	b.mu.Lock()
+	conns := make([]*brokerConn, 0, len(b.conns))
+	for bc := range b.conns {
+		conns = append(conns, bc)
+	}
+	b.mu.Unlock()
+	for _, bc := range conns {
+		if bc.subscribed(m.Topic) {
+			// A dead connection errors here and is reaped by its serve loop.
+			_ = bc.send(frame{Op: "pub", Msg: &m})
+		}
+	}
+}
+
+// Close stops the broker and drops all connections.
+func (b *Broker) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conns := make([]*brokerConn, 0, len(b.conns))
+	for bc := range b.conns {
+		conns = append(conns, bc)
+	}
+	b.mu.Unlock()
+	err := b.ln.Close()
+	for _, bc := range conns {
+		_ = bc.c.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+// TCPClient is a Bus implementation backed by a broker connection.
+type TCPClient struct {
+	conn net.Conn
+	enc  *json.Encoder
+
+	mu     sync.Mutex
+	encMu  sync.Mutex
+	subs   map[string]map[int]chan Message
+	nextID int
+	closed bool
+	done   chan struct{}
+}
+
+// DialBroker connects to a broker.
+func DialBroker(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: dialing broker: %w", err)
+	}
+	c := &TCPClient{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		subs: make(map[string]map[int]chan Message),
+		done: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *TCPClient) readLoop() {
+	defer close(c.done)
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		var f frame
+		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
+			continue
+		}
+		if f.Op != "pub" || f.Msg == nil {
+			continue
+		}
+		c.mu.Lock()
+		for _, ch := range c.subs[f.Msg.Topic] {
+			select {
+			case ch <- *f.Msg:
+			default: // slow local subscriber: drop rather than stall the socket
+			}
+		}
+		c.mu.Unlock()
+	}
+	// Connection gone: close local subscriptions so consumers unblock.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, topicSubs := range c.subs {
+		for id, ch := range topicSubs {
+			close(ch)
+			delete(topicSubs, id)
+		}
+	}
+}
+
+// Publish implements Bus.
+func (c *TCPClient) Publish(m Message) error {
+	if m.Topic == "" {
+		return errors.New("bus: message needs a topic")
+	}
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	return c.enc.Encode(frame{Op: "pub", Msg: &m})
+}
+
+// Subscribe implements Bus.
+func (c *TCPClient) Subscribe(topic string) (<-chan Message, func(), error) {
+	if topic == "" {
+		return nil, nil, errors.New("bus: empty topic")
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	ch := make(chan Message, subscriberBuffer)
+	if c.subs[topic] == nil {
+		c.subs[topic] = make(map[int]chan Message)
+	}
+	c.nextID++
+	id := c.nextID
+	c.subs[topic][id] = ch
+	c.mu.Unlock()
+
+	c.encMu.Lock()
+	err := c.enc.Encode(frame{Op: "sub", Topic: topic})
+	c.encMu.Unlock()
+	if err != nil {
+		return nil, nil, fmt.Errorf("bus: subscribing to %q: %w", topic, err)
+	}
+	cancel := func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if sub, ok := c.subs[topic][id]; ok {
+			delete(c.subs[topic], id)
+			close(sub)
+		}
+	}
+	return ch, cancel, nil
+}
+
+// Close implements Bus.
+func (c *TCPClient) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}

@@ -1,0 +1,186 @@
+package bus
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// newBrokerPair starts a broker and n connected clients, with cleanup.
+func newBrokerPair(t *testing.T, n int) (*Broker, []*TCPClient) {
+	t.Helper()
+	br, err := NewBroker("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = br.Close() })
+	clients := make([]*TCPClient, n)
+	for i := range clients {
+		c, err := DialBroker(br.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = c.Close() })
+		clients[i] = c
+	}
+	return br, clients
+}
+
+// recvWithin reads one message or fails the test.
+func recvWithin(t *testing.T, ch <-chan Message, d time.Duration) Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed")
+		}
+		return m
+	case <-time.After(d):
+		t.Fatal("timed out waiting for message")
+		return Message{}
+	}
+}
+
+func TestTCPPubSubAcrossClients(t *testing.T) {
+	_, clients := newBrokerPair(t, 2)
+	pub, sub := clients[0], clients[1]
+	ch, cancel, err := sub.Subscribe("ctrl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	// Subscription registration races the publish; retry publishes until
+	// delivery, as a real service discovering the queue would.
+	done := make(chan Message, 1)
+	go func() {
+		done <- recvWithin(t, ch, 5*time.Second)
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		if err := pub.Publish(Message{Topic: "ctrl", Type: "newFlow"}); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case m := <-done:
+			if m.Type != "newFlow" {
+				t.Fatalf("got %+v", m)
+			}
+			return
+		case <-deadline:
+			t.Fatal("message never delivered")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestTCPTopicIsolation(t *testing.T) {
+	_, clients := newBrokerPair(t, 2)
+	chA, cancelA, _ := clients[1].Subscribe("a")
+	defer cancelA()
+	time.Sleep(50 * time.Millisecond) // let the sub frame land
+	if err := clients[0].Publish(Message{Topic: "b", Type: "m"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-chA:
+		t.Errorf("received foreign topic message: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+func TestTCPRequestReply(t *testing.T) {
+	_, clients := newBrokerPair(t, 2)
+	server, client := clients[0], clients[1]
+	reqCh, cancel, err := server.Subscribe("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	go func() {
+		for req := range reqCh {
+			reply, err := Reply(req, "svc.reply", "pong", map[string]int{"v": 7})
+			if err != nil {
+				return
+			}
+			_ = server.Publish(reply)
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // allow the server's sub to register
+	resp, err := Request(client, Message{Topic: "svc", Type: "ping"}, "svc.reply", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]int
+	if err := DecodePayload(resp, &body); err != nil || body["v"] != 7 {
+		t.Errorf("reply body = %v, %v", body, err)
+	}
+}
+
+func TestTCPClientCloseUnblocksSubscribers(t *testing.T) {
+	_, clients := newBrokerPair(t, 1)
+	c := clients[0]
+	ch, _, err := c.Subscribe("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("expected closed channel after client close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("subscriber not unblocked by close")
+	}
+	if err := c.Publish(Message{Topic: "t"}); err == nil {
+		t.Error("publish after close should fail")
+	}
+	if _, _, err := c.Subscribe("u"); err == nil {
+		t.Error("subscribe after close should fail")
+	}
+}
+
+func TestTCPBrokerCloseDropsClients(t *testing.T) {
+	br, clients := newBrokerPair(t, 1)
+	ch, _, _ := clients[0].Subscribe("t")
+	if err := br.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("expected closed channel after broker close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Error("client not disconnected by broker close")
+	}
+}
+
+func TestTCPManyMessagesInOrder(t *testing.T) {
+	_, clients := newBrokerPair(t, 2)
+	ch, cancel, _ := clients[1].Subscribe("seq")
+	defer cancel()
+	time.Sleep(50 * time.Millisecond)
+	const n = 100
+	for i := 0; i < n; i++ {
+		p, _ := EncodePayload(i)
+		if err := clients[0].Publish(Message{Topic: "seq", Type: fmt.Sprint(i), Payload: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		m := recvWithin(t, ch, 5*time.Second)
+		var got int
+		if err := DecodePayload(m, &got); err != nil || got != i {
+			t.Fatalf("message %d out of order: got %d (%v)", i, got, err)
+		}
+	}
+}
+
+func TestDialBrokerFailure(t *testing.T) {
+	if _, err := DialBroker("127.0.0.1:1"); err == nil {
+		t.Error("dialing a dead broker should fail")
+	}
+}

@@ -1,0 +1,83 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/hecate"
+	"repro/internal/netem"
+	"repro/internal/topo"
+)
+
+func TestAutoProvisionDerivesLabTunnels(t *testing.T) {
+	f, err := NewFramework(FrameworkConfig{
+		Netem:          netem.Config{TickSeconds: 0.1, RampMbpsPerSec: 100},
+		Hecate:         hecate.Config{Lag: 10, Horizon: 10, Model: "LR"},
+		AutoProvision:  &AutoProvision{Src: topo.HostMIA, Dst: topo.HostAMS, K: 3, Weight: topo.ByDelay},
+		RequestTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Stop()
+	if len(f.Tunnels) != 3 {
+		t.Fatalf("provisioned %d tunnels", len(f.Tunnels))
+	}
+	// The three cheapest-by-delay lab paths are exactly the experiment
+	// tunnels; tunnel 1 must be the min-delay one (via CHI).
+	p1, err := f.TunnelPath(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Equal(topo.TunnelPath2()) {
+		t.Errorf("auto tunnel 1 = %v, want min-delay path %v", p1, topo.TunnelPath2())
+	}
+	found := map[string]bool{}
+	for id := 1; id <= 3; id++ {
+		p, err := f.TunnelPath(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found[p.String()] = true
+	}
+	for _, want := range []topo.Path{topo.TunnelPath1(), topo.TunnelPath2(), topo.TunnelPath3()} {
+		if !found[want.String()] {
+			t.Errorf("auto-provisioning missed %v; got %v", want, found)
+		}
+	}
+	// The framework is fully usable: place a flow end to end.
+	warmup(t, f, "max-bandwidth", 60)
+	resp, err := f.Dash.InsertNewFlow(FlowRequest{Name: "auto", ToS: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TunnelID < 1 || resp.TunnelID > 3 {
+		t.Errorf("placed on tunnel %d", resp.TunnelID)
+	}
+}
+
+func TestAutoProvisionErrors(t *testing.T) {
+	_, err := NewFramework(FrameworkConfig{
+		Netem:         netem.Config{TickSeconds: 0.1},
+		Hecate:        hecate.Config{Model: "LR"},
+		AutoProvision: &AutoProvision{Src: "nope", Dst: topo.HostAMS, K: 3},
+	})
+	if err == nil {
+		t.Error("unknown source should fail provisioning")
+	}
+}
+
+func TestAutoProvisionDefaultK(t *testing.T) {
+	lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &AutoProvision{Src: topo.HostMIA, Dst: topo.HostAMS}
+	tunnels, err := a.provision(lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tunnels) != 3 {
+		t.Errorf("default K provisioned %d tunnels", len(tunnels))
+	}
+}

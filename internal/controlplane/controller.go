@@ -1,0 +1,219 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bus"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+)
+
+// Controller orchestrates the path-allocation sequence of Fig. 4: for
+// every newFlow it pulls recent telemetry for each candidate tunnel from
+// the Telemetry Service, consults the Hecate Service for the optimal path,
+// and instructs the PolKA Service to establish (or retarget) the tunnel
+// binding.
+type Controller struct {
+	loop      *serviceLoop
+	b         bus.Bus
+	tunnelIDs []int
+	lag       int
+	timeout   time.Duration
+}
+
+// ControllerConfig tunes the controller.
+type ControllerConfig struct {
+	// TunnelIDs lists the candidate tunnels flows may be placed on.
+	TunnelIDs []int
+	// Lag is how many recent telemetry samples feed the optimizer (must
+	// match the Hecate service's lag; the paper uses 10).
+	Lag int
+	// RequestTimeout bounds each downstream service call.
+	RequestTimeout time.Duration
+}
+
+// NewController starts the controller on TopicController.
+func NewController(b bus.Bus, cfg ControllerConfig) (*Controller, error) {
+	if len(cfg.TunnelIDs) == 0 {
+		return nil, fmt.Errorf("controlplane: controller needs candidate tunnels")
+	}
+	if cfg.Lag < 1 {
+		cfg.Lag = 10
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	ids := make([]int, len(cfg.TunnelIDs))
+	copy(ids, cfg.TunnelIDs)
+	sort.Ints(ids)
+	c := &Controller{b: b, tunnelIDs: ids, lag: cfg.Lag, timeout: cfg.RequestTimeout}
+	loop, err := startService(b, TopicController, "controller", c.handle)
+	if err != nil {
+		return nil, err
+	}
+	c.loop = loop
+	return c, nil
+}
+
+// request is a convenience wrapper for a downstream service call.
+func (c *Controller) request(topic, msgType string, payload interface{}) (bus.Message, error) {
+	p, err := bus.EncodePayload(payload)
+	if err != nil {
+		return bus.Message{}, err
+	}
+	reply, err := bus.Request(c.b, bus.Message{Topic: topic, Type: msgType, Payload: p}, ReplyTopic(topic), c.timeout)
+	if err != nil {
+		return bus.Message{}, err
+	}
+	if reply.Type == MsgError {
+		var e ErrorReply
+		if derr := bus.DecodePayload(reply, &e); derr == nil {
+			return bus.Message{}, fmt.Errorf("controlplane: %s/%s failed: %s", topic, msgType, e.Error)
+		}
+		return bus.Message{}, fmt.Errorf("controlplane: %s/%s failed", topic, msgType)
+	}
+	return reply, nil
+}
+
+// qosKeyFor maps an objective to the telemetry series the optimizer
+// should predict over: available bandwidth for max-bandwidth, probe RTT
+// for min-latency.
+func qosKeyFor(objective string, tunnel int) (string, error) {
+	switch objective {
+	case "", "max-bandwidth":
+		return telemetry.PathBandwidthKey(tunnelName(tunnel)), nil
+	case "min-latency":
+		return telemetry.PathRTTKey(tunnelName(tunnel)), nil
+	case "min-max-utilization":
+		return telemetry.PathUtilKey(tunnelName(tunnel)), nil
+	default:
+		return "", fmt.Errorf("controlplane: unknown objective %q", objective)
+	}
+}
+
+// handle processes one newFlow request end to end.
+func (c *Controller) handle(m bus.Message) (interface{}, error) {
+	if m.Type != MsgNewFlow {
+		return nil, fmt.Errorf("controlplane: controller got unknown message %q", m.Type)
+	}
+	var req FlowRequest
+	if err := bus.DecodePayload(m, &req); err != nil {
+		return nil, err
+	}
+	if req.Name == "" {
+		return nil, fmt.Errorf("controlplane: flow needs a name")
+	}
+
+	tunnelID := req.PinTunnel
+	score := 0.0
+	if tunnelID == 0 {
+		// getTelemetry per candidate tunnel.
+		histories := make(map[string][]float64, len(c.tunnelIDs))
+		for _, id := range c.tunnelIDs {
+			key, err := qosKeyFor(req.Objective, id)
+			if err != nil {
+				return nil, err
+			}
+			reply, err := c.request(TopicTelemetry, MsgGetTelemetry, TelemetryQuery{Key: key, LastN: c.lag})
+			if err != nil {
+				return nil, err
+			}
+			var tr TelemetryReply
+			if err := bus.DecodePayload(reply, &tr); err != nil {
+				return nil, err
+			}
+			histories[tunnelName(id)] = tr.Values
+		}
+		// askHecatePath.
+		reply, err := c.request(TopicHecate, MsgAskHecatePath, PathQoSRequest{
+			Objective: req.Objective, Histories: histories,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var rec PathQoSReply
+		if err := bus.DecodePayload(reply, &rec); err != nil {
+			return nil, err
+		}
+		id, err := tunnelIDFromName(rec.Path)
+		if err != nil {
+			return nil, err
+		}
+		tunnelID = id
+		score = rec.Score
+	}
+
+	// configureTunnel.
+	reply, err := c.request(TopicPolka, MsgConfigureTunnel, TunnelConfigRequest{
+		FlowName: req.Name, TunnelID: tunnelID,
+		ToS: req.ToS, DemandMbps: req.DemandMbps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var conf TunnelConfigReply
+	if err := bus.DecodePayload(reply, &conf); err != nil {
+		return nil, err
+	}
+	return FlowResponse{
+		FlowName: req.Name,
+		TunnelID: conf.TunnelID,
+		Path:     conf.Path,
+		Score:    score,
+	}, nil
+}
+
+// tunnelIDFromName parses "tunnelN" back to N.
+func tunnelIDFromName(name string) (int, error) {
+	var id int
+	if _, err := fmt.Sscanf(name, "tunnel%d", &id); err != nil {
+		return 0, fmt.Errorf("controlplane: bad tunnel name %q: %w", name, err)
+	}
+	return id, nil
+}
+
+// TrainHecate pushes full per-tunnel telemetry histories to the Hecate
+// service for model fitting. It is called once the telemetry store has
+// accumulated enough history (the paper trains offline on the UQ trace).
+func (c *Controller) TrainHecate(objective string, historyLen int) error {
+	histories := make(map[string][]float64, len(c.tunnelIDs))
+	for _, id := range c.tunnelIDs {
+		key, err := qosKeyFor(objective, id)
+		if err != nil {
+			return err
+		}
+		reply, err := c.request(TopicTelemetry, MsgGetTelemetry, TelemetryQuery{Key: key, LastN: historyLen})
+		if err != nil {
+			return err
+		}
+		var tr TelemetryReply
+		if err := bus.DecodePayload(reply, &tr); err != nil {
+			return err
+		}
+		histories[tunnelName(id)] = tr.Values
+	}
+	_, err := c.request(TopicHecate, MsgTrainModels, TrainRequest{Histories: histories})
+	return err
+}
+
+// Stop shuts the controller down.
+func (c *Controller) Stop() { c.loop.Stop() }
+
+// Tunnels returns the candidate tunnel IDs.
+func (c *Controller) Tunnels() []int {
+	out := make([]int, len(c.tunnelIDs))
+	copy(out, c.tunnelIDs)
+	return out
+}
+
+// pathByID is a small helper used by the framework assembly to look up a
+// tunnel path; kept here so the topo import stays local to the package.
+func pathByID(tunnels map[int]topo.Path, id int) (topo.Path, error) {
+	p, ok := tunnels[id]
+	if !ok {
+		return topo.Path{}, fmt.Errorf("controlplane: unknown tunnel %d", id)
+	}
+	return p, nil
+}

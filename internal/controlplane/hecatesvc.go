@@ -1,0 +1,85 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/hecate"
+)
+
+// HecateService wraps the optimizer behind the bus: trainModels fits one
+// regression model per candidate path, askHecatePath returns the
+// recommended path for a new flow given recent telemetry.
+type HecateService struct {
+	loop *serviceLoop
+	opt  *hecate.Optimizer
+}
+
+// NewHecateService creates the optimizer with the given configuration and
+// starts serving on TopicHecate.
+func NewHecateService(b bus.Bus, cfg hecate.Config) (*HecateService, error) {
+	opt, err := hecate.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &HecateService{opt: opt}
+	loop, err := startService(b, TopicHecate, "hecate-service", s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.loop = loop
+	return s, nil
+}
+
+// parseObjective maps the wire objective names onto hecate objectives.
+func parseObjective(name string) (hecate.Objective, error) {
+	switch name {
+	case "", "max-bandwidth":
+		return hecate.MaxBandwidth, nil
+	case "min-latency":
+		return hecate.MinLatency, nil
+	case "min-max-utilization":
+		return hecate.MinMaxUtilization, nil
+	default:
+		return 0, fmt.Errorf("controlplane: unknown objective %q", name)
+	}
+}
+
+// handle serves trainModels and askHecatePath.
+func (s *HecateService) handle(m bus.Message) (interface{}, error) {
+	switch m.Type {
+	case MsgTrainModels:
+		var req TrainRequest
+		if err := bus.DecodePayload(m, &req); err != nil {
+			return nil, err
+		}
+		if len(req.Histories) == 0 {
+			return nil, fmt.Errorf("controlplane: trainModels needs histories")
+		}
+		for path, hist := range req.Histories {
+			if err := s.opt.TrainPath(path, hist); err != nil {
+				return nil, err
+			}
+		}
+		return map[string]int{"trained": len(req.Histories)}, nil
+	case MsgAskHecatePath:
+		var req PathQoSRequest
+		if err := bus.DecodePayload(m, &req); err != nil {
+			return nil, err
+		}
+		obj, err := parseObjective(req.Objective)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := s.opt.Recommend(req.Histories, obj)
+		if err != nil {
+			return nil, err
+		}
+		return PathQoSReply{Path: rec.Path, Score: rec.Score, Forecasts: rec.Forecasts}, nil
+	default:
+		return nil, fmt.Errorf("controlplane: hecate service got unknown message %q", m.Type)
+	}
+}
+
+// Stop shuts the service down.
+func (s *HecateService) Stop() { s.loop.Stop() }

@@ -1,0 +1,124 @@
+// Package controlplane assembles the paper's integration framework: the
+// Dashboard, Scheduler, Controller, Telemetry Service, Hecate Service and
+// PolKA Service of Fig. 3, exchanging messages over a queue exactly as the
+// sequence diagram of Fig. 4 prescribes:
+//
+//	Dashboard → Scheduler:            insertNewFlow
+//	Scheduler → Controller:           newFlow
+//	Controller → Telemetry Service:   getTelemetry
+//	Controller → Hecate Service:      askHecatePath
+//	Controller → PolKA Service:       configureTunnel
+//
+// Every service is a goroutine consuming its topic; requests carry
+// correlation IDs and are answered on "<topic>.reply". The same wiring
+// works over the in-process bus (tests, single binary) and the TCP broker
+// (multi-process deployment).
+package controlplane
+
+// Topic names, one per service.
+const (
+	TopicScheduler  = "scheduler"
+	TopicController = "controller"
+	TopicTelemetry  = "telemetry"
+	TopicHecate     = "hecate"
+	TopicPolka      = "polka"
+)
+
+// ReplyTopic returns the reply topic for a service topic.
+func ReplyTopic(topic string) string { return topic + ".reply" }
+
+// Message type names used across the services (Fig. 4 vocabulary).
+const (
+	MsgInsertNewFlow   = "insertNewFlow"
+	MsgNewFlow         = "newFlow"
+	MsgGetTelemetry    = "getTelemetry"
+	MsgAskHecatePath   = "askHecatePath"
+	MsgConfigureTunnel = "configureTunnel"
+	MsgTrainModels     = "trainModels"
+	MsgReturn          = "return"
+	MsgError           = "error"
+)
+
+// FlowRequest is the Dashboard's insertNewFlow payload.
+type FlowRequest struct {
+	// Name labels the flow ("flow1").
+	Name string `json:"name"`
+	// ToS is the type-of-service tag distinguishing the flow class.
+	ToS uint8 `json:"tos"`
+	// DemandMbps caps the flow's offered load (0 = greedy).
+	DemandMbps float64 `json:"demand_mbps"`
+	// Objective selects the optimization goal: "max-bandwidth" (default)
+	// or "min-latency".
+	Objective string `json:"objective,omitempty"`
+	// PinTunnel, when nonzero, bypasses the optimizer and pins the flow
+	// to a tunnel — phase (i) of the experiments, where "the controller
+	// allocates the flow to an arbitrary path".
+	PinTunnel int `json:"pin_tunnel,omitempty"`
+}
+
+// FlowResponse reports where a flow landed.
+type FlowResponse struct {
+	FlowName string  `json:"flow_name"`
+	TunnelID int     `json:"tunnel_id"`
+	Path     string  `json:"path"`
+	Score    float64 `json:"score"`
+}
+
+// TelemetryQuery asks the Telemetry Service for a window of samples.
+type TelemetryQuery struct {
+	// Key is the series key (telemetry package conventions).
+	Key string `json:"key"`
+	// LastN limits the reply to the most recent n samples.
+	LastN int `json:"last_n"`
+}
+
+// TelemetryReply returns the requested samples, oldest first.
+type TelemetryReply struct {
+	Key    string    `json:"key"`
+	Values []float64 `json:"values"`
+}
+
+// PathQoSRequest asks the Hecate Service for a recommendation.
+type PathQoSRequest struct {
+	// Objective is "max-bandwidth" or "min-latency".
+	Objective string `json:"objective"`
+	// Histories maps candidate name → recent QoS samples (newest last).
+	Histories map[string][]float64 `json:"histories"`
+}
+
+// PathQoSReply is the Hecate Service's recommendation.
+type PathQoSReply struct {
+	Path      string               `json:"path"`
+	Score     float64              `json:"score"`
+	Forecasts map[string][]float64 `json:"forecasts"`
+}
+
+// TrainRequest carries full per-path histories for model training.
+type TrainRequest struct {
+	Histories map[string][]float64 `json:"histories"`
+}
+
+// TunnelConfigRequest asks the PolKA Service to place or move a flow.
+type TunnelConfigRequest struct {
+	// FlowName identifies the flow (also its ACL name on the edge).
+	FlowName string `json:"flow_name"`
+	// TunnelID is the target tunnel.
+	TunnelID int `json:"tunnel_id"`
+	// ToS and DemandMbps describe the flow when it is first created.
+	ToS        uint8   `json:"tos"`
+	DemandMbps float64 `json:"demand_mbps"`
+}
+
+// TunnelConfigReply confirms a placement.
+type TunnelConfigReply struct {
+	FlowName string `json:"flow_name"`
+	TunnelID int    `json:"tunnel_id"`
+	Path     string `json:"path"`
+	// RouteIDBits is the PolKA route identifier in bit-string form.
+	RouteIDBits string `json:"route_id_bits"`
+}
+
+// ErrorReply reports a failed request.
+type ErrorReply struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,240 @@
+package controlplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/bus"
+	"repro/internal/freertr"
+	"repro/internal/gf2"
+	"repro/internal/netem"
+	"repro/internal/polka"
+	"repro/internal/topo"
+)
+
+// PolkaService is the SR service of Fig. 3: it owns the PolKA routing
+// domain, the ingress edge router's freeRtr-style configuration, and the
+// mapping from provisioned tunnels to emulated flows. Its configureTunnel
+// operation is the paper's migration primitive — a single PBR retarget at
+// the edge, with the core untouched.
+type PolkaService struct {
+	loop    *serviceLoop
+	emu     *netem.Emulator
+	domain  *polka.Domain
+	tunnels map[int]topo.Path
+
+	// mu guards the edge configuration and flow registry, which the
+	// service goroutine mutates and accessors read.
+	mu    sync.Mutex
+	edge  *freertr.RouterConfig
+	flows map[string]netem.FlowID
+}
+
+// provisionTunnels computes routeIDs for each tunnel path and installs
+// them in the edge configuration.
+func provisionTunnels(domain *polka.Domain, t *topo.Topology, edge *freertr.RouterConfig, tunnels map[int]topo.Path) error {
+	ids := make([]int, 0, len(tunnels))
+	for id := range tunnels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		p := tunnels[id]
+		rid, err := routeIDFor(domain, t, p)
+		if err != nil {
+			return fmt.Errorf("controlplane: tunnel %d (%v): %w", id, p, err)
+		}
+		routers := routerSegment(t, p)
+		dest := routers[len(routers)-1]
+		if err := edge.AddTunnel(freertr.Tunnel{
+			ID: id, Destination: dest, DomainPath: routers, RouteID: rid,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// routerSegment extracts the router (edge/core) node names of a
+// host-to-host path, in order.
+func routerSegment(t *topo.Topology, p topo.Path) []string {
+	var out []string
+	for _, name := range p.Nodes {
+		n, err := t.Node(name)
+		if err != nil {
+			continue
+		}
+		if n.Kind == topo.Edge || n.Kind == topo.Core {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// routerHops maps a host-to-host path to PolKA (node, output-port) hops:
+// one hop per router, with the port toward the path's next node.
+func routerHops(t *topo.Topology, p topo.Path) ([]polka.PathHop, error) {
+	var hops []polka.PathHop
+	for i := 0; i+1 < len(p.Nodes); i++ {
+		n, err := t.Node(p.Nodes[i])
+		if err != nil {
+			return nil, err
+		}
+		if n.Kind != topo.Edge && n.Kind != topo.Core {
+			continue
+		}
+		port, err := n.Port(p.Nodes[i+1])
+		if err != nil {
+			return nil, err
+		}
+		hops = append(hops, polka.PathHop{Node: p.Nodes[i], Port: port})
+	}
+	if len(hops) == 0 {
+		return nil, fmt.Errorf("controlplane: path %v crosses no routers", p)
+	}
+	return hops, nil
+}
+
+// routeIDFor computes the PolKA route identifier steering packets along
+// the router segment of the path.
+func routeIDFor(domain *polka.Domain, t *topo.Topology, p topo.Path) (gf2.Poly, error) {
+	hops, err := routerHops(t, p)
+	if err != nil {
+		return gf2.Poly{}, err
+	}
+	rid, err := domain.EncodePath(hops)
+	if err != nil {
+		return gf2.Poly{}, err
+	}
+	// The defining PolKA check: the single label forwards correctly at
+	// every router of the path.
+	if err := domain.VerifyPath(rid, hops); err != nil {
+		return gf2.Poly{}, err
+	}
+	return rid, nil
+}
+
+// NewPolkaService builds the routing domain over the topology's routers,
+// provisions the tunnels on the ingress edge's configuration, installs a
+// data-plane validator in the emulator, and starts serving configureTunnel
+// requests on TopicPolka.
+func NewPolkaService(b bus.Bus, emu *netem.Emulator, ingressEdge string, tunnels map[int]topo.Path) (*PolkaService, error) {
+	t := emu.Topology()
+	routers := append(t.NodesOfKind(topo.Edge), t.NodesOfKind(topo.Core)...)
+	if len(routers) == 0 {
+		return nil, fmt.Errorf("controlplane: topology has no routers")
+	}
+	domain, err := polka.NewDomain(routers, t.MaxPort())
+	if err != nil {
+		return nil, err
+	}
+	edge, err := freertr.NewRouterConfig(ingressEdge)
+	if err != nil {
+		return nil, err
+	}
+	if err := provisionTunnels(domain, t, edge, tunnels); err != nil {
+		return nil, err
+	}
+	ts := make(map[int]topo.Path, len(tunnels))
+	for id, p := range tunnels {
+		ts[id] = p
+	}
+	s := &PolkaService{emu: emu, domain: domain, edge: edge, tunnels: ts, flows: make(map[string]netem.FlowID)}
+	// Every path the emulator accepts must be verifiable in the PolKA
+	// data plane.
+	emu.SetPathValidator(func(p topo.Path) error {
+		_, err := routeIDFor(domain, t, p)
+		return err
+	})
+	loop, err := startService(b, TopicPolka, "polka-service", s.handle)
+	if err != nil {
+		return nil, err
+	}
+	s.loop = loop
+	return s, nil
+}
+
+// handle processes one PolKA service request.
+func (s *PolkaService) handle(m bus.Message) (interface{}, error) {
+	if m.Type != MsgConfigureTunnel {
+		return nil, fmt.Errorf("controlplane: polka service got unknown message %q", m.Type)
+	}
+	var req TunnelConfigRequest
+	if err := bus.DecodePayload(m, &req); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path, ok := s.tunnels[req.TunnelID]
+	if !ok {
+		return nil, fmt.Errorf("controlplane: unknown tunnel %d", req.TunnelID)
+	}
+	if req.FlowName == "" {
+		return nil, fmt.Errorf("controlplane: flow needs a name")
+	}
+	if id, exists := s.flows[req.FlowName]; exists {
+		// Migration: retarget the PBR entry and reroute the live flow.
+		if err := s.edge.BindPBR(req.FlowName, req.TunnelID); err != nil {
+			return nil, err
+		}
+		if err := s.emu.Reroute(id, path); err != nil {
+			return nil, err
+		}
+	} else {
+		// First placement: ACL + PBR + live flow.
+		if err := s.edge.AddAccessList(freertr.AccessList{
+			Name:   req.FlowName,
+			SrcNet: "40.40.1.0/24", DstIP: "40.40.2.2",
+			Proto: 6, ToS: req.ToS,
+		}); err != nil {
+			return nil, err
+		}
+		if err := s.edge.BindPBR(req.FlowName, req.TunnelID); err != nil {
+			return nil, err
+		}
+		fid, err := s.emu.AddFlow(netem.FlowSpec{
+			Name: req.FlowName,
+			Src:  path.Nodes[0], Dst: path.Nodes[len(path.Nodes)-1],
+			ToS: req.ToS, Proto: 6,
+			DemandMbps: req.DemandMbps,
+			Path:       path,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.flows[req.FlowName] = fid
+	}
+	tun, err := s.edge.TunnelByID(req.TunnelID)
+	if err != nil {
+		return nil, err
+	}
+	return TunnelConfigReply{
+		FlowName:    req.FlowName,
+		TunnelID:    req.TunnelID,
+		Path:        path.String(),
+		RouteIDBits: tun.RouteID.BitString(),
+	}, nil
+}
+
+// FlowID returns the emulator flow behind a placed flow name.
+func (s *PolkaService) FlowID(name string) (netem.FlowID, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.flows[name]
+	return id, ok
+}
+
+// EdgeConfig returns the ingress edge's current freeRtr configuration
+// text — what an operator would see on the console.
+func (s *PolkaService) EdgeConfig() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.edge.Emit()
+}
+
+// Domain exposes the PolKA domain (read-only use).
+func (s *PolkaService) Domain() *polka.Domain { return s.domain }
+
+// Stop shuts the service down.
+func (s *PolkaService) Stop() { s.loop.Stop() }

@@ -1,0 +1,56 @@
+package controlplane
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+)
+
+// serviceLoop is the shared skeleton of every framework service: a
+// subscription, a handler, and a shutdown path. Handlers return the reply
+// payload (sent as MsgReturn) or an error (sent as MsgError); either way
+// the correlation ID is preserved.
+type serviceLoop struct {
+	name   string
+	b      bus.Bus
+	topic  string
+	cancel func()
+	done   chan struct{}
+}
+
+// startService subscribes to the topic and pumps messages through handle
+// until Stop. handle runs on the service goroutine, so per-service state
+// needs no locking.
+func startService(b bus.Bus, topic, name string, handle func(bus.Message) (interface{}, error)) (*serviceLoop, error) {
+	ch, cancel, err := b.Subscribe(topic)
+	if err != nil {
+		return nil, fmt.Errorf("controlplane: %s subscribing to %q: %w", name, topic, err)
+	}
+	s := &serviceLoop{name: name, b: b, topic: topic, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		for m := range ch {
+			payload, err := handle(m)
+			var reply bus.Message
+			var rerr error
+			if err != nil {
+				reply, rerr = bus.Reply(m, ReplyTopic(topic), MsgError, ErrorReply{Error: err.Error()})
+			} else {
+				reply, rerr = bus.Reply(m, ReplyTopic(topic), MsgReturn, payload)
+			}
+			if rerr != nil {
+				continue // payload unencodable; nothing sensible to send
+			}
+			// The requester may have timed out and gone; a failed publish
+			// is not fatal to the service.
+			_ = s.b.Publish(reply)
+		}
+	}()
+	return s, nil
+}
+
+// Stop unsubscribes and waits for the service goroutine to exit.
+func (s *serviceLoop) Stop() {
+	s.cancel()
+	<-s.done
+}

@@ -1,0 +1,63 @@
+package controlplane
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bus"
+)
+
+// requestRaw sends an arbitrary message to a service topic and returns
+// the reply.
+func requestRaw(t *testing.T, b bus.Bus, topic, msgType string, payload interface{}) bus.Message {
+	t.Helper()
+	p, err := bus.EncodePayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := bus.Request(b, bus.Message{Topic: topic, Type: msgType, Payload: p},
+		ReplyTopic(topic), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return reply
+}
+
+func TestServicesRejectUnknownMessageTypes(t *testing.T) {
+	f := newLabFramework(t)
+	for _, topic := range []string{TopicPolka, TopicTelemetry, TopicHecate, TopicController, TopicScheduler} {
+		reply := requestRaw(t, f.Bus, topic, "bogusMessage", map[string]string{})
+		if reply.Type != MsgError {
+			t.Errorf("topic %s accepted a bogus message: %+v", topic, reply)
+		}
+		var e ErrorReply
+		if err := bus.DecodePayload(reply, &e); err != nil || !strings.Contains(e.Error, "unknown message") {
+			t.Errorf("topic %s error = %+v, %v", topic, e, err)
+		}
+	}
+}
+
+func TestServicesRejectMalformedPayloads(t *testing.T) {
+	f := newLabFramework(t)
+	// A payload that does not decode into the expected struct type.
+	bad := []interface{}{1, 2, 3}
+	for _, c := range []struct{ topic, msgType string }{
+		{TopicPolka, MsgConfigureTunnel},
+		{TopicTelemetry, MsgGetTelemetry},
+		{TopicHecate, MsgAskHecatePath},
+		{TopicController, MsgNewFlow},
+		{TopicScheduler, MsgInsertNewFlow},
+	} {
+		reply := requestRaw(t, f.Bus, c.topic, c.msgType, bad)
+		if reply.Type != MsgError {
+			t.Errorf("%s/%s accepted malformed payload", c.topic, c.msgType)
+		}
+	}
+}
+
+func TestReplyTopicNaming(t *testing.T) {
+	if got := ReplyTopic("polka"); got != "polka.reply" {
+		t.Errorf("ReplyTopic = %q", got)
+	}
+}

@@ -1,0 +1,209 @@
+// Package freertr models the edge-router configuration surface the
+// framework drives: PolKA tunnels, access-control lists and policy-based
+// routing (PBR), in the style of the RARE/freeRtr configuration of Fig. 10.
+//
+// The configuration model captures the paper's key operational property:
+// the core network holds no per-flow state, so steering a flow onto a
+// different path is a single PBR retarget at the ingress edge router —
+// no tunnel teardown, no core reconfiguration.
+//
+// A freeRtr-flavoured text form is supported in both directions (Emit and
+// Parse), so configurations can be inspected, diffed and replayed the way
+// the testbed scripts did.
+package freertr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/gf2"
+)
+
+// AccessList matches a flow class, like the "access-list flow3" stanza of
+// Fig. 10: source network, destination host, protocol and ToS.
+type AccessList struct {
+	// Name identifies the ACL ("flow3").
+	Name string
+	// SrcNet is the permitted source network in CIDR-ish notation
+	// ("40.40.1.0/24").
+	SrcNet string
+	// DstIP is the destination host ("40.40.2.2").
+	DstIP string
+	// Proto is the IP protocol number (6 = TCP).
+	Proto uint8
+	// ToS filters packets carrying this type-of-service value.
+	ToS uint8
+}
+
+// Tunnel is a provisioned PolKA tunnel: an explicit path through the
+// domain plus the routeID freeRtr computes from it ("tunnel domain-name"
+// in Fig. 10).
+type Tunnel struct {
+	// ID is the tunnel number (1-based, as in the experiments).
+	ID int
+	// Destination is the remote edge router's tunnel endpoint address.
+	Destination string
+	// DomainPath lists the router names of the explicit path, ingress
+	// edge first.
+	DomainPath []string
+	// RouteID is the PolKA route identifier encapsulated in packets
+	// entering the tunnel.
+	RouteID gf2.Poly
+}
+
+// PBREntry binds an access list to a tunnel: flows matching the ACL are
+// steered into the tunnel. Retargeting this binding is the framework's
+// path-migration primitive.
+type PBREntry struct {
+	// ACL names the matching access list.
+	ACL string
+	// TunnelID is the tunnel the matched flows enter.
+	TunnelID int
+}
+
+// RouterConfig is one edge router's configuration.
+type RouterConfig struct {
+	// Hostname names the router ("MIA").
+	Hostname string
+
+	acls    map[string]AccessList
+	tunnels map[int]Tunnel
+	pbr     map[string]int // ACL name → tunnel ID
+}
+
+// NewRouterConfig creates an empty configuration for the named router.
+func NewRouterConfig(hostname string) (*RouterConfig, error) {
+	if hostname == "" {
+		return nil, errors.New("freertr: empty hostname")
+	}
+	return &RouterConfig{
+		Hostname: hostname,
+		acls:     make(map[string]AccessList),
+		tunnels:  make(map[int]Tunnel),
+		pbr:      make(map[string]int),
+	}, nil
+}
+
+// AddAccessList installs an ACL; names must be unique.
+func (c *RouterConfig) AddAccessList(a AccessList) error {
+	if a.Name == "" {
+		return errors.New("freertr: access list needs a name")
+	}
+	if _, dup := c.acls[a.Name]; dup {
+		return fmt.Errorf("freertr: duplicate access list %q", a.Name)
+	}
+	c.acls[a.Name] = a
+	return nil
+}
+
+// AccessListByName returns the named ACL.
+func (c *RouterConfig) AccessListByName(name string) (AccessList, error) {
+	a, ok := c.acls[name]
+	if !ok {
+		return AccessList{}, fmt.Errorf("freertr: unknown access list %q", name)
+	}
+	return a, nil
+}
+
+// AccessLists returns all ACLs sorted by name.
+func (c *RouterConfig) AccessLists() []AccessList {
+	out := make([]AccessList, 0, len(c.acls))
+	for _, a := range c.acls {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddTunnel installs a tunnel; IDs must be unique and paths non-empty.
+func (c *RouterConfig) AddTunnel(t Tunnel) error {
+	if t.ID < 1 {
+		return fmt.Errorf("freertr: tunnel ID must be ≥ 1, got %d", t.ID)
+	}
+	if len(t.DomainPath) == 0 {
+		return fmt.Errorf("freertr: tunnel %d needs a domain path", t.ID)
+	}
+	if _, dup := c.tunnels[t.ID]; dup {
+		return fmt.Errorf("freertr: duplicate tunnel %d", t.ID)
+	}
+	c.tunnels[t.ID] = t
+	return nil
+}
+
+// TunnelByID returns the tunnel with the given ID.
+func (c *RouterConfig) TunnelByID(id int) (Tunnel, error) {
+	t, ok := c.tunnels[id]
+	if !ok {
+		return Tunnel{}, fmt.Errorf("freertr: unknown tunnel %d", id)
+	}
+	return t, nil
+}
+
+// Tunnels returns all tunnels sorted by ID.
+func (c *RouterConfig) Tunnels() []Tunnel {
+	out := make([]Tunnel, 0, len(c.tunnels))
+	for _, t := range c.tunnels {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// BindPBR points the ACL's traffic at a tunnel, creating or retargeting
+// the binding. Both the ACL and the tunnel must exist. This is the single
+// edge operation behind both testbed experiments' path migrations.
+func (c *RouterConfig) BindPBR(aclName string, tunnelID int) error {
+	if _, ok := c.acls[aclName]; !ok {
+		return fmt.Errorf("freertr: unknown access list %q", aclName)
+	}
+	if _, ok := c.tunnels[tunnelID]; !ok {
+		return fmt.Errorf("freertr: unknown tunnel %d", tunnelID)
+	}
+	c.pbr[aclName] = tunnelID
+	return nil
+}
+
+// PBRTarget returns the tunnel an ACL is currently bound to.
+func (c *RouterConfig) PBRTarget(aclName string) (int, error) {
+	id, ok := c.pbr[aclName]
+	if !ok {
+		return 0, fmt.Errorf("freertr: access list %q has no PBR binding", aclName)
+	}
+	return id, nil
+}
+
+// PBREntries returns all bindings sorted by ACL name.
+func (c *RouterConfig) PBREntries() []PBREntry {
+	out := make([]PBREntry, 0, len(c.pbr))
+	for acl, id := range c.pbr {
+		out = append(out, PBREntry{ACL: acl, TunnelID: id})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ACL < out[j].ACL })
+	return out
+}
+
+// Emit renders the configuration in freeRtr-flavoured text, one stanza per
+// object, in deterministic order:
+//
+//	hostname MIA
+//	access-list flow3 permit 6 40.40.1.0/24 40.40.2.2 tos 8
+//	interface tunnel3 destination 20.20.0.7 domain-name MIA SAO AMS routeid 1011001
+//	pbr flow3 tunnel 3
+func (c *RouterConfig) Emit() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hostname %s\n", c.Hostname)
+	for _, a := range c.AccessLists() {
+		fmt.Fprintf(&b, "access-list %s permit %d %s %s tos %d\n",
+			a.Name, a.Proto, a.SrcNet, a.DstIP, a.ToS)
+	}
+	for _, t := range c.Tunnels() {
+		fmt.Fprintf(&b, "interface tunnel%d destination %s domain-name %s routeid %s\n",
+			t.ID, t.Destination, strings.Join(t.DomainPath, " "), t.RouteID.BitString())
+	}
+	for _, p := range c.PBREntries() {
+		fmt.Fprintf(&b, "pbr %s tunnel %d\n", p.ACL, p.TunnelID)
+	}
+	return b.String()
+}

@@ -1,0 +1,208 @@
+package freertr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// fig10Config builds a configuration shaped like the paper's Fig. 10
+// example: flow3 matched by ACL, tunnel 3 to AMS via an explicit path,
+// PBR binding flow3 to tunnel 3.
+func fig10Config(t *testing.T) *RouterConfig {
+	t.Helper()
+	cfg, err := NewRouterConfig("MIA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.AddAccessList(AccessList{
+		Name: "flow3", SrcNet: "40.40.1.0/24", DstIP: "40.40.2.2", Proto: 6, ToS: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for id, path := range map[int][]string{
+		1: {"MIA", "SAO", "AMS"},
+		2: {"MIA", "CHI", "AMS"},
+		3: {"MIA", "CAL", "CHI", "AMS"},
+	} {
+		if err := cfg.AddTunnel(Tunnel{
+			ID: id, Destination: "20.20.0.7", DomainPath: path,
+			RouteID: gf2.FromUint64(uint64(0b1000000 + id)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cfg.BindPBR("flow3", 3); err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestConfigBasics(t *testing.T) {
+	cfg := fig10Config(t)
+	a, err := cfg.AccessListByName("flow3")
+	if err != nil || a.ToS != 8 || a.Proto != 6 {
+		t.Errorf("ACL = %+v, %v", a, err)
+	}
+	tun, err := cfg.TunnelByID(3)
+	if err != nil || len(tun.DomainPath) != 4 {
+		t.Errorf("tunnel = %+v, %v", tun, err)
+	}
+	id, err := cfg.PBRTarget("flow3")
+	if err != nil || id != 3 {
+		t.Errorf("PBR target = %d, %v", id, err)
+	}
+	if got := len(cfg.Tunnels()); got != 3 {
+		t.Errorf("tunnel count = %d", got)
+	}
+	if got := cfg.Tunnels(); got[0].ID != 1 || got[2].ID != 3 {
+		t.Error("Tunnels not sorted by ID")
+	}
+}
+
+func TestPBRRetargetIsTheMigrationPrimitive(t *testing.T) {
+	cfg := fig10Config(t)
+	// Retarget flow3 from tunnel 3 to tunnel 2 — the single edge update of
+	// the experiments.
+	if err := cfg.BindPBR("flow3", 2); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := cfg.PBRTarget("flow3")
+	if id != 2 {
+		t.Errorf("after retarget, PBR target = %d", id)
+	}
+	entries := cfg.PBREntries()
+	if len(entries) != 1 || entries[0].TunnelID != 2 {
+		t.Errorf("entries = %+v", entries)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	if _, err := NewRouterConfig(""); err == nil {
+		t.Error("empty hostname should fail")
+	}
+	cfg := fig10Config(t)
+	if err := cfg.AddAccessList(AccessList{Name: ""}); err == nil {
+		t.Error("unnamed ACL should fail")
+	}
+	if err := cfg.AddAccessList(AccessList{Name: "flow3"}); err == nil {
+		t.Error("duplicate ACL should fail")
+	}
+	if err := cfg.AddTunnel(Tunnel{ID: 0, DomainPath: []string{"a"}}); err == nil {
+		t.Error("tunnel ID 0 should fail")
+	}
+	if err := cfg.AddTunnel(Tunnel{ID: 9}); err == nil {
+		t.Error("empty path should fail")
+	}
+	if err := cfg.AddTunnel(Tunnel{ID: 1, DomainPath: []string{"a"}}); err == nil {
+		t.Error("duplicate tunnel should fail")
+	}
+	if err := cfg.BindPBR("nope", 1); err == nil {
+		t.Error("unknown ACL should fail")
+	}
+	if err := cfg.BindPBR("flow3", 99); err == nil {
+		t.Error("unknown tunnel should fail")
+	}
+	if _, err := cfg.AccessListByName("nope"); err == nil {
+		t.Error("unknown ACL lookup should fail")
+	}
+	if _, err := cfg.TunnelByID(99); err == nil {
+		t.Error("unknown tunnel lookup should fail")
+	}
+	if _, err := cfg.PBRTarget("nope"); err == nil {
+		t.Error("unbound ACL target should fail")
+	}
+}
+
+func TestEmitParseRoundTrip(t *testing.T) {
+	cfg := fig10Config(t)
+	text := cfg.Emit()
+	for _, want := range []string{
+		"hostname MIA",
+		"access-list flow3 permit 6 40.40.1.0/24 40.40.2.2 tos 8",
+		"domain-name MIA CAL CHI AMS",
+		"pbr flow3 tunnel 3",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Emit missing %q in:\n%s", want, text)
+		}
+	}
+	back, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Emit() != text {
+		t.Errorf("round trip drifted:\n--- original\n%s--- reparsed\n%s", text, back.Emit())
+	}
+	tun, err := back.TunnelByID(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tun.RouteID.Equal(gf2.FromUint64(0b1000011)) {
+		t.Errorf("routeID = %v", tun.RouteID)
+	}
+}
+
+func TestParseCommentsAndBlank(t *testing.T) {
+	text := `
+! freeRtr style comment
+# hash comment
+hostname EDGE
+
+access-list f permit 6 10.0.0.0/8 10.1.1.1 tos 4
+interface tunnel1 destination 2.2.2.2 domain-name A B routeid 101
+pbr f tunnel 1
+`
+	cfg, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Hostname != "EDGE" {
+		t.Errorf("hostname = %q", cfg.Hostname)
+	}
+	if id, _ := cfg.PBRTarget("f"); id != 1 {
+		t.Errorf("pbr target = %d", id)
+	}
+}
+
+func TestParsePBRBeforeDefinitions(t *testing.T) {
+	// Forward references resolve after the file is read.
+	text := `hostname E
+pbr f tunnel 1
+access-list f permit 6 10.0.0.0/8 10.1.1.1 tos 4
+interface tunnel1 destination 2.2.2.2 domain-name A B routeid 11
+`
+	cfg, err := Parse(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, _ := cfg.PBRTarget("f"); id != 1 {
+		t.Errorf("pbr target = %d", id)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                     // no hostname
+		"hostname a\nhostname b\n",             // duplicate hostname
+		"bogus directive\n",                    // unknown directive
+		"access-list f permit 6 a b tos 4\n",   // before hostname
+		"hostname e\naccess-list f permit 6\n", // malformed ACL
+		"hostname e\naccess-list f permit x a b tos 4\n",                        // bad proto
+		"hostname e\naccess-list f permit 6 a b tos x\n",                        // bad tos
+		"hostname e\ninterface tunnel1\n",                                       // malformed interface
+		"hostname e\ninterface tunnelx destination d domain-name A routeid 1\n", // bad id
+		"hostname e\ninterface tunnel1 destination d domain-name routeid 1\n",   // empty path
+		"hostname e\ninterface tunnel1 destination d domain-name A routeid z\n", // bad bits
+		"hostname e\npbr f tunnel x\n",                                          // bad pbr id
+		"hostname e\npbr f tunnel 1\n",                                          // dangling pbr
+		"hostname e\npbr f\n",                                                   // malformed pbr
+		"hostname e\ninterface tunnel1 before hostname\n",                       // malformed interface clause
+	}
+	for i, text := range cases {
+		if _, err := Parse(strings.NewReader(text)); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, text)
+		}
+	}
+}

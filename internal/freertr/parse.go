@@ -1,0 +1,132 @@
+package freertr
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/gf2"
+)
+
+// Parse reads a configuration in the text form produced by Emit. Blank
+// lines and lines starting with '!' or '#' (freeRtr/IOS comment styles)
+// are ignored. PBR bindings may reference ACLs and tunnels defined later
+// in the file; references are resolved after the whole file is read.
+func Parse(r io.Reader) (*RouterConfig, error) {
+	sc := bufio.NewScanner(r)
+	var cfg *RouterConfig
+	type pendingPBR struct {
+		acl    string
+		tunnel int
+		line   int
+	}
+	var pbrs []pendingPBR
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "hostname":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("freertr: line %d: hostname wants 1 argument", lineNo)
+			}
+			if cfg != nil {
+				return nil, fmt.Errorf("freertr: line %d: duplicate hostname", lineNo)
+			}
+			var err error
+			cfg, err = NewRouterConfig(fields[1])
+			if err != nil {
+				return nil, err
+			}
+		case "access-list":
+			if cfg == nil {
+				return nil, fmt.Errorf("freertr: line %d: access-list before hostname", lineNo)
+			}
+			// access-list NAME permit PROTO SRC DST tos TOS
+			if len(fields) != 8 || fields[2] != "permit" || fields[6] != "tos" {
+				return nil, fmt.Errorf("freertr: line %d: malformed access-list", lineNo)
+			}
+			proto, err := strconv.ParseUint(fields[3], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("freertr: line %d: protocol: %w", lineNo, err)
+			}
+			tos, err := strconv.ParseUint(fields[7], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("freertr: line %d: tos: %w", lineNo, err)
+			}
+			if err := cfg.AddAccessList(AccessList{
+				Name: fields[1], Proto: uint8(proto),
+				SrcNet: fields[4], DstIP: fields[5], ToS: uint8(tos),
+			}); err != nil {
+				return nil, fmt.Errorf("freertr: line %d: %w", lineNo, err)
+			}
+		case "interface":
+			if cfg == nil {
+				return nil, fmt.Errorf("freertr: line %d: interface before hostname", lineNo)
+			}
+			// interface tunnelN destination D domain-name R1 R2 ... routeid BITS
+			if len(fields) < 7 || !strings.HasPrefix(fields[1], "tunnel") ||
+				fields[2] != "destination" || fields[4] != "domain-name" {
+				return nil, fmt.Errorf("freertr: line %d: malformed interface", lineNo)
+			}
+			id, err := strconv.Atoi(strings.TrimPrefix(fields[1], "tunnel"))
+			if err != nil {
+				return nil, fmt.Errorf("freertr: line %d: tunnel id: %w", lineNo, err)
+			}
+			ridIdx := -1
+			for i, f := range fields {
+				if f == "routeid" {
+					ridIdx = i
+					break
+				}
+			}
+			if ridIdx < 0 || ridIdx != len(fields)-2 || ridIdx <= 5 {
+				return nil, fmt.Errorf("freertr: line %d: malformed routeid clause", lineNo)
+			}
+			rid, err := gf2.ParseBits(fields[ridIdx+1])
+			if err != nil {
+				return nil, fmt.Errorf("freertr: line %d: %w", lineNo, err)
+			}
+			path := make([]string, ridIdx-5)
+			copy(path, fields[5:ridIdx])
+			if err := cfg.AddTunnel(Tunnel{
+				ID: id, Destination: fields[3], DomainPath: path, RouteID: rid,
+			}); err != nil {
+				return nil, fmt.Errorf("freertr: line %d: %w", lineNo, err)
+			}
+		case "pbr":
+			if cfg == nil {
+				return nil, fmt.Errorf("freertr: line %d: pbr before hostname", lineNo)
+			}
+			// pbr ACL tunnel N
+			if len(fields) != 4 || fields[2] != "tunnel" {
+				return nil, fmt.Errorf("freertr: line %d: malformed pbr", lineNo)
+			}
+			id, err := strconv.Atoi(fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("freertr: line %d: pbr tunnel id: %w", lineNo, err)
+			}
+			pbrs = append(pbrs, pendingPBR{acl: fields[1], tunnel: id, line: lineNo})
+		default:
+			return nil, fmt.Errorf("freertr: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("freertr: reading config: %w", err)
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("freertr: config has no hostname")
+	}
+	for _, p := range pbrs {
+		if err := cfg.BindPBR(p.acl, p.tunnel); err != nil {
+			return nil, fmt.Errorf("freertr: line %d: %w", p.line, err)
+		}
+	}
+	return cfg, nil
+}

@@ -1,0 +1,144 @@
+package gf2
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// ErrDivisionByZero is returned when dividing or reducing by the zero
+// polynomial.
+var ErrDivisionByZero = errors.New("gf2: division by zero polynomial")
+
+// ErrNotCoprime is returned by ModInverse and CRT when the operands share a
+// nontrivial factor, so the requested inverse does not exist.
+var ErrNotCoprime = errors.New("gf2: polynomials are not coprime")
+
+// Mul returns the product p*q (carry-less multiplication).
+//
+// The implementation is word-sliced schoolbook multiplication: for every set
+// bit of the shorter operand it XORs in a shifted copy of the longer one.
+// Route identifiers in PolKA are products of a handful of node identifiers
+// of small degree, so quadratic multiplication is never the bottleneck; the
+// forwarding hot path uses only Mod.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	a, b := p, q
+	if a.Degree() > b.Degree() {
+		a, b = b, a
+	}
+	out := make([]uint64, len(a.w)+len(b.w))
+	for j, word := range a.w {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &= word - 1
+			shift := j*wordBits + bit
+			wordShift, bitShift := shift/wordBits, uint(shift%wordBits)
+			for i, v := range b.w {
+				out[i+wordShift] ^= v << bitShift
+				if bitShift > 0 {
+					out[i+wordShift+1] ^= v >> (wordBits - bitShift)
+				}
+			}
+		}
+	}
+	return Poly{w: trim(out)}
+}
+
+// DivMod returns the quotient and remainder of p divided by m, so that
+// p = q*m + r with deg(r) < deg(m). It panics if m is zero; use the checked
+// wrappers Div and Mod in library code paths that handle untrusted input.
+func (p Poly) DivMod(m Poly) (q, r Poly) {
+	if m.IsZero() {
+		panic(ErrDivisionByZero)
+	}
+	dm := m.Degree()
+	r = p
+	var quot Poly
+	for {
+		dr := r.Degree()
+		if dr < dm {
+			break
+		}
+		shift := dr - dm
+		quot = quot.ToggleBit(shift)
+		r = r.Add(m.Shl(shift))
+	}
+	return quot, r
+}
+
+// Div returns the quotient of p divided by m.
+func (p Poly) Div(m Poly) Poly {
+	q, _ := p.DivMod(m)
+	return q
+}
+
+// Mod returns the remainder of p divided by m. In PolKA this is the entire
+// forwarding operation: the output port at a core node with identifier s is
+// routeID.Mod(s).
+func (p Poly) Mod(m Poly) Poly {
+	_, r := p.DivMod(m)
+	return r
+}
+
+// GCD returns the greatest common divisor of p and q. The GCD of two
+// polynomials over a field is defined up to a scalar; over GF(2) the only
+// nonzero scalar is 1, so the result is canonical. GCD(0, 0) is 0.
+func GCD(p, q Poly) Poly {
+	for !q.IsZero() {
+		p, q = q, p.Mod(q)
+	}
+	return p
+}
+
+// ExtGCD returns g, u, v such that u*p + v*q = g = GCD(p, q). It is the
+// extended Euclidean algorithm used to compute the CRT basis for route
+// identifiers.
+func ExtGCD(p, q Poly) (g, u, v Poly) {
+	// Invariants: r0 = u0*p + v0*q, r1 = u1*p + v1*q.
+	r0, r1 := p, q
+	u0, u1 := One, Zero
+	v0, v1 := Zero, One
+	for !r1.IsZero() {
+		quot, rem := r0.DivMod(r1)
+		r0, r1 = r1, rem
+		u0, u1 = u1, u0.Add(quot.Mul(u1))
+		v0, v1 = v1, v0.Add(quot.Mul(v1))
+	}
+	return r0, u0, v0
+}
+
+// ModInverse returns the inverse of p modulo m, i.e. the polynomial v with
+// v*p ≡ 1 (mod m). It returns ErrNotCoprime when gcd(p, m) ≠ 1 and
+// ErrDivisionByZero when m is zero.
+func ModInverse(p, m Poly) (Poly, error) {
+	if m.IsZero() {
+		return Poly{}, ErrDivisionByZero
+	}
+	g, u, _ := ExtGCD(p.Mod(m), m)
+	if !g.Equal(One) {
+		return Poly{}, ErrNotCoprime
+	}
+	return u.Mod(m), nil
+}
+
+// MulMod returns p*q mod m without materializing a large intermediate for
+// high-degree operands: the product is reduced as it is accumulated.
+func MulMod(p, q, m Poly) Poly {
+	if m.IsZero() {
+		panic(ErrDivisionByZero)
+	}
+	return p.Mul(q).Mod(m)
+}
+
+// ModExp2k squares p modulo m k times, returning p^(2^k) mod m. Repeated
+// squaring is the core of the Rabin irreducibility test used for nodeID
+// assignment.
+func ModExp2k(p, m Poly, k int) Poly {
+	r := p.Mod(m)
+	for i := 0; i < k; i++ {
+		r = r.Mul(r).Mod(m)
+	}
+	return r
+}

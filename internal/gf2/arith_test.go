@@ -1,0 +1,139 @@
+package gf2
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperWorkedExample(t *testing.T) {
+	// Fig. 1 of the paper: node s2(t) = t^2+t+1, routeID = 10000 (t^4).
+	// The output port at s2 is routeID mod s2 = 2 (the polynomial t).
+	routeID := MustParseBits("10000")
+	s2 := FromUint64(0b111)
+	port := routeID.Mod(s2)
+	if v, _ := port.Uint64(); v != 2 {
+		t.Errorf("routeID 10000 mod (t^2+t+1) = %v (%d), want t (2)", port, v)
+	}
+}
+
+func TestModReturnsLowerDegree(t *testing.T) {
+	f := func(p, m Poly) bool {
+		if m.IsZero() {
+			return true
+		}
+		r := p.Mod(m)
+		return r.IsZero() || r.Degree() < m.Degree()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGCDProperties(t *testing.T) {
+	divides := func(d, p Poly) bool {
+		if d.IsZero() {
+			return p.IsZero()
+		}
+		return p.Mod(d).IsZero()
+	}
+	f := func(a, b Poly) bool {
+		g := GCD(a, b)
+		if a.IsZero() && b.IsZero() {
+			return g.IsZero()
+		}
+		return divides(g, a) && divides(g, b)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+	// gcd with a common factor.
+	c := FromUint64(0b111)
+	a := c.Mul(FromUint64(0b1011))
+	b := c.Mul(FromUint64(0b10011))
+	g := GCD(a, b)
+	if g.Mod(c).IsZero() == false || !a.Mod(g).IsZero() || !b.Mod(g).IsZero() {
+		t.Errorf("GCD(%v, %v) = %v does not contain common factor %v", a, b, g, c)
+	}
+}
+
+func TestExtGCDBezout(t *testing.T) {
+	f := func(a, b Poly) bool {
+		g, u, v := ExtGCD(a, b)
+		return u.Mul(a).Add(v.Mul(b)).Equal(g)
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModInverse(t *testing.T) {
+	m := FromUint64(0b1011) // t^3+t+1, irreducible: every nonzero residue invertible
+	for v := uint64(1); v < 8; v++ {
+		p := FromUint64(v)
+		inv, err := ModInverse(p, m)
+		if err != nil {
+			t.Fatalf("ModInverse(%v, %v): %v", p, m, err)
+		}
+		if got := p.Mul(inv).Mod(m); !got.Equal(One) {
+			t.Errorf("(%v)*(%v) mod %v = %v, want 1", p, inv, m, got)
+		}
+	}
+}
+
+func TestModInverseNotCoprime(t *testing.T) {
+	m := FromUint64(0b111).Mul(FromUint64(0b11)) // composite
+	if _, err := ModInverse(FromUint64(0b11), m); err != ErrNotCoprime {
+		t.Errorf("expected ErrNotCoprime, got %v", err)
+	}
+	if _, err := ModInverse(One, Zero); err != ErrDivisionByZero {
+		t.Errorf("expected ErrDivisionByZero, got %v", err)
+	}
+}
+
+func TestMulMod(t *testing.T) {
+	f := func(a, b, m Poly) bool {
+		if m.IsZero() {
+			return true
+		}
+		return MulMod(a, b, m).Equal(a.Mul(b).Mod(m))
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModExp2k(t *testing.T) {
+	m := FromUint64(0b10011) // t^4+t+1, irreducible
+	// In GF(16) = GF(2)[t]/(t^4+t+1): Frobenius applied 4 times is the identity,
+	// so a^(2^4) = a for all residues a.
+	for v := uint64(0); v < 16; v++ {
+		a := FromUint64(v)
+		if got := ModExp2k(a, m, 4); !got.Equal(a) {
+			t.Errorf("(%v)^16 mod %v = %v, want %v", a, m, got, a)
+		}
+	}
+	// One squaring is just the square.
+	a := FromUint64(0b110)
+	if got, want := ModExp2k(a, m, 1), a.Mul(a).Mod(m); !got.Equal(want) {
+		t.Errorf("ModExp2k(a, m, 1) = %v, want %v", got, want)
+	}
+	if got := ModExp2k(a, m, 0); !got.Equal(a.Mod(m)) {
+		t.Errorf("ModExp2k(a, m, 0) = %v, want a", got)
+	}
+}
+
+func TestDivModLargeOperands(t *testing.T) {
+	// Multi-word division: (t^200 + t^3) / (t^64 + t + 1).
+	p := FromCoeffs(200, 3)
+	m := FromCoeffs(64, 1, 0)
+	q, r := p.DivMod(m)
+	if !q.Mul(m).Add(r).Equal(p) {
+		t.Error("division identity violated for multi-word operands")
+	}
+	if r.Degree() >= m.Degree() {
+		t.Errorf("remainder degree %d >= modulus degree %d", r.Degree(), m.Degree())
+	}
+}

@@ -1,0 +1,104 @@
+package gf2
+
+import "fmt"
+
+// Reducer computes remainders modulo a fixed polynomial using the
+// table-driven byte-at-a-time algorithm of CRC hardware. PolKA's data-plane
+// insight is that programmable switches already contain CRC units, and the
+// polynomial mod that forwards a packet (port = routeID mod nodeID) can be
+// executed on them; Reducer is the software model of that reuse. The modulus
+// must have degree between 1 and 56 so that the shift register plus one
+// input byte fits in a uint64, which covers every realistic nodeID (node
+// identifiers are small irreducible polynomials).
+type Reducer struct {
+	mod  uint64 // modulus coefficient bits
+	deg  int    // degree of the modulus
+	mask uint64 // (1<<deg)-1, masks the remainder register
+	tbl  [256]uint64
+}
+
+// MaxReducerDegree is the largest modulus degree NewReducer accepts.
+const MaxReducerDegree = 56
+
+// NewReducer builds the 256-entry reduction table for modulus m.
+func NewReducer(m Poly) (*Reducer, error) {
+	d := m.Degree()
+	if d < 1 {
+		return nil, fmt.Errorf("gf2: reducer modulus must have degree ≥ 1, got %v", m)
+	}
+	if d > MaxReducerDegree {
+		return nil, fmt.Errorf("gf2: reducer modulus degree %d exceeds %d", d, MaxReducerDegree)
+	}
+	bits, _ := m.Uint64()
+	r := &Reducer{mod: bits, deg: d, mask: (uint64(1) << d) - 1}
+	// tbl[b] = (b * t^deg) mod m: the reduction of the top byte of the
+	// shift register once it is pushed fully above the modulus degree.
+	for b := 0; b < 256; b++ {
+		rem, _ := FromUint64(uint64(b)).Shl(d).Mod(m).Uint64()
+		r.tbl[b] = rem
+	}
+	return r, nil
+}
+
+// Degree returns the degree of the reducer's modulus.
+func (r *Reducer) Degree() int { return r.deg }
+
+// Modulus returns the reducer's modulus polynomial.
+func (r *Reducer) Modulus() Poly { return FromUint64(r.mod) }
+
+// ReduceBytes reduces the polynomial whose coefficient string is the given
+// big-endian byte sequence (first byte holds the most significant
+// coefficients). It returns the remainder's coefficient bits. This mirrors
+// how a switch CRC unit consumes the routeID field from the packet header.
+func (r *Reducer) ReduceBytes(msb []byte) uint64 {
+	reg := uint64(0)
+	if r.deg >= 8 {
+		// Invariant: reg = (bits consumed so far) mod m. Each step shifts
+		// the register up one byte, reduces the byte that crossed t^deg
+		// via the table, and feeds the next input byte in at the bottom.
+		for _, b := range msb {
+			hi := byte(reg >> (r.deg - 8))
+			reg = ((reg << 8) & r.mask) ^ r.tbl[hi] ^ uint64(b)
+		}
+		return reg
+	}
+	// Narrow register (degree < 8): fall back to bit-serial feeding, still
+	// table-free but exact.
+	top := uint64(1) << (r.deg - 1)
+	bits, _ := r.Modulus().Uint64()
+	for _, b := range msb {
+		for i := 7; i >= 0; i-- {
+			in := (uint64(b) >> i) & 1
+			carry := reg & top
+			reg = ((reg << 1) | in) & r.mask
+			if carry != 0 {
+				reg ^= bits & r.mask
+			}
+		}
+	}
+	return reg
+}
+
+// Reduce returns p mod m for the reducer's modulus m, as a polynomial. It
+// is equivalent to p.Mod(m) but runs in time linear in the byte length of p
+// with byte-wide steps.
+func (r *Reducer) Reduce(p Poly) Poly {
+	return FromUint64(r.ReduceBytes(bigEndianBytes(p)))
+}
+
+// bigEndianBytes serializes p's coefficient string most-significant byte
+// first with no leading zero bytes (the zero polynomial yields nil).
+func bigEndianBytes(p Poly) []byte {
+	if p.IsZero() {
+		return nil
+	}
+	n := p.Degree()/8 + 1
+	out := make([]byte, n)
+	w := p.Words()
+	for i := 0; i < n; i++ {
+		byteIdx := n - 1 - i // i-th least significant byte
+		shift := uint(i%8) * 8
+		out[byteIdx] = byte(w[i/8] >> shift)
+	}
+	return out
+}

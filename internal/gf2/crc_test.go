@@ -1,0 +1,163 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReducerMatchesMod(t *testing.T) {
+	moduli := []Poly{
+		FromUint64(0b11),          // degree 1
+		FromUint64(0b111),         // degree 2
+		FromUint64(0b1011),        // degree 3
+		FromUint64(0b10011),       // degree 4 (CRC-4-like)
+		FromCoeffs(8, 4, 3, 1, 0), // degree 8
+		FromCoeffs(16, 12, 5, 0),  // CRC-16-CCITT polynomial
+		FromCoeffs(32, 26, 23, 22, 16, 12, 11, 10, 8, 7, 5, 4, 2, 1, 0), // CRC-32
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, m := range moduli {
+		red, err := NewReducer(m)
+		if err != nil {
+			t.Fatalf("NewReducer(%v): %v", m, err)
+		}
+		if red.Degree() != m.Degree() {
+			t.Errorf("Degree() = %d, want %d", red.Degree(), m.Degree())
+		}
+		if !red.Modulus().Equal(m) {
+			t.Errorf("Modulus() = %v, want %v", red.Modulus(), m)
+		}
+		for trial := 0; trial < 200; trial++ {
+			w := make([]uint64, 1+rng.Intn(3))
+			for i := range w {
+				w[i] = rng.Uint64()
+			}
+			p := FromWords(w)
+			want := p.Mod(m)
+			got := red.Reduce(p)
+			if !got.Equal(want) {
+				t.Fatalf("modulus %v: Reduce(%v) = %v, want %v", m, p, got, want)
+			}
+		}
+		// Edge cases.
+		if !red.Reduce(Zero).IsZero() {
+			t.Errorf("modulus %v: Reduce(0) != 0", m)
+		}
+		if got, want := red.Reduce(m), Zero; !got.Equal(want) {
+			t.Errorf("modulus %v: Reduce(m) = %v, want 0", m, got)
+		}
+	}
+}
+
+func TestReducerQuick(t *testing.T) {
+	m := FromCoeffs(16, 12, 5, 0)
+	red, err := NewReducer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(p Poly) bool {
+		return red.Reduce(p).Equal(p.Mod(m))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReducerRejectsBadModuli(t *testing.T) {
+	if _, err := NewReducer(Zero); err == nil {
+		t.Error("zero modulus should fail")
+	}
+	if _, err := NewReducer(One); err == nil {
+		t.Error("degree-0 modulus should fail")
+	}
+	if _, err := NewReducer(FromCoeffs(57)); err == nil {
+		t.Error("degree-57 modulus should fail")
+	}
+	if _, err := NewReducer(FromCoeffs(56, 0)); err != nil {
+		t.Errorf("degree-56 modulus should work: %v", err)
+	}
+}
+
+func TestBigEndianBytes(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want []byte
+	}{
+		{Zero, nil},
+		{One, []byte{0x01}},
+		{FromUint64(0x1FF), []byte{0x01, 0xFF}},
+		{FromCoeffs(64), []byte{0x01, 0, 0, 0, 0, 0, 0, 0, 0}},
+	}
+	for _, c := range cases {
+		got := bigEndianBytes(c.p)
+		if len(got) != len(c.want) {
+			t.Errorf("bigEndianBytes(%v) = %x, want %x", c.p, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("bigEndianBytes(%v) = %x, want %x", c.p, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkModNaive(b *testing.B) {
+	routeID := FromWords([]uint64{0xDEADBEEFCAFEBABE, 0x0123456789ABCDEF})
+	nodeID := FromCoeffs(16, 12, 5, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = routeID.Mod(nodeID)
+	}
+}
+
+func BenchmarkModCRCTable(b *testing.B) {
+	routeID := FromWords([]uint64{0xDEADBEEFCAFEBABE, 0x0123456789ABCDEF})
+	nodeID := FromCoeffs(16, 12, 5, 0)
+	red, err := NewReducer(nodeID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := bigEndianBytes(routeID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = red.ReduceBytes(buf)
+	}
+}
+
+func BenchmarkCRT8Hops(b *testing.B) {
+	moduli := IrreducibleSequence(4, 8)
+	residues := make([]Poly, len(moduli))
+	for i := range residues {
+		residues[i] = FromUint64(uint64(i + 1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CRT(residues, moduli); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCRTBasisSolve8Hops(b *testing.B) {
+	moduli := IrreducibleSequence(4, 8)
+	basis, err := NewCRTBasis(moduli)
+	if err != nil {
+		b.Fatal(err)
+	}
+	residues := make([]Poly, len(moduli))
+	for i := range residues {
+		residues[i] = FromUint64(uint64(i + 1))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := basis.Solve(residues); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package gf2
+
+import "fmt"
+
+// CRT solves the simultaneous congruence system
+//
+//	R ≡ residues[i]  (mod moduli[i])   for all i
+//
+// by the Chinese Remainder Theorem over GF(2)[t] and returns the unique
+// solution R with deg(R) < Σ deg(moduli[i]).
+//
+// This is the controller-side route computation of PolKA: moduli are the
+// node identifiers s_i(t) along the path and residues are the desired
+// output-port polynomials o_i(t); the returned R is the routeID embedded in
+// the packet. The moduli must be pairwise coprime (distinct irreducible
+// nodeIDs guarantee this) and each residue must have degree lower than its
+// modulus.
+func CRT(residues, moduli []Poly) (Poly, error) {
+	if len(residues) != len(moduli) {
+		return Poly{}, fmt.Errorf("gf2: CRT got %d residues but %d moduli", len(residues), len(moduli))
+	}
+	if len(moduli) == 0 {
+		return Poly{}, fmt.Errorf("gf2: CRT needs at least one congruence")
+	}
+	m := One
+	for i, mi := range moduli {
+		if mi.Degree() < 1 {
+			return Poly{}, fmt.Errorf("gf2: CRT modulus %d (%v) must have degree ≥ 1", i, mi)
+		}
+		if residues[i].Degree() >= mi.Degree() {
+			return Poly{}, fmt.Errorf("gf2: CRT residue %d (%v) has degree ≥ its modulus (%v)", i, residues[i], mi)
+		}
+		m = m.Mul(mi)
+	}
+	var r Poly
+	for i, mi := range moduli {
+		ni := m.Div(mi) // product of all other moduli
+		inv, err := ModInverse(ni, mi)
+		if err != nil {
+			return Poly{}, fmt.Errorf("gf2: CRT moduli %d not coprime with the rest: %w", i, err)
+		}
+		// Term ≡ residues[i] (mod mi) and ≡ 0 (mod every other modulus).
+		r = r.Add(residues[i].Mul(ni).Mul(inv))
+	}
+	return r.Mod(m), nil
+}
+
+// CRTBasis precomputes, for a fixed set of pairwise coprime moduli, the
+// basis polynomials b_i with b_i ≡ 1 (mod m_i) and b_i ≡ 0 (mod m_j), j≠i.
+// Given the basis, a routeID for any choice of output ports is a simple
+// multiply-accumulate, which is how a PolKA controller amortizes route
+// computation over the many paths that share the same core nodes.
+type CRTBasis struct {
+	moduli  []Poly
+	basis   []Poly
+	product Poly
+}
+
+// NewCRTBasis builds the reusable basis for the given pairwise coprime
+// moduli.
+func NewCRTBasis(moduli []Poly) (*CRTBasis, error) {
+	if len(moduli) == 0 {
+		return nil, fmt.Errorf("gf2: CRT basis needs at least one modulus")
+	}
+	m := One
+	for i, mi := range moduli {
+		if mi.Degree() < 1 {
+			return nil, fmt.Errorf("gf2: CRT basis modulus %d (%v) must have degree ≥ 1", i, mi)
+		}
+		m = m.Mul(mi)
+	}
+	basis := make([]Poly, len(moduli))
+	for i, mi := range moduli {
+		ni := m.Div(mi)
+		inv, err := ModInverse(ni, mi)
+		if err != nil {
+			return nil, fmt.Errorf("gf2: CRT basis moduli %d not coprime with the rest: %w", i, err)
+		}
+		basis[i] = ni.Mul(inv).Mod(m)
+	}
+	ms := make([]Poly, len(moduli))
+	copy(ms, moduli)
+	return &CRTBasis{moduli: ms, basis: basis, product: m}, nil
+}
+
+// Moduli returns a copy of the moduli the basis was built for, in order.
+func (b *CRTBasis) Moduli() []Poly {
+	out := make([]Poly, len(b.moduli))
+	copy(out, b.moduli)
+	return out
+}
+
+// Product returns the product of all moduli; solutions are unique modulo
+// this polynomial.
+func (b *CRTBasis) Product() Poly { return b.product }
+
+// Solve combines the residues with the precomputed basis, returning the
+// unique R with R ≡ residues[i] (mod moduli[i]) and deg(R) < deg(Product).
+func (b *CRTBasis) Solve(residues []Poly) (Poly, error) {
+	if len(residues) != len(b.moduli) {
+		return Poly{}, fmt.Errorf("gf2: CRT basis got %d residues for %d moduli", len(residues), len(b.moduli))
+	}
+	var r Poly
+	for i, res := range residues {
+		if res.Degree() >= b.moduli[i].Degree() {
+			return Poly{}, fmt.Errorf("gf2: CRT residue %d (%v) has degree ≥ its modulus (%v)", i, res, b.moduli[i])
+		}
+		r = r.Add(res.Mul(b.basis[i]))
+	}
+	return r.Mod(b.product), nil
+}

@@ -1,0 +1,101 @@
+package gf2
+
+import "fmt"
+
+// IsIrreducible reports whether p is irreducible over GF(2) using Rabin's
+// test: a polynomial f of degree n is irreducible iff
+//
+//	t^(2^n) ≡ t (mod f), and
+//	gcd(t^(2^(n/q)) - t, f) = 1 for every prime divisor q of n.
+//
+// Degree-0 polynomials (the constants 0 and 1) and the zero polynomial are
+// not irreducible.
+func IsIrreducible(p Poly) bool {
+	n := p.Degree()
+	if n < 1 {
+		return false
+	}
+	if n == 1 {
+		// t and t+1 are the two irreducible polynomials of degree 1.
+		return true
+	}
+	// A reducible polynomial with zero constant term is divisible by t;
+	// catch it cheaply (t itself has degree 1 and was handled above).
+	if p.Bit(0) == 0 {
+		return false
+	}
+	for _, q := range primeDivisors(n) {
+		h := ModExp2k(T, p, n/q).Add(T.Mod(p))
+		if !GCD(h, p).Equal(One) {
+			return false
+		}
+	}
+	return ModExp2k(T, p, n).Equal(T.Mod(p))
+}
+
+// primeDivisors returns the distinct prime divisors of n in increasing
+// order. n is a polynomial degree, so trial division is plenty fast.
+func primeDivisors(n int) []int {
+	var ps []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			ps = append(ps, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// IrreduciblesOfDegree returns all irreducible polynomials of exactly the
+// given degree, in increasing coefficient-string order. Degree must be at
+// least 1. The count matches the necklace-counting formula
+// (1/n)·Σ_{d|n} μ(n/d)·2^d; e.g. 2 of degree 1, 1 of degree 2, 2 of degree
+// 3, 3 of degree 4, 6 of degree 5.
+func IrreduciblesOfDegree(degree int) []Poly {
+	if degree < 1 {
+		panic(fmt.Sprintf("gf2: invalid irreducible degree %d", degree))
+	}
+	if degree > 30 {
+		panic(fmt.Sprintf("gf2: refusing to enumerate all irreducibles of degree %d", degree))
+	}
+	var out []Poly
+	base := uint64(1) << degree
+	if degree == 1 {
+		return []Poly{FromUint64(0b10), FromUint64(0b11)} // t, t+1
+	}
+	// Only odd polynomials (constant term 1) can be irreducible for
+	// degree ≥ 2, so step by 2.
+	for v := base + 1; v < base<<1; v += 2 {
+		p := FromUint64(v)
+		if IsIrreducible(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// IrreducibleSequence returns count distinct irreducible polynomials, each
+// of degree at least minDegree, enumerated in increasing order. Distinct
+// irreducible polynomials are pairwise coprime, which is exactly the
+// property PolKA needs when assigning node identifiers: the CRT over the
+// nodeIDs of any subset of nodes is then well defined.
+func IrreducibleSequence(minDegree, count int) []Poly {
+	if minDegree < 1 {
+		minDegree = 1
+	}
+	out := make([]Poly, 0, count)
+	for d := minDegree; len(out) < count; d++ {
+		for _, p := range IrreduciblesOfDegree(d) {
+			out = append(out, p)
+			if len(out) == count {
+				break
+			}
+		}
+	}
+	return out
+}

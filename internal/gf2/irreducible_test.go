@@ -1,0 +1,109 @@
+package gf2
+
+import "testing"
+
+func TestIsIrreducibleKnownPolynomials(t *testing.T) {
+	irreducible := []Poly{
+		T,                         // t
+		FromUint64(0b11),          // t+1
+		FromUint64(0b111),         // t^2+t+1 (the only irreducible quadratic)
+		FromUint64(0b1011),        // t^3+t+1
+		FromUint64(0b1101),        // t^3+t^2+1
+		FromUint64(0b10011),       // t^4+t+1
+		FromUint64(0b100101),      // t^5+t^2+1
+		FromCoeffs(8, 4, 3, 1, 0), // the AES polynomial t^8+t^4+t^3+t+1
+	}
+	for _, p := range irreducible {
+		if !IsIrreducible(p) {
+			t.Errorf("%v should be irreducible", p)
+		}
+	}
+	reducible := []Poly{
+		Zero,
+		One,
+		FromUint64(0b101),   // t^2+1 = (t+1)^2
+		FromUint64(0b110),   // t^2+t = t(t+1)
+		FromUint64(0b1001),  // t^3+1 = (t+1)(t^2+t+1)
+		FromUint64(0b11111), // t^4+t^3+t^2+t+1 = (t^2+t+1)... actually check below
+		FromUint64(0b111).Mul(FromUint64(0b1011)),
+	}
+	// t^4+t^3+t^2+t+1 divides t^5-1; it is irreducible over GF(2)? No:
+	// its roots are primitive 5th roots of unity, and ord_5(2)=4, so it IS
+	// irreducible. Correct the expectation:
+	reducible = reducible[:len(reducible)-2]
+	if !IsIrreducible(FromUint64(0b11111)) {
+		t.Error("t^4+t^3+t^2+t+1 should be irreducible (ord_5(2) = 4)")
+	}
+	reducible = append(reducible, FromUint64(0b111).Mul(FromUint64(0b1011)))
+	for _, p := range reducible {
+		if IsIrreducible(p) {
+			t.Errorf("%v should be reducible", p)
+		}
+	}
+}
+
+func TestIrreduciblesOfDegreeCounts(t *testing.T) {
+	// Necklace-counting values: number of monic irreducible polynomials of
+	// degree n over GF(2) is (1/n) Σ_{d|n} μ(n/d) 2^d.
+	wantCounts := map[int]int{1: 2, 2: 1, 3: 2, 4: 3, 5: 6, 6: 9, 7: 18, 8: 30, 10: 99}
+	for deg, want := range wantCounts {
+		got := IrreduciblesOfDegree(deg)
+		if len(got) != want {
+			t.Errorf("degree %d: %d irreducibles, want %d", deg, len(got), want)
+		}
+		for _, p := range got {
+			if p.Degree() != deg {
+				t.Errorf("degree %d enumeration produced %v of degree %d", deg, p, p.Degree())
+			}
+		}
+		// Increasing order, no duplicates.
+		for i := 1; i < len(got); i++ {
+			if got[i-1].Cmp(got[i]) >= 0 {
+				t.Errorf("degree %d enumeration not strictly increasing at %d", deg, i)
+			}
+		}
+	}
+}
+
+func TestIrreducibleSequencePairwiseCoprime(t *testing.T) {
+	seq := IrreducibleSequence(3, 25)
+	if len(seq) != 25 {
+		t.Fatalf("got %d polynomials, want 25", len(seq))
+	}
+	for i := range seq {
+		if seq[i].Degree() < 3 {
+			t.Errorf("element %d (%v) has degree < 3", i, seq[i])
+		}
+		if !IsIrreducible(seq[i]) {
+			t.Errorf("element %d (%v) not irreducible", i, seq[i])
+		}
+		for j := i + 1; j < len(seq); j++ {
+			if !GCD(seq[i], seq[j]).Equal(One) {
+				t.Errorf("elements %d and %d not coprime: %v, %v", i, j, seq[i], seq[j])
+			}
+		}
+	}
+}
+
+func TestIrreducibleSequenceMinDegreeClamped(t *testing.T) {
+	seq := IrreducibleSequence(0, 3)
+	if len(seq) != 3 {
+		t.Fatalf("got %d, want 3", len(seq))
+	}
+	if !seq[0].Equal(T) {
+		t.Errorf("first irreducible should be t, got %v", seq[0])
+	}
+}
+
+func TestIrreduciblesOfDegreePanics(t *testing.T) {
+	for _, deg := range []int{0, -1, 31} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("IrreduciblesOfDegree(%d) should panic", deg)
+				}
+			}()
+			IrreduciblesOfDegree(deg)
+		}()
+	}
+}

@@ -1,0 +1,315 @@
+// Package gf2 implements arithmetic on polynomials over GF(2), the binary
+// Galois field. Polynomials are the algebraic substrate of the PolKA source
+// routing architecture: every core node is identified by an irreducible
+// polynomial (nodeID), every route is a polynomial computed with the Chinese
+// Remainder Theorem (routeID), and forwarding at a node is the remainder of
+// dividing the routeID by the nodeID.
+//
+// A polynomial sum_i c_i * t^i with c_i in {0,1} is represented by the bit
+// string of its coefficients: bit i of the backing words is the coefficient
+// of t^i. Addition is XOR, multiplication is carry-less multiplication, and
+// division is the shift-and-subtract long division familiar from CRC codes.
+//
+// Values of type Poly are immutable: all operations return new values, so a
+// Poly may be shared freely between goroutines.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Poly is a polynomial over GF(2). The zero value is the zero polynomial.
+type Poly struct {
+	// w holds coefficient bits, little-endian: bit i of w[j] is the
+	// coefficient of t^(64j+i). Invariant: the slice is normalized, i.e.
+	// the last word (if any) is nonzero.
+	w []uint64
+}
+
+// Zero is the zero polynomial.
+var Zero = Poly{}
+
+// One is the constant polynomial 1.
+var One = FromUint64(1)
+
+// T is the monomial t.
+var T = FromUint64(2)
+
+// FromUint64 returns the polynomial whose coefficient bit string is v:
+// bit i of v is the coefficient of t^i. FromUint64(0b1011) = t^3 + t + 1.
+func FromUint64(v uint64) Poly {
+	if v == 0 {
+		return Poly{}
+	}
+	return Poly{w: []uint64{v}}
+}
+
+// FromWords returns the polynomial whose coefficients are given by the
+// little-endian word slice: bit i of words[j] is the coefficient of
+// t^(64j+i). The slice is copied.
+func FromWords(words []uint64) Poly {
+	w := make([]uint64, len(words))
+	copy(w, words)
+	return Poly{w: trim(w)}
+}
+
+// FromCoeffs returns the polynomial with the given exponents set. Duplicate
+// exponents cancel (characteristic 2). FromCoeffs(3, 1, 0) = t^3 + t + 1.
+func FromCoeffs(exponents ...int) Poly {
+	var p Poly
+	for _, e := range exponents {
+		if e < 0 {
+			panic(fmt.Sprintf("gf2: negative exponent %d", e))
+		}
+		p = p.ToggleBit(e)
+	}
+	return p
+}
+
+// ParseBits parses a polynomial from its coefficient bit string written
+// most-significant coefficient first, e.g. "10011" = t^4 + t + 1. Spaces and
+// underscores are ignored. It is the textual form the PolKA paper uses for
+// route identifiers (routeID "10000" = t^4).
+func ParseBits(s string) (Poly, error) {
+	var p Poly
+	seen := 0
+	for _, r := range s {
+		switch r {
+		case '0', '1':
+			p = p.Shl(1)
+			if r == '1' {
+				p = p.ToggleBit(0)
+			}
+			seen++
+		case ' ', '_':
+		default:
+			return Poly{}, fmt.Errorf("gf2: invalid bit character %q in %q", r, s)
+		}
+	}
+	if seen == 0 {
+		return Poly{}, fmt.Errorf("gf2: empty bit string")
+	}
+	return p, nil
+}
+
+// MustParseBits is ParseBits that panics on error, for use in tests and
+// package-level construction of well-known constants.
+func MustParseBits(s string) Poly {
+	p, err := ParseBits(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// trim removes trailing zero words, normalizing the representation.
+func trim(w []uint64) []uint64 {
+	n := len(w)
+	for n > 0 && w[n-1] == 0 {
+		n--
+	}
+	if n == 0 {
+		return nil
+	}
+	return w[:n]
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.w) == 0 }
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	if len(p.w) == 0 {
+		return -1
+	}
+	top := p.w[len(p.w)-1]
+	return (len(p.w)-1)*wordBits + bits.Len64(top) - 1
+}
+
+// Bit returns the coefficient of t^i as 0 or 1.
+func (p Poly) Bit(i int) uint {
+	if i < 0 {
+		return 0
+	}
+	j := i / wordBits
+	if j >= len(p.w) {
+		return 0
+	}
+	return uint(p.w[j]>>(i%wordBits)) & 1
+}
+
+// ToggleBit returns p with the coefficient of t^i flipped.
+func (p Poly) ToggleBit(i int) Poly {
+	j := i / wordBits
+	w := make([]uint64, max(len(p.w), j+1))
+	copy(w, p.w)
+	w[j] ^= 1 << (i % wordBits)
+	return Poly{w: trim(w)}
+}
+
+// Words returns a copy of the little-endian coefficient words of p.
+func (p Poly) Words() []uint64 {
+	w := make([]uint64, len(p.w))
+	copy(w, p.w)
+	return w
+}
+
+// Uint64 returns the coefficient bits of p as a uint64 and reports whether
+// they fit (degree < 64).
+func (p Poly) Uint64() (uint64, bool) {
+	switch len(p.w) {
+	case 0:
+		return 0, true
+	case 1:
+		return p.w[0], true
+	default:
+		return 0, false
+	}
+}
+
+// Equal reports whether p and q are the same polynomial.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.w) != len(q.w) {
+		return false
+	}
+	for i := range p.w {
+		if p.w[i] != q.w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Cmp compares p and q by degree, then lexicographically by coefficients.
+// It returns -1, 0 or +1. The ordering is the usual integer ordering of the
+// coefficient bit strings, which is how irreducible polynomials are
+// enumerated for nodeID assignment.
+func (p Poly) Cmp(q Poly) int {
+	if len(p.w) != len(q.w) {
+		if len(p.w) < len(q.w) {
+			return -1
+		}
+		return 1
+	}
+	for i := len(p.w) - 1; i >= 0; i-- {
+		if p.w[i] != q.w[i] {
+			if p.w[i] < q.w[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// Add returns p + q. In GF(2) addition and subtraction coincide (XOR).
+func (p Poly) Add(q Poly) Poly {
+	a, b := p.w, q.w
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	w := make([]uint64, len(a))
+	copy(w, a)
+	for i := range b {
+		w[i] ^= b[i]
+	}
+	return Poly{w: trim(w)}
+}
+
+// Shl returns p * t^k (left shift of the coefficient string by k bits).
+func (p Poly) Shl(k int) Poly {
+	if k < 0 {
+		panic("gf2: negative shift")
+	}
+	if p.IsZero() || k == 0 {
+		return p
+	}
+	wordShift, bitShift := k/wordBits, uint(k%wordBits)
+	w := make([]uint64, len(p.w)+wordShift+1)
+	for i := len(p.w) - 1; i >= 0; i-- {
+		v := p.w[i]
+		w[i+wordShift] |= v << bitShift
+		if bitShift > 0 {
+			w[i+wordShift+1] |= v >> (wordBits - bitShift)
+		}
+	}
+	return Poly{w: trim(w)}
+}
+
+// Shr returns p / t^k discarding the remainder (right shift by k bits).
+func (p Poly) Shr(k int) Poly {
+	if k < 0 {
+		panic("gf2: negative shift")
+	}
+	if p.IsZero() || k == 0 {
+		return p
+	}
+	wordShift, bitShift := k/wordBits, uint(k%wordBits)
+	if wordShift >= len(p.w) {
+		return Poly{}
+	}
+	w := make([]uint64, len(p.w)-wordShift)
+	for i := range w {
+		w[i] = p.w[i+wordShift] >> bitShift
+		if bitShift > 0 && i+wordShift+1 < len(p.w) {
+			w[i] |= p.w[i+wordShift+1] << (wordBits - bitShift)
+		}
+	}
+	return Poly{w: trim(w)}
+}
+
+// String renders p in algebraic notation, e.g. "t^3 + t + 1", matching the
+// notation used in the PolKA papers. The zero polynomial renders as "0".
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	var b strings.Builder
+	first := true
+	for i := p.Degree(); i >= 0; i-- {
+		if p.Bit(i) == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" + ")
+		}
+		first = false
+		switch i {
+		case 0:
+			b.WriteString("1")
+		case 1:
+			b.WriteString("t")
+		default:
+			fmt.Fprintf(&b, "t^%d", i)
+		}
+	}
+	return b.String()
+}
+
+// BitString renders the coefficient string of p most-significant first,
+// e.g. t^4 renders as "10000". The zero polynomial renders as "0".
+func (p Poly) BitString() string {
+	if p.IsZero() {
+		return "0"
+	}
+	d := p.Degree()
+	var b strings.Builder
+	b.Grow(d + 1)
+	for i := d; i >= 0; i-- {
+		b.WriteByte('0' + byte(p.Bit(i)))
+	}
+	return b.String()
+}
+
+// Weight returns the number of nonzero coefficients of p.
+func (p Poly) Weight() int {
+	n := 0
+	for _, w := range p.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

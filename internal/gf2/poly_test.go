@@ -1,0 +1,232 @@
+package gf2
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Generate lets testing/quick produce random polynomials of bounded size.
+func (Poly) Generate(r *rand.Rand, size int) reflect.Value {
+	nWords := r.Intn(3) + 1
+	w := make([]uint64, nWords)
+	for i := range w {
+		w[i] = r.Uint64()
+	}
+	// Bias toward small polynomials sometimes, zero occasionally.
+	switch r.Intn(5) {
+	case 0:
+		w = w[:1]
+		w[0] &= 0xFF
+	case 1:
+		w = nil
+	}
+	return reflect.ValueOf(FromWords(w))
+}
+
+func TestFromUint64AndDegree(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		deg  int
+		str  string
+		bits string
+	}{
+		{0, -1, "0", "0"},
+		{1, 0, "1", "1"},
+		{0b10, 1, "t", "10"},
+		{0b11, 1, "t + 1", "11"},
+		{0b111, 2, "t^2 + t + 1", "111"},
+		{0b1011, 3, "t^3 + t + 1", "1011"},
+		{0b10000, 4, "t^4", "10000"},
+		{0b1000110, 6, "t^6 + t^2 + t", "1000110"},
+	}
+	for _, c := range cases {
+		p := FromUint64(c.v)
+		if got := p.Degree(); got != c.deg {
+			t.Errorf("FromUint64(%#b).Degree() = %d, want %d", c.v, got, c.deg)
+		}
+		if got := p.String(); got != c.str {
+			t.Errorf("FromUint64(%#b).String() = %q, want %q", c.v, got, c.str)
+		}
+		if got := p.BitString(); got != c.bits {
+			t.Errorf("FromUint64(%#b).BitString() = %q, want %q", c.v, got, c.bits)
+		}
+	}
+}
+
+func TestParseBits(t *testing.T) {
+	p, err := ParseBits("10000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Equal(FromCoeffs(4)) {
+		t.Errorf("ParseBits(10000) = %v, want t^4", p)
+	}
+	if _, err := ParseBits(""); err == nil {
+		t.Error("ParseBits(\"\") should fail")
+	}
+	if _, err := ParseBits("10x1"); err == nil {
+		t.Error("ParseBits with invalid rune should fail")
+	}
+	spaced, err := ParseBits("1 0000")
+	if err != nil || !spaced.Equal(p) {
+		t.Errorf("ParseBits with spaces: got %v, %v", spaced, err)
+	}
+}
+
+func TestFromCoeffsCancels(t *testing.T) {
+	// Characteristic 2: repeated exponents cancel pairwise.
+	if got := FromCoeffs(3, 3); !got.IsZero() {
+		t.Errorf("FromCoeffs(3,3) = %v, want 0", got)
+	}
+	if got := FromCoeffs(3, 3, 3); !got.Equal(FromCoeffs(3)) {
+		t.Errorf("FromCoeffs(3,3,3) = %v, want t^3", got)
+	}
+}
+
+func TestShlShrInverse(t *testing.T) {
+	f := func(p Poly, kRaw uint8) bool {
+		k := int(kRaw % 130)
+		return p.Shl(k).Shr(k).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShlIsMulByT(t *testing.T) {
+	f := func(p Poly) bool {
+		return p.Shl(1).Equal(p.Mul(T))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddProperties(t *testing.T) {
+	comm := func(a, b Poly) bool { return a.Add(b).Equal(b.Add(a)) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("add not commutative: %v", err)
+	}
+	selfInverse := func(a Poly) bool { return a.Add(a).IsZero() }
+	if err := quick.Check(selfInverse, nil); err != nil {
+		t.Errorf("a+a != 0: %v", err)
+	}
+	assoc := func(a, b, c Poly) bool {
+		return a.Add(b).Add(c).Equal(a.Add(b.Add(c)))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("add not associative: %v", err)
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	comm := func(a, b Poly) bool { return a.Mul(b).Equal(b.Mul(a)) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("mul not commutative: %v", err)
+	}
+	distrib := func(a, b, c Poly) bool {
+		return a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c)))
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Errorf("mul not distributive: %v", err)
+	}
+	identity := func(a Poly) bool { return a.Mul(One).Equal(a) }
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("a*1 != a: %v", err)
+	}
+	degrees := func(a, b Poly) bool {
+		if a.IsZero() || b.IsZero() {
+			return a.Mul(b).IsZero()
+		}
+		return a.Mul(b).Degree() == a.Degree()+b.Degree()
+	}
+	if err := quick.Check(degrees, nil); err != nil {
+		t.Errorf("deg(ab) != deg a + deg b: %v", err)
+	}
+}
+
+func TestDivModIdentity(t *testing.T) {
+	f := func(p, m Poly) bool {
+		if m.IsZero() {
+			return true
+		}
+		q, r := p.DivMod(m)
+		if !r.IsZero() && r.Degree() >= m.Degree() {
+			return false
+		}
+		return q.Mul(m).Add(r).Equal(p)
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivModByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DivMod by zero did not panic")
+		}
+	}()
+	FromUint64(5).DivMod(Zero)
+}
+
+func TestCmp(t *testing.T) {
+	ordered := []Poly{Zero, One, T, FromUint64(3), FromUint64(4), FromCoeffs(64), FromCoeffs(65)}
+	for i := range ordered {
+		for j := range ordered {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := ordered[i].Cmp(ordered[j]); got != want {
+				t.Errorf("Cmp(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestBitAndToggle(t *testing.T) {
+	p := FromCoeffs(100, 3, 0)
+	if p.Bit(100) != 1 || p.Bit(3) != 1 || p.Bit(0) != 1 {
+		t.Error("expected bits 100, 3, 0 set")
+	}
+	if p.Bit(50) != 0 || p.Bit(-1) != 0 || p.Bit(500) != 0 {
+		t.Error("expected other bits clear")
+	}
+	if !p.ToggleBit(100).ToggleBit(3).ToggleBit(0).IsZero() {
+		t.Error("toggling all set bits should give zero")
+	}
+}
+
+func TestWeight(t *testing.T) {
+	if got := FromCoeffs(70, 3, 1, 0).Weight(); got != 4 {
+		t.Errorf("Weight = %d, want 4", got)
+	}
+	if got := Zero.Weight(); got != 0 {
+		t.Errorf("Weight(0) = %d, want 0", got)
+	}
+}
+
+func TestUint64Overflow(t *testing.T) {
+	if _, ok := FromCoeffs(64).Uint64(); ok {
+		t.Error("t^64 should not fit in uint64")
+	}
+	v, ok := FromCoeffs(63).Uint64()
+	if !ok || v != 1<<63 {
+		t.Errorf("t^63 = %#x, ok=%v", v, ok)
+	}
+}
+
+func TestWordsRoundTrip(t *testing.T) {
+	f := func(p Poly) bool {
+		return FromWords(p.Words()).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

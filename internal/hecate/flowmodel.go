@@ -1,0 +1,109 @@
+package hecate
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the Section III flow-model mathematics on the
+// didactic two-path network of Fig. 2: a demand volume h between source
+// and destination split as x_sd + x_sid = h (Eq. 1) over a direct path of
+// capacity c1 and an indirect path of capacity c2.
+
+// SplitResult is an optimal two-path demand split.
+type SplitResult struct {
+	// X1 and X2 are the volumes on the direct and indirect path.
+	X1, X2 float64
+	// Objective is the achieved objective value (utilization, cost or
+	// delay depending on the solver).
+	Objective float64
+}
+
+// validateSplit checks the shared preconditions of the split solvers.
+func validateSplit(demand, c1, c2 float64) error {
+	if demand < 0 {
+		return fmt.Errorf("hecate: negative demand %v", demand)
+	}
+	if c1 <= 0 || c2 <= 0 {
+		return fmt.Errorf("hecate: capacities must be positive, got %v and %v", c1, c2)
+	}
+	return nil
+}
+
+// MinMaxSplit minimizes the maximum link utilization
+// max(x1/c1, x2/c2) subject to x1 + x2 = h — the ISP "min-max" objective
+// of Section III-A. The optimum equalizes utilizations:
+// x1 = h·c1/(c1+c2), capped by the per-path bounds.
+func MinMaxSplit(demand, c1, c2 float64) (SplitResult, error) {
+	if err := validateSplit(demand, c1, c2); err != nil {
+		return SplitResult{}, err
+	}
+	if demand > c1+c2 {
+		return SplitResult{}, fmt.Errorf("hecate: demand %v exceeds total capacity %v", demand, c1+c2)
+	}
+	x1 := demand * c1 / (c1 + c2)
+	x2 := demand - x1
+	util := math.Max(x1/c1, x2/c2)
+	return SplitResult{X1: x1, X2: x2, Objective: util}, nil
+}
+
+// LinearCostSplit minimizes the linear routing cost
+// F = ξ1·x1 + ξ2·x2 subject to x1 + x2 = h, 0 ≤ x1 ≤ c1, 0 ≤ x2 ≤ c2
+// (Eq. 2). Being a linear program in one free variable, the optimum sits
+// at a corner: everything on the cheaper path up to its capacity.
+func LinearCostSplit(demand, c1, c2, xi1, xi2 float64) (SplitResult, error) {
+	if err := validateSplit(demand, c1, c2); err != nil {
+		return SplitResult{}, err
+	}
+	if demand > c1+c2 {
+		return SplitResult{}, fmt.Errorf("hecate: demand %v exceeds total capacity %v", demand, c1+c2)
+	}
+	var x1 float64
+	if xi1 <= xi2 {
+		x1 = math.Min(demand, c1)
+	} else {
+		x1 = math.Max(0, demand-c2)
+	}
+	x2 := demand - x1
+	return SplitResult{X1: x1, X2: x2, Objective: xi1*x1 + xi2*x2}, nil
+}
+
+// MinDelaySplit minimizes the M/M/1-style delay objective of Eq. 3,
+//
+//	F = x1/(c1 − x1) + 2·x2/(c2 − x2),
+//
+// subject to x1 + x2 = h with both paths strictly below capacity. The
+// objective is strictly convex on the feasible interval, so a ternary
+// search converges to the global optimum.
+func MinDelaySplit(demand, c1, c2 float64) (SplitResult, error) {
+	if err := validateSplit(demand, c1, c2); err != nil {
+		return SplitResult{}, err
+	}
+	if demand >= c1+c2 {
+		return SplitResult{}, fmt.Errorf("hecate: demand %v saturates total capacity %v (delay diverges)", demand, c1+c2)
+	}
+	// Feasible x1 interval keeps both paths strictly under capacity.
+	lo := math.Max(0, demand-c2)
+	hi := math.Min(demand, c1)
+	const eps = 1e-12
+	f := func(x1 float64) float64 {
+		x2 := demand - x1
+		d1 := c1 - x1
+		d2 := c2 - x2
+		if d1 <= eps || d2 <= eps {
+			return math.Inf(1)
+		}
+		return x1/d1 + 2*x2/d2
+	}
+	for iter := 0; iter < 200; iter++ {
+		m1 := lo + (hi-lo)/3
+		m2 := hi - (hi-lo)/3
+		if f(m1) < f(m2) {
+			hi = m2
+		} else {
+			lo = m1
+		}
+	}
+	x1 := (lo + hi) / 2
+	return SplitResult{X1: x1, X2: demand - x1, Objective: f(x1)}, nil
+}

@@ -1,0 +1,167 @@
+package hecate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxSplitEqualizesUtilization(t *testing.T) {
+	res, err := MinMaxSplit(15, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X1+res.X2-15) > 1e-12 {
+		t.Errorf("split doesn't satisfy Eq. 1: %v + %v != 15", res.X1, res.X2)
+	}
+	u1, u2 := res.X1/20, res.X2/10
+	if math.Abs(u1-u2) > 1e-9 {
+		t.Errorf("utilizations not equalized: %v vs %v", u1, u2)
+	}
+	if math.Abs(res.Objective-0.5) > 1e-9 {
+		t.Errorf("objective = %v, want 0.5", res.Objective)
+	}
+}
+
+func TestMinMaxSplitIsOptimal(t *testing.T) {
+	// Property: no feasible split does better than the solver's answer.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := 1 + rng.Float64()*99
+		c2 := 1 + rng.Float64()*99
+		h := rng.Float64() * (c1 + c2)
+		res, err := MinMaxSplit(h, c1, c2)
+		if err != nil {
+			return false
+		}
+		for i := 0; i <= 100; i++ {
+			x1 := math.Max(0, math.Min(h, h*float64(i)/100))
+			x2 := h - x1
+			if x1 > c1 || x2 > c2 {
+				continue
+			}
+			if math.Max(x1/c1, x2/c2) < res.Objective-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxSplitErrors(t *testing.T) {
+	if _, err := MinMaxSplit(-1, 10, 10); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if _, err := MinMaxSplit(5, 0, 10); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := MinMaxSplit(25, 10, 10); err == nil {
+		t.Error("infeasible demand should fail")
+	}
+}
+
+func TestLinearCostSplitPicksCheaperPath(t *testing.T) {
+	// Path 1 cheaper: all demand there (within capacity).
+	res, err := LinearCostSplit(8, 10, 10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X1 != 8 || res.X2 != 0 || res.Objective != 8 {
+		t.Errorf("cheap-path split = %+v", res)
+	}
+	// Demand above the cheap path's capacity spills over.
+	res, err = LinearCostSplit(15, 10, 10, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X1 != 10 || res.X2 != 5 || res.Objective != 20 {
+		t.Errorf("spillover split = %+v", res)
+	}
+	// Path 2 cheaper.
+	res, err = LinearCostSplit(8, 10, 10, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X1 != 0 || res.X2 != 8 {
+		t.Errorf("path-2 split = %+v", res)
+	}
+	if _, err := LinearCostSplit(25, 10, 10, 1, 1); err == nil {
+		t.Error("infeasible demand should fail")
+	}
+}
+
+func TestMinDelaySplitMatchesCalculus(t *testing.T) {
+	// For F = x1/(c1-x1) + 2·x2/(c2-x2) the optimum satisfies
+	// c1/(c1-x1)² = 2·c2/(c2-x2)². Verify first-order optimality
+	// numerically on a known instance.
+	c1, c2, h := 10.0, 10.0, 8.0
+	res, err := MinDelaySplit(h, c1, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs := c1 / ((c1 - res.X1) * (c1 - res.X1))
+	rhs := 2 * c2 / ((c2 - res.X2) * (c2 - res.X2))
+	if math.Abs(lhs-rhs)/rhs > 1e-4 {
+		t.Errorf("first-order condition violated: %v vs %v (x1=%v)", lhs, rhs, res.X1)
+	}
+	// The weight-2 factor must push load onto path 1.
+	if res.X1 <= h/2 {
+		t.Errorf("x1 = %v, want > h/2 (path 2 delay is double-weighted)", res.X1)
+	}
+}
+
+func TestMinDelaySplitIsOptimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c1 := 5 + rng.Float64()*50
+		c2 := 5 + rng.Float64()*50
+		h := rng.Float64() * (c1 + c2) * 0.9
+		res, err := MinDelaySplit(h, c1, c2)
+		if err != nil {
+			return false
+		}
+		obj := func(x1 float64) float64 {
+			x2 := h - x1
+			if x1 < 0 || x2 < 0 || x1 >= c1 || x2 >= c2 {
+				return math.Inf(1)
+			}
+			return x1/(c1-x1) + 2*x2/(c2-x2)
+		}
+		for i := 0; i <= 200; i++ {
+			x1 := h * float64(i) / 200
+			if obj(x1) < res.Objective-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinDelaySplitErrors(t *testing.T) {
+	if _, err := MinDelaySplit(20, 10, 10); err == nil {
+		t.Error("saturating demand should fail")
+	}
+	if _, err := MinDelaySplit(-1, 10, 10); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if _, err := MinDelaySplit(5, -1, 10); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+func TestMinDelayZeroDemand(t *testing.T) {
+	res, err := MinDelaySplit(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X1 != 0 || res.X2 != 0 || res.Objective != 0 {
+		t.Errorf("zero demand split = %+v", res)
+	}
+}

@@ -1,0 +1,287 @@
+// Package hecate implements the AI/ML optimization service of the
+// framework: the component that, given telemetry history for the candidate
+// paths, predicts each path's QoS over the next prediction horizon and
+// recommends the path the new flow should take (Fig. 3, "Hecate Service" +
+// "Optimizer").
+//
+// The paper's deployment trains one regression model per path on lag-10
+// bandwidth windows, computes "the predicted values for the next 10 steps
+// and returns the best path, where the most available bandwidth is". The
+// winning model is Random Forest (Fig. 6); the model is pluggable here so
+// the ablation benchmarks can swap it.
+package hecate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// Objective selects what Recommend optimizes.
+type Objective int
+
+// Objectives supported by the optimizer, mirroring Section III.
+const (
+	// MaxBandwidth picks the path with the highest mean predicted
+	// available bandwidth (the paper's deployed objective).
+	MaxBandwidth Objective = iota
+	// MinLatency picks the path with the lowest mean predicted RTT (the
+	// first testbed experiment's objective).
+	MinLatency
+	// MinMaxUtilization picks the path with the lowest mean predicted
+	// utilization (the ISP min-max objective of Section III-A).
+	MinMaxUtilization
+)
+
+// String returns the objective name.
+func (o Objective) String() string {
+	switch o {
+	case MaxBandwidth:
+		return "max-bandwidth"
+	case MinLatency:
+		return "min-latency"
+	case MinMaxUtilization:
+		return "min-max-utilization"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// maximize reports whether higher scores are better under the objective.
+func (o Objective) maximize() bool { return o == MaxBandwidth }
+
+// Config tunes the optimizer.
+type Config struct {
+	// Lag is the history window length fed to the regressors (paper: 10).
+	Lag int
+	// Horizon is the number of future steps predicted (paper: 10).
+	Horizon int
+	// Model names the regressor from the ml registry (paper: "RFR").
+	Model string
+}
+
+// DefaultConfig returns the paper's deployed settings.
+func DefaultConfig() Config {
+	return Config{Lag: 10, Horizon: 10, Model: "RFR"}
+}
+
+// pathModel is one path's trained pipeline: scaler plus regressor. A path
+// whose training history was constant gets a persistence model instead —
+// regression on a zero-variance series is ill-posed (any fitted model
+// would forever predict the training constant and ignore live telemetry),
+// while persistence tracks whatever the path currently reports.
+type pathModel struct {
+	scaler  ml.ScalarScaler
+	reg     ml.Regressor
+	persist bool
+}
+
+// Optimizer is the Hecate optimization engine. Train it per path, then ask
+// for forecasts or recommendations. Not safe for concurrent mutation; the
+// control-plane service serializes access.
+type Optimizer struct {
+	cfg    Config
+	spec   ml.ModelSpec
+	models map[string]*pathModel
+}
+
+// New creates an optimizer; the configured model name must exist in the
+// ml registry.
+func New(cfg Config) (*Optimizer, error) {
+	if cfg.Lag < 1 {
+		cfg.Lag = 10
+	}
+	if cfg.Horizon < 1 {
+		cfg.Horizon = 10
+	}
+	if cfg.Model == "" {
+		cfg.Model = "RFR"
+	}
+	spec, err := ml.ModelByName(cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &Optimizer{cfg: cfg, spec: spec, models: make(map[string]*pathModel)}, nil
+}
+
+// Config returns the optimizer's configuration.
+func (o *Optimizer) Config() Config { return o.cfg }
+
+// ModelName returns the configured regressor's registry name.
+func (o *Optimizer) ModelName() string { return o.spec.Name }
+
+// TrainPath fits the path's model on its QoS history (original units).
+// The history must be long enough to produce at least one lag window.
+func (o *Optimizer) TrainPath(path string, history []float64) error {
+	if path == "" {
+		return errors.New("hecate: empty path name")
+	}
+	if len(history) < o.cfg.Lag+1 {
+		return fmt.Errorf("hecate: path %q history has %d samples, need ≥ %d", path, len(history), o.cfg.Lag+1)
+	}
+	m := &pathModel{reg: o.spec.New()}
+	if std(history) < 1e-9 {
+		m.persist = true
+		o.models[path] = m
+		return nil
+	}
+	if err := m.scaler.Fit(history); err != nil {
+		return err
+	}
+	scaled, err := m.scaler.Transform(history)
+	if err != nil {
+		return err
+	}
+	X, y, err := ml.MakeWindows(scaled, o.cfg.Lag)
+	if err != nil {
+		return err
+	}
+	if err := m.reg.Fit(X, y); err != nil {
+		return fmt.Errorf("hecate: training %s for path %q: %w", o.spec.Name, path, err)
+	}
+	o.models[path] = m
+	return nil
+}
+
+// TrainedPaths returns the paths with fitted models, sorted.
+func (o *Optimizer) TrainedPaths() []string {
+	out := make([]string, 0, len(o.models))
+	for p := range o.models {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Forecast predicts the next Horizon QoS values for the path given its
+// most recent history (original units in, original units out). The
+// single-step regressor is applied recursively, feeding predictions back
+// into the lag window.
+func (o *Optimizer) Forecast(path string, recent []float64) ([]float64, error) {
+	m, ok := o.models[path]
+	if !ok {
+		return nil, fmt.Errorf("hecate: path %q has no trained model", path)
+	}
+	if len(recent) < o.cfg.Lag {
+		return nil, fmt.Errorf("hecate: path %q needs ≥ %d recent samples, got %d", path, o.cfg.Lag, len(recent))
+	}
+	if m.persist {
+		out := make([]float64, o.cfg.Horizon)
+		last := recent[len(recent)-1]
+		for i := range out {
+			out[i] = last
+		}
+		return out, nil
+	}
+	scaled, err := m.scaler.Transform(recent)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := ml.RecursiveForecast(m.reg, scaled, o.cfg.Lag, o.cfg.Horizon)
+	if err != nil {
+		return nil, err
+	}
+	return m.scaler.Inverse(pred)
+}
+
+// Recommendation is the optimizer's answer: the chosen path, its score
+// (mean predicted QoS over the horizon), and every candidate's forecast
+// for the dashboard.
+type Recommendation struct {
+	// Path is the recommended path name.
+	Path string
+	// Score is the winning path's mean predicted QoS over the horizon.
+	Score float64
+	// Forecasts holds each candidate's predicted QoS series.
+	Forecasts map[string][]float64
+}
+
+// Recommend scores every candidate path by the mean of its predicted QoS
+// over the horizon and picks the best under the objective. histories maps
+// path name → recent QoS samples (newest last, at least Lag values each).
+func (o *Optimizer) Recommend(histories map[string][]float64, obj Objective) (Recommendation, error) {
+	if len(histories) == 0 {
+		return Recommendation{}, errors.New("hecate: no candidate paths")
+	}
+	rec := Recommendation{Forecasts: make(map[string][]float64, len(histories))}
+	// Deterministic iteration order so score ties break stably.
+	paths := make([]string, 0, len(histories))
+	for p := range histories {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	first := true
+	for _, p := range paths {
+		fc, err := o.Forecast(p, histories[p])
+		if err != nil {
+			return Recommendation{}, err
+		}
+		rec.Forecasts[p] = fc
+		score := meanOf(fc)
+		better := false
+		if first {
+			better = true
+		} else if obj.maximize() {
+			better = score > rec.Score
+		} else {
+			better = score < rec.Score
+		}
+		if better {
+			rec.Path = p
+			rec.Score = score
+		}
+		first = false
+	}
+	return rec, nil
+}
+
+// ReactiveBest is the no-ML baseline of Section III ("Real-time Decision
+// Making"): choose the path by its current QoS sample alone. It exists for
+// the prediction-vs-reaction ablation.
+func ReactiveBest(current map[string]float64, obj Objective) (string, float64, error) {
+	if len(current) == 0 {
+		return "", 0, errors.New("hecate: no candidate paths")
+	}
+	paths := make([]string, 0, len(current))
+	for p := range current {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	best := paths[0]
+	bestV := current[best]
+	for _, p := range paths[1:] {
+		v := current[p]
+		if (obj.maximize() && v > bestV) || (!obj.maximize() && v < bestV) {
+			best, bestV = p, v
+		}
+	}
+	return best, bestV, nil
+}
+
+func meanOf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// std is the population standard deviation of v.
+func std(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := meanOf(v)
+	ss := 0.0
+	for _, x := range v {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(v)))
+}

@@ -1,0 +1,221 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("dims = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Error("At wrong")
+	}
+	m.Set(0, 1, 9)
+	if m.At(0, 1) != 9 {
+		t.Error("Set wrong")
+	}
+	r := m.Row(2)
+	r[0] = 99
+	if m.At(2, 0) == 99 {
+		t.Error("Row should copy")
+	}
+	if _, err := FromRows(nil); err == nil {
+		t.Error("empty rows should fail")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should fail")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T dims = %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	v, err := a.MulVec([]float64{1, 1})
+	if err != nil || v[0] != 3 || v[1] != 7 {
+		t.Errorf("MulVec = %v, %v", v, err)
+	}
+	if _, err := a.MulVec([]float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestSolveVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, 1, -1}, {-3, -1, 2}, {-2, 1, 2}})
+	b := []float64{8, -11, -3}
+	x, err := a.SolveVec(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveVecSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := a.SolveVec([]float64{1, 2}); !errors.Is(err, ErrSingular) {
+		t.Errorf("got %v, want ErrSingular", err)
+	}
+	if _, err := NewMatrix(2, 3).SolveVec([]float64{1, 2}); err == nil {
+		t.Error("non-square should fail")
+	}
+	if _, err := NewMatrix(2, 2).SolveVec([]float64{1}); err == nil {
+		t.Error("bad rhs length should fail")
+	}
+}
+
+func TestSolveVecRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		a.AddDiag(float64(n)) // keep it well conditioned
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b, _ := a.MulVec(want)
+		got, err := a.SolveVec(b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-6 {
+				t.Fatalf("trial %d: x[%d] = %v, want %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	// A = B·Bᵀ + n·I is SPD.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(8)
+		b := NewMatrix(n, n)
+		for i := range b.Data {
+			b.Data[i] = rng.NormFloat64()
+		}
+		bt := b.T()
+		a, _ := b.Mul(bt)
+		a.AddDiag(float64(n))
+		l, err := a.Cholesky()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// L·Lᵀ must reproduce A.
+		lt := l.T()
+		back, _ := l.Mul(lt)
+		for i := range a.Data {
+			if math.Abs(back.Data[i]-a.Data[i]) > 1e-8 {
+				t.Fatalf("trial %d: L·Lᵀ != A at %d", trial, i)
+			}
+		}
+		// And CholeskySolve must agree with SolveVec.
+		rhs := make([]float64, n)
+		for i := range rhs {
+			rhs[i] = rng.NormFloat64()
+		}
+		x1, err := CholeskySolve(l, rhs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, _ := a.SolveVec(rhs)
+		for i := range x1 {
+			if math.Abs(x1[i]-x2[i]) > 1e-6 {
+				t.Fatalf("trial %d: cholesky solve diverges from gaussian solve", trial)
+			}
+		}
+	}
+}
+
+func TestCholeskyRejectsNonSPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := a.Cholesky(); !errors.Is(err, ErrNotSPD) {
+		t.Errorf("got %v, want ErrNotSPD", err)
+	}
+	if _, err := NewMatrix(2, 3).Cholesky(); err == nil {
+		t.Error("non-square should fail")
+	}
+	l, _ := FromRows([][]float64{{1, 0}, {0, 1}})
+	if _, err := CholeskySolve(l, []float64{1}); err == nil {
+		t.Error("bad rhs length should fail")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Error("Norm2 wrong")
+	}
+	if SqDist([]float64{1, 1}, []float64{4, 5}) != 25 {
+		t.Error("SqDist wrong")
+	}
+}
+
+func TestNewMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMatrix(0, 1) should panic")
+		}
+	}()
+	NewMatrix(0, 1)
+}
+
+func TestAddDiagRect(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.AddDiag(5)
+	if m.At(0, 0) != 5 || m.At(1, 1) != 5 || m.At(0, 1) != 0 {
+		t.Error("AddDiag on rectangular matrix wrong")
+	}
+}

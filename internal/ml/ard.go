@@ -1,0 +1,177 @@
+package ml
+
+import (
+	"math"
+
+	"repro/internal/mat"
+)
+
+// ARDRegression (R2:ARDR) is Bayesian linear regression with Automatic
+// Relevance Determination: each coefficient gets its own Gaussian prior
+// precision α_j, re-estimated by evidence maximization (MacKay updates)
+// together with the noise precision β. Coefficients whose precision
+// diverges are effectively pruned, which is ARD's feature selection.
+// Hyper-hyperparameters follow scikit-learn's defaults (flat Gamma
+// priors, threshold_lambda = 1e4, 300 iterations, tol = 1e-3).
+type ARDRegression struct {
+	linearModel
+	// MaxIter bounds evidence-maximization iterations.
+	MaxIter int
+	// Tol stops when coefficients move less than this between iterations.
+	Tol float64
+	// ThresholdLambda prunes features whose prior precision exceeds it.
+	ThresholdLambda float64
+}
+
+// NewARDRegression creates an ARD estimator with library defaults.
+func NewARDRegression() *ARDRegression {
+	return &ARDRegression{MaxIter: 300, Tol: 1e-3, ThresholdLambda: 1e4}
+}
+
+// Name implements Regressor.
+func (r *ARDRegression) Name() string { return "ARDR" }
+
+// Fit implements Regressor.
+func (r *ARDRegression) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	Xc, yc, xMean, yMean := centerData(X, y)
+	n := len(Xc)
+
+	// Precompute XᵀX and Xᵀy once.
+	xm, err := mat.FromRows(Xc)
+	if err != nil {
+		return err
+	}
+	xt := xm.T()
+	gram, err := xt.Mul(xm)
+	if err != nil {
+		return err
+	}
+	xty, err := xt.MulVec(yc)
+	if err != nil {
+		return err
+	}
+
+	// Initialize: α_j = 1, β = 1/Var(y).
+	alpha := make([]float64, p)
+	for j := range alpha {
+		alpha[j] = 1
+	}
+	vy := variance(yc)
+	if vy < 1e-12 {
+		vy = 1e-12
+	}
+	beta := 1 / vy
+
+	w := make([]float64, p)
+	active := make([]bool, p)
+	for j := range active {
+		active[j] = true
+	}
+	for it := 0; it < r.MaxIter; it++ {
+		// Posterior over active features: Σ = (β·XᵀX + diag(α))⁻¹,
+		// μ = β·Σ·Xᵀy. Solve column by column for the needed diagonal.
+		idx := make([]int, 0, p)
+		for j := 0; j < p; j++ {
+			if active[j] {
+				idx = append(idx, j)
+			}
+		}
+		if len(idx) == 0 {
+			break
+		}
+		k := len(idx)
+		a := mat.NewMatrix(k, k)
+		for ai, j := range idx {
+			for bi, l := range idx {
+				a.Set(ai, bi, beta*gram.At(j, l))
+			}
+			a.Data[ai*k+ai] += alpha[j]
+		}
+		rhs := make([]float64, k)
+		for ai, j := range idx {
+			rhs[ai] = beta * xty[j]
+		}
+		chol, err := a.Cholesky()
+		if err != nil {
+			// Numerical trouble: add jitter and retry once.
+			a.AddDiag(1e-8)
+			chol, err = a.Cholesky()
+			if err != nil {
+				return err
+			}
+		}
+		mu, err := mat.CholeskySolve(chol, rhs)
+		if err != nil {
+			return err
+		}
+		// Diagonal of Σ via k solves of unit vectors.
+		sigmaDiag := make([]float64, k)
+		unit := make([]float64, k)
+		for col := 0; col < k; col++ {
+			for z := range unit {
+				unit[z] = 0
+			}
+			unit[col] = 1
+			s, err := mat.CholeskySolve(chol, unit)
+			if err != nil {
+				return err
+			}
+			sigmaDiag[col] = s[col]
+		}
+		// MacKay updates.
+		wNew := make([]float64, p)
+		gammaSum := 0.0
+		for ai, j := range idx {
+			wNew[j] = mu[ai]
+			gamma := 1 - alpha[j]*sigmaDiag[ai]
+			if gamma < 1e-12 {
+				gamma = 1e-12
+			}
+			gammaSum += gamma
+			wj2 := mu[ai] * mu[ai]
+			if wj2 < 1e-12 {
+				wj2 = 1e-12
+			}
+			alpha[j] = gamma / wj2
+			if alpha[j] > r.ThresholdLambda {
+				active[j] = false
+				wNew[j] = 0
+			}
+		}
+		// Noise precision.
+		res := 0.0
+		for i, row := range Xc {
+			d := yc[i] - mat.Dot(wNew, row)
+			res += d * d
+		}
+		if res < 1e-12 {
+			res = 1e-12
+		}
+		beta = (float64(n) - gammaSum) / res
+		if beta <= 0 || math.IsNaN(beta) {
+			beta = 1 / vy
+		}
+		// Convergence on coefficient movement.
+		delta := 0.0
+		for j := range w {
+			if d := math.Abs(wNew[j] - w[j]); d > delta {
+				delta = d
+			}
+		}
+		w = wNew
+		if delta < r.Tol {
+			break
+		}
+	}
+	r.coef = w
+	r.intercept = yMean - mat.Dot(w, xMean)
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *ARDRegression) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }

@@ -1,0 +1,287 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// GradientBoostingRegressor (R6:GBR) is least-squares gradient boosting:
+// start from the target mean, then repeatedly fit a shallow CART tree to
+// the current residuals and add it with a shrinkage factor. scikit-learn
+// defaults: 100 stages, learning_rate=0.1, max_depth=3.
+type GradientBoostingRegressor struct {
+	// NEstimators is the number of boosting stages.
+	NEstimators int
+	// LearningRate is the shrinkage per stage.
+	LearningRate float64
+	// MaxDepth bounds each stage's tree.
+	MaxDepth int
+	// Seed keeps stage trees deterministic.
+	Seed int64
+
+	init      float64
+	trees     []*DecisionTreeRegressor
+	nFeatures int
+}
+
+// NewGradientBoostingRegressor creates a GBR with library defaults.
+func NewGradientBoostingRegressor() *GradientBoostingRegressor {
+	return &GradientBoostingRegressor{NEstimators: 100, LearningRate: 0.1, MaxDepth: 3, Seed: 42}
+}
+
+// Name implements Regressor.
+func (r *GradientBoostingRegressor) Name() string { return "GBR" }
+
+// Fit implements Regressor.
+func (r *GradientBoostingRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	if r.NEstimators < 1 {
+		r.NEstimators = 100
+	}
+	if r.LearningRate <= 0 {
+		r.LearningRate = 0.1
+	}
+	if r.MaxDepth < 1 {
+		r.MaxDepth = 3
+	}
+	r.nFeatures = p
+	r.init = mean(y)
+	r.trees = make([]*DecisionTreeRegressor, 0, r.NEstimators)
+	// Current model output per sample.
+	f := make([]float64, len(y))
+	for i := range f {
+		f[i] = r.init
+	}
+	resid := make([]float64, len(y))
+	rng := rand.New(rand.NewSource(r.Seed))
+	for stage := 0; stage < r.NEstimators; stage++ {
+		for i := range resid {
+			resid[i] = y[i] - f[i]
+		}
+		tree := NewDecisionTreeRegressor()
+		tree.MaxDepth = r.MaxDepth
+		tree.Seed = rng.Int63()
+		if err := tree.Fit(X, resid); err != nil {
+			return err
+		}
+		pred, err := tree.Predict(X)
+		if err != nil {
+			return err
+		}
+		for i := range f {
+			f[i] += r.LearningRate * pred[i]
+		}
+		r.trees = append(r.trees, tree)
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *GradientBoostingRegressor) Predict(X [][]float64) ([]float64, error) {
+	if len(r.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredict(X, r.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	for i := range out {
+		out[i] = r.init
+	}
+	for _, tree := range r.trees {
+		p, err := tree.Predict(X)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range p {
+			out[i] += r.LearningRate * v
+		}
+	}
+	return out, nil
+}
+
+// NStages returns the number of fitted boosting stages.
+func (r *GradientBoostingRegressor) NStages() int { return len(r.trees) }
+
+// AdaBoostRegressor (R1:AdaBoostR) implements AdaBoost.R2 (Drucker 1997),
+// the algorithm behind sklearn.ensemble.AdaBoostRegressor: each round
+// draws a weighted bootstrap, fits the base tree, computes the linear-loss
+// weighted error, stops if it exceeds 0.5, reweights samples, and predicts
+// with the weighted median of the stage predictions. scikit-learn
+// defaults: 50 estimators, base tree depth 3, learning_rate=1.
+type AdaBoostRegressor struct {
+	// NEstimators is the maximum number of boosting rounds.
+	NEstimators int
+	// LearningRate scales the log stage weights.
+	LearningRate float64
+	// MaxDepth bounds the base trees.
+	MaxDepth int
+	// Seed drives the weighted bootstraps.
+	Seed int64
+
+	trees     []*DecisionTreeRegressor
+	betas     []float64
+	nFeatures int
+}
+
+// NewAdaBoostRegressor creates an AdaBoost.R2 estimator with library
+// defaults.
+func NewAdaBoostRegressor() *AdaBoostRegressor {
+	return &AdaBoostRegressor{NEstimators: 50, LearningRate: 1, MaxDepth: 3, Seed: 42}
+}
+
+// Name implements Regressor.
+func (r *AdaBoostRegressor) Name() string { return "AdaBoostR" }
+
+// Fit implements Regressor.
+func (r *AdaBoostRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	if r.NEstimators < 1 {
+		r.NEstimators = 50
+	}
+	n := len(X)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1 / float64(n)
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	r.trees = nil
+	r.betas = nil
+	r.nFeatures = p
+	cdf := make([]float64, n)
+	for round := 0; round < r.NEstimators; round++ {
+		// Weighted bootstrap.
+		acc := 0.0
+		for i, wi := range w {
+			acc += wi
+			cdf[i] = acc
+		}
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			u := rng.Float64() * acc
+			k := sort.SearchFloat64s(cdf, u)
+			if k >= n {
+				k = n - 1
+			}
+			bx[i] = X[k]
+			by[i] = y[k]
+		}
+		tree := NewDecisionTreeRegressor()
+		tree.MaxDepth = r.MaxDepth
+		tree.Seed = rng.Int63()
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		pred, err := tree.Predict(X)
+		if err != nil {
+			return err
+		}
+		// Linear loss normalized by the max error.
+		maxErr := 0.0
+		for i := range pred {
+			if e := math.Abs(pred[i] - y[i]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr == 0 {
+			// Perfect stage: keep it with overwhelming weight and stop.
+			r.trees = append(r.trees, tree)
+			r.betas = append(r.betas, 1e-9)
+			break
+		}
+		lossBar := 0.0
+		for i := range pred {
+			lossBar += w[i] * math.Abs(pred[i]-y[i]) / maxErr
+		}
+		if lossBar >= 0.5 {
+			// Boosting assumption violated; discard and stop (sklearn
+			// keeps earlier stages).
+			break
+		}
+		beta := lossBar / (1 - lossBar)
+		r.trees = append(r.trees, tree)
+		r.betas = append(r.betas, beta)
+		// Reweight: small loss → weight shrinks by beta^(1-loss).
+		total := 0.0
+		for i := range w {
+			li := math.Abs(pred[i]-y[i]) / maxErr
+			w[i] *= math.Pow(beta, r.LearningRate*(1-li))
+			total += w[i]
+		}
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	if len(r.trees) == 0 {
+		// Data defeated boosting entirely; fall back to one plain tree.
+		tree := NewDecisionTreeRegressor()
+		tree.MaxDepth = r.MaxDepth
+		tree.Seed = rng.Int63()
+		if err := tree.Fit(X, y); err != nil {
+			return err
+		}
+		r.trees = append(r.trees, tree)
+		r.betas = append(r.betas, 0.5)
+	}
+	return nil
+}
+
+// Predict implements Regressor: the AdaBoost.R2 weighted median of the
+// per-stage predictions, with stage weights log(1/beta).
+func (r *AdaBoostRegressor) Predict(X [][]float64) ([]float64, error) {
+	if len(r.trees) == 0 {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredict(X, r.nFeatures); err != nil {
+		return nil, err
+	}
+	stagePreds := make([][]float64, len(r.trees))
+	for t, tree := range r.trees {
+		p, err := tree.Predict(X)
+		if err != nil {
+			return nil, err
+		}
+		stagePreds[t] = p
+	}
+	logW := make([]float64, len(r.trees))
+	for t, b := range r.betas {
+		if b < 1e-12 {
+			b = 1e-12
+		}
+		logW[t] = math.Log(1 / b)
+	}
+	out := make([]float64, len(X))
+	type pv struct {
+		pred, w float64
+	}
+	for i := range X {
+		items := make([]pv, len(r.trees))
+		totalW := 0.0
+		for t := range r.trees {
+			items[t] = pv{pred: stagePreds[t][i], w: logW[t]}
+			totalW += logW[t]
+		}
+		sort.Slice(items, func(a, b int) bool { return items[a].pred < items[b].pred })
+		acc := 0.0
+		out[i] = items[len(items)-1].pred
+		for _, it := range items {
+			acc += it.w
+			if acc >= totalW/2 {
+				out[i] = it.pred
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// NStages returns the number of retained boosting rounds.
+func (r *AdaBoostRegressor) NStages() int { return len(r.trees) }

@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PipelineConfig fixes the evaluation protocol of Section V-B: a
+// proportional 75/25 train/test split, StandardScaler fitted on the
+// training portion, lag-10 windows, single-step-ahead prediction, RMSE in
+// the original (inverse-transformed) units.
+type PipelineConfig struct {
+	// Lag is the history window length (the paper uses 10).
+	Lag int
+	// TrainFraction is the proportional split (the paper uses 0.75).
+	TrainFraction float64
+}
+
+// DefaultPipelineConfig returns the paper's settings.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{Lag: 10, TrainFraction: 0.75}
+}
+
+// EvalResult is one regressor's outcome on one series: RMSE plus the
+// aligned observed/predicted test values for the Fig. 7/8 style
+// observed-vs-predicted plots.
+type EvalResult struct {
+	// RMSE is in original series units (Mbit/s).
+	RMSE float64
+	// MAE is the mean absolute error in original units.
+	MAE float64
+	// R2 is the coefficient of determination on the test split.
+	R2 float64
+	// Observed and Predicted are the aligned test-split values.
+	Observed, Predicted []float64
+	// TestStart is the series index of the first test target.
+	TestStart int
+}
+
+// EvaluateOnSeries runs the full pipeline for one estimator on one series:
+// split, scale (train statistics only), window, fit, predict, inverse
+// transform, score.
+func EvaluateOnSeries(r Regressor, series []float64, cfg PipelineConfig) (EvalResult, error) {
+	if cfg.Lag < 1 {
+		cfg.Lag = 10
+	}
+	if cfg.TrainFraction <= 0 || cfg.TrainFraction >= 1 {
+		cfg.TrainFraction = 0.75
+	}
+	split := int(float64(len(series)) * cfg.TrainFraction)
+	if split <= cfg.Lag || len(series)-split <= cfg.Lag {
+		return EvalResult{}, fmt.Errorf("ml: series of %d values too short for lag %d with split %d", len(series), cfg.Lag, split)
+	}
+	train, test := series[:split], series[split:]
+
+	var scaler ScalarScaler
+	if err := scaler.Fit(train); err != nil {
+		return EvalResult{}, err
+	}
+	trainScaled, err := scaler.Transform(train)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	testScaled, err := scaler.Transform(test)
+	if err != nil {
+		return EvalResult{}, err
+	}
+
+	xTrain, yTrain, err := MakeWindows(trainScaled, cfg.Lag)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	xTest, _, err := MakeWindows(testScaled, cfg.Lag)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	if err := r.Fit(xTrain, yTrain); err != nil {
+		return EvalResult{}, fmt.Errorf("ml: fitting %s: %w", r.Name(), err)
+	}
+	predScaled, err := r.Predict(xTest)
+	if err != nil {
+		return EvalResult{}, fmt.Errorf("ml: predicting with %s: %w", r.Name(), err)
+	}
+	pred, err := scaler.Inverse(predScaled)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	obs := make([]float64, len(pred))
+	copy(obs, test[cfg.Lag:])
+
+	rmse, err := RMSE(pred, obs)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	mae, err := MAE(pred, obs)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	r2, err := R2(pred, obs)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	return EvalResult{
+		RMSE: rmse, MAE: mae, R2: r2,
+		Observed: obs, Predicted: pred,
+		TestStart: split + cfg.Lag,
+	}, nil
+}
+
+// ComparisonRow is one regressor's entry in the Fig. 6 table: RMSE per
+// path.
+type ComparisonRow struct {
+	Code, Name string
+	// RMSEPath1 is the WiFi (Path 1) RMSE; RMSEPath2 the LTE (Path 2).
+	RMSEPath1, RMSEPath2 float64
+}
+
+// CompareAll evaluates every registered model on both paths and returns
+// the rows in R1…R18 order — the data behind Fig. 6 and its legend.
+func CompareAll(path1, path2 []float64, cfg PipelineConfig) ([]ComparisonRow, error) {
+	rows := make([]ComparisonRow, 0, 18)
+	for _, spec := range AllModels() {
+		r1, err := EvaluateOnSeries(spec.New(), path1, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s on path1: %w", spec.Name, err)
+		}
+		r2, err := EvaluateOnSeries(spec.New(), path2, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s on path2: %w", spec.Name, err)
+		}
+		rows = append(rows, ComparisonRow{
+			Code: spec.Code, Name: spec.Name,
+			RMSEPath1: r1.RMSE, RMSEPath2: r2.RMSE,
+		})
+	}
+	return rows, nil
+}
+
+// RankByJointRMSE orders comparison rows by distance from the origin of
+// the Fig. 6 scatter (√(RMSE₁² + RMSE₂²)), i.e. "towards zero on the X and
+// Y axes have better performance". The paper picks the winner this way
+// (RFR, with GBR adjacent).
+func RankByJointRMSE(rows []ComparisonRow) []ComparisonRow {
+	out := make([]ComparisonRow, len(rows))
+	copy(out, rows)
+	sort.Slice(out, func(i, j int) bool {
+		di := out[i].RMSEPath1*out[i].RMSEPath1 + out[i].RMSEPath2*out[i].RMSEPath2
+		dj := out[j].RMSEPath1*out[j].RMSEPath1 + out[j].RMSEPath2*out[j].RMSEPath2
+		return di < dj
+	})
+	return out
+}

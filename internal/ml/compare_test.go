@@ -1,0 +1,136 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestEvaluateOnSeriesPipeline(t *testing.T) {
+	tr := dataset.Generate(dataset.DefaultConfig())
+	res, err := EvaluateOnSeries(NewLinearRegression(), tr.WiFi.Values(), DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Observed) != len(res.Predicted) || len(res.Observed) == 0 {
+		t.Fatalf("aligned outputs: %d vs %d", len(res.Observed), len(res.Predicted))
+	}
+	// 500 values, split at 375, lag 10 → 115 test targets starting at 385.
+	if res.TestStart != 385 {
+		t.Errorf("TestStart = %d, want 385", res.TestStart)
+	}
+	if len(res.Observed) != 115 {
+		t.Errorf("test targets = %d, want 115", len(res.Observed))
+	}
+	if res.RMSE <= 0 || math.IsNaN(res.RMSE) {
+		t.Errorf("RMSE = %v", res.RMSE)
+	}
+	// Observed values must be the raw series tail, untouched by scaling.
+	wifi := tr.WiFi.Values()
+	for i := range res.Observed {
+		if res.Observed[i] != wifi[385+i] {
+			t.Fatalf("observed %d = %v, want raw series value %v", i, res.Observed[i], wifi[385+i])
+		}
+	}
+}
+
+func TestEvaluateOnSeriesTooShort(t *testing.T) {
+	short := make([]float64, 20)
+	if _, err := EvaluateOnSeries(NewLinearRegression(), short, DefaultPipelineConfig()); err == nil {
+		t.Error("short series should fail")
+	}
+}
+
+func TestEvaluateDefaultsApplied(t *testing.T) {
+	tr := dataset.Generate(dataset.DefaultConfig())
+	res, err := EvaluateOnSeries(NewLinearRegression(), tr.LTE.Values(), PipelineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TestStart != 385 {
+		t.Errorf("zero config should default to lag 10 / split 0.75; TestStart = %d", res.TestStart)
+	}
+}
+
+// TestFig6Shape is the headline reproduction check for the ML experiment:
+// on the UQ-like trace, tree ensembles must land in the low-RMSE corner
+// and the fixed-kernel GPR must be the far outlier, mirroring Fig. 6.
+// It exercises the full 18-model sweep, so it is the slowest test in the
+// package.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 18-model sweep")
+	}
+	tr := dataset.Generate(dataset.DefaultConfig())
+	rows, err := CompareAll(tr.WiFi.Values(), tr.LTE.Values(), DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string]ComparisonRow{}
+	for _, r := range rows {
+		if r.RMSEPath1 <= 0 || r.RMSEPath2 <= 0 || math.IsNaN(r.RMSEPath1) || math.IsNaN(r.RMSEPath2) {
+			t.Fatalf("%s has invalid RMSE %v/%v", r.Name, r.RMSEPath1, r.RMSEPath2)
+		}
+		byName[r.Name] = r
+	}
+	ranked := RankByJointRMSE(rows)
+
+	// Shape criterion 1: GPR is the worst model by a clear margin (the
+	// paper excludes it from the scatter as an outlier).
+	if ranked[len(ranked)-1].Name != "GPR" {
+		t.Errorf("worst model = %s, want GPR; ranking tail: %+v", ranked[len(ranked)-1].Name, ranked[len(ranked)-3:])
+	}
+	gpr := byName["GPR"]
+	medianish := ranked[len(ranked)/2]
+	if gpr.RMSEPath1 < 1.3*medianish.RMSEPath1 {
+		t.Errorf("GPR WiFi RMSE %v not an outlier vs median %v", gpr.RMSEPath1, medianish.RMSEPath1)
+	}
+
+	// Shape criterion 2: the tree ensembles RFR and GBR sit in the top
+	// half of the joint ranking (the paper puts them in the lower-left
+	// corner and deploys RFR).
+	rank := map[string]int{}
+	for i, r := range ranked {
+		rank[r.Name] = i
+	}
+	for _, name := range []string{"RFR", "GBR"} {
+		if rank[name] >= 9 {
+			t.Errorf("%s ranked %d of 18, want top half; ranking: %v", name, rank[name]+1, rankNames(ranked))
+		}
+	}
+
+	// Shape criterion 3: WiFi (Path 1) RMSEs are larger than LTE (Path 2)
+	// for the well-behaved models, reflecting the noise-scale ratio.
+	for _, name := range []string{"RFR", "GBR", "LR", "Ridge"} {
+		r := byName[name]
+		if r.RMSEPath1 <= r.RMSEPath2 {
+			t.Errorf("%s: WiFi RMSE %v should exceed LTE RMSE %v", name, r.RMSEPath1, r.RMSEPath2)
+		}
+	}
+}
+
+func rankNames(rows []ComparisonRow) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.Name
+	}
+	return out
+}
+
+func TestRankByJointRMSEDoesNotMutate(t *testing.T) {
+	rows := []ComparisonRow{
+		{Name: "far", RMSEPath1: 10, RMSEPath2: 10},
+		{Name: "near", RMSEPath1: 1, RMSEPath2: 1},
+	}
+	ranked := RankByJointRMSE(rows)
+	if ranked[0].Name != "near" || ranked[1].Name != "far" {
+		t.Errorf("ranking wrong: %v", ranked)
+	}
+	if rows[0].Name != "far" {
+		t.Error("input slice mutated")
+	}
+}

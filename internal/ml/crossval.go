@@ -1,0 +1,56 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossValRMSE runs contiguous-block k-fold cross-validation and returns
+// the per-fold RMSEs and their mean. For time-indexed lag windows,
+// contiguous folds (rather than shuffled ones) keep each validation block
+// temporally coherent, which is the honest protocol for autocorrelated
+// data — shuffled folds leak adjacent windows between train and test.
+// A fresh estimator is built per fold via the spec, so folds never share
+// fitted state.
+func CrossValRMSE(spec ModelSpec, X [][]float64, y []float64, k int) (folds []float64, mean float64, err error) {
+	if k < 2 {
+		return nil, 0, fmt.Errorf("ml: cross-validation needs k ≥ 2, got %d", k)
+	}
+	n := len(X)
+	if n != len(y) {
+		return nil, 0, fmt.Errorf("ml: %d samples but %d targets", n, len(y))
+	}
+	if n < 2*k {
+		return nil, 0, fmt.Errorf("ml: %d samples too few for %d folds", n, k)
+	}
+	folds = make([]float64, 0, k)
+	sum := 0.0
+	for f := 0; f < k; f++ {
+		lo := f * n / k
+		hi := (f + 1) * n / k
+		var trX [][]float64
+		var trY []float64
+		trX = append(trX, X[:lo]...)
+		trX = append(trX, X[hi:]...)
+		trY = append(trY, y[:lo]...)
+		trY = append(trY, y[hi:]...)
+		r := spec.New()
+		if err := r.Fit(trX, trY); err != nil {
+			return nil, 0, fmt.Errorf("ml: fold %d fit: %w", f, err)
+		}
+		pred, err := r.Predict(X[lo:hi])
+		if err != nil {
+			return nil, 0, fmt.Errorf("ml: fold %d predict: %w", f, err)
+		}
+		rmse, err := RMSE(pred, y[lo:hi])
+		if err != nil {
+			return nil, 0, err
+		}
+		if math.IsNaN(rmse) || math.IsInf(rmse, 0) {
+			return nil, 0, fmt.Errorf("ml: fold %d produced non-finite RMSE", f)
+		}
+		folds = append(folds, rmse)
+		sum += rmse
+	}
+	return folds, sum / float64(k), nil
+}

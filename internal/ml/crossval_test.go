@@ -1,0 +1,79 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestCrossValRMSEBasics(t *testing.T) {
+	tr := dataset.Generate(dataset.DefaultConfig())
+	X, y, err := MakeWindows(tr.LTE.Values(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, _ := ModelByName("LR")
+	folds, mean, err := CrossValRMSE(spec, X, y, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(folds) != 5 {
+		t.Fatalf("folds = %v", folds)
+	}
+	sum := 0.0
+	for _, f := range folds {
+		if f <= 0 {
+			t.Errorf("fold RMSE %v", f)
+		}
+		sum += f
+	}
+	if diff := sum/5 - mean; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("mean %v inconsistent with folds", mean)
+	}
+	// A sane model's CV error should sit near its holdout error (same
+	// order of magnitude, not wildly off).
+	res, err := EvaluateOnSeries(NewLinearRegression(), tr.LTE.Values(), DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean > 2*res.RMSE || mean < res.RMSE/2 {
+		t.Errorf("CV mean %v far from holdout %v", mean, res.RMSE)
+	}
+}
+
+func TestCrossValRMSESelectsSensibly(t *testing.T) {
+	// CV must prefer a real model over the paper's broken GPR config.
+	tr := dataset.Generate(dataset.DefaultConfig())
+	X, y, err := MakeWindows(tr.WiFi.Values(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, _ := ModelByName("LR")
+	gpr, _ := ModelByName("GPR")
+	_, lrMean, err := CrossValRMSE(lr, X, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gprMean, err := CrossValRMSE(gpr, X, y, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lrMean >= gprMean {
+		t.Errorf("CV ranked GPR (%v) above LR (%v)", gprMean, lrMean)
+	}
+}
+
+func TestCrossValRMSEValidation(t *testing.T) {
+	spec, _ := ModelByName("LR")
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{1, 2, 3}
+	if _, _, err := CrossValRMSE(spec, X, y, 1); err == nil {
+		t.Error("k=1 should fail")
+	}
+	if _, _, err := CrossValRMSE(spec, X, y, 2); err == nil {
+		t.Error("too few samples should fail")
+	}
+	if _, _, err := CrossValRMSE(spec, X, y[:2], 2); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}

@@ -1,0 +1,171 @@
+package ml
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestMLPLearnsLinearSignal(t *testing.T) {
+	Xtr, ytr := syntheticLinear(300, 101, 0.1)
+	Xte, yte := syntheticLinear(100, 102, 0.1)
+	mlp := NewMLPRegressor()
+	mlp.Epochs = 100
+	if _, err := mlp.Predict(Xte); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if err := mlp.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := mlp.Predict(Xte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := R2(pred, yte)
+	if r2 < 0.9 {
+		t.Errorf("MLP R² = %v on a linear signal", r2)
+	}
+}
+
+func TestMLPLearnsNonlinearSignal(t *testing.T) {
+	Xtr, ytr := syntheticNonlinear(400, 103)
+	Xte, yte := syntheticNonlinear(100, 104)
+	mlp := NewMLPRegressor()
+	mlp.Epochs = 150
+	if err := mlp.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := mlp.Predict(Xte)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := R2(pred, yte)
+	if r2 < 0.8 {
+		t.Errorf("MLP R² = %v on sin+square signal", r2)
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	Xtr, ytr := syntheticLinear(100, 105, 0.2)
+	a, b := NewMLPRegressor(), NewMLPRegressor()
+	a.Epochs, b.Epochs = 30, 30
+	if err := a.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	pa, _ := a.Predict(Xtr[:10])
+	pb, _ := b.Predict(Xtr[:10])
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("MLP not deterministic at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+}
+
+func TestMLPValidation(t *testing.T) {
+	mlp := NewMLPRegressor()
+	if err := mlp.Fit(nil, nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	Xtr, ytr := syntheticLinear(50, 106, 0.1)
+	mlp.Epochs = 5
+	if err := mlp.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mlp.Predict([][]float64{{1}}); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+}
+
+func TestHoltTracksTrend(t *testing.T) {
+	// A pure linear trend: Holt must extrapolate it almost exactly.
+	series := make([]float64, 120)
+	for i := range series {
+		series[i] = 5 + 2*float64(i)
+	}
+	X, y, err := MakeWindows(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewHoltRegressor()
+	if _, err := h.Predict(X); err == nil {
+		t.Error("predict before fit should fail")
+	}
+	if err := h.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := h.Predict(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pred {
+		if math.Abs(pred[i]-y[i]) > 0.5 {
+			t.Fatalf("Holt missed the trend at %d: %v vs %v", i, pred[i], y[i])
+		}
+	}
+}
+
+func TestHoltFixedConstantsSkipGridSearch(t *testing.T) {
+	h := &HoltRegressor{Alpha: 0.7, Beta: 0.2}
+	X, y, _ := MakeWindows([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 3)
+	if err := h.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if h.Alpha != 0.7 || h.Beta != 0.2 {
+		t.Errorf("fixed constants overwritten: %v, %v", h.Alpha, h.Beta)
+	}
+	if _, err := h.Predict([][]float64{{1, 2}}); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+}
+
+func TestHoltOnUQTraceBeatsNothingburger(t *testing.T) {
+	// Sanity: Holt should do clearly better than predicting the series
+	// mean on the autocorrelated trace.
+	tr := dataset.Generate(dataset.DefaultConfig())
+	res, err := EvaluateOnSeries(NewHoltRegressor(), tr.LTE.Values(), DefaultPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.R2 <= 0 {
+		t.Errorf("Holt R² = %v on LTE, want > 0", res.R2)
+	}
+}
+
+func TestExtensionModelsRegistered(t *testing.T) {
+	ext := ExtensionModels()
+	if len(ext) != 2 {
+		t.Fatalf("extension models = %d", len(ext))
+	}
+	for _, spec := range ext {
+		got, err := ModelByName(spec.Name)
+		if err != nil || got.Code != spec.Code {
+			t.Errorf("ModelByName(%s) = %+v, %v", spec.Name, got, err)
+		}
+		r := spec.New()
+		if r.Name() != spec.Name {
+			t.Errorf("Name() = %q, want %q", r.Name(), spec.Name)
+		}
+	}
+	// Paper models must remain exactly eighteen and un-shadowed.
+	if got, err := ModelByName("RFR"); err != nil || got.Code != "R13" {
+		t.Errorf("RFR lookup broke: %+v, %v", got, err)
+	}
+}
+
+func TestExtensionModelsOnTracePipeline(t *testing.T) {
+	// Both extension models must run through the full Fig. 6 pipeline.
+	tr := dataset.Generate(dataset.DefaultConfig())
+	for _, spec := range ExtensionModels() {
+		res, err := EvaluateOnSeries(spec.New(), tr.LTE.Values(), DefaultPipelineConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		if math.IsNaN(res.RMSE) || res.RMSE <= 0 {
+			t.Errorf("%s RMSE = %v", spec.Name, res.RMSE)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// HoltRegressor is Holt's linear-trend exponential smoothing adapted to
+// the lag-window interface: for each window it runs double exponential
+// smoothing over the lag values and extrapolates one step. It is the
+// "time series estimation models" item of the paper's future-work list,
+// and a classical point of comparison for the window regressors — it
+// needs no training beyond picking the smoothing constants on the
+// training windows by grid search.
+type HoltRegressor struct {
+	// Alpha and Beta are the level/trend smoothing constants; when 0 they
+	// are selected by grid search during Fit.
+	Alpha, Beta float64
+
+	nFeatures int
+	fitted    bool
+}
+
+// NewHoltRegressor creates a Holt forecaster with grid-searched constants.
+func NewHoltRegressor() *HoltRegressor { return &HoltRegressor{} }
+
+// Name implements Regressor.
+func (r *HoltRegressor) Name() string { return "Holt" }
+
+// holtForecast runs double exponential smoothing over window and returns
+// the one-step-ahead forecast.
+func holtForecast(window []float64, alpha, beta float64) float64 {
+	level := window[0]
+	trend := 0.0
+	if len(window) > 1 {
+		trend = window[1] - window[0]
+	}
+	for _, v := range window[1:] {
+		prevLevel := level
+		level = alpha*v + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+	}
+	return level + trend
+}
+
+// Fit implements Regressor: when the smoothing constants are unset it
+// grid-searches them to minimize squared one-step error on the training
+// windows; otherwise it only records the feature count.
+func (r *HoltRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	r.nFeatures = p
+	r.fitted = true
+	if r.Alpha > 0 && r.Beta >= 0 {
+		return nil
+	}
+	bestSSE := math.Inf(1)
+	bestA, bestB := 0.5, 0.1
+	for a := 0.1; a <= 0.95; a += 0.05 {
+		for b := 0.0; b <= 0.6; b += 0.05 {
+			sse := 0.0
+			for i, row := range X {
+				d := holtForecast(row, a, b) - y[i]
+				sse += d * d
+			}
+			if sse < bestSSE {
+				bestSSE, bestA, bestB = sse, a, b
+			}
+		}
+	}
+	r.Alpha, r.Beta = bestA, bestB
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *HoltRegressor) Predict(X [][]float64) ([]float64, error) {
+	if !r.fitted {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredict(X, r.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = holtForecast(row, r.Alpha, r.Beta)
+	}
+	return out, nil
+}
+
+// ExtensionModels returns the estimators beyond the paper's eighteen —
+// the future-work models (neural network, classical time-series
+// forecaster) — in the same ModelSpec form so they can be swapped into
+// Hecate or the comparison harness.
+func ExtensionModels() []ModelSpec {
+	return []ModelSpec{
+		{"X1", "MLP", "Multi-Layer Perceptron Regressor", func() Regressor { return NewMLPRegressor() }},
+		{"X2", "Holt", "Holt Linear-Trend Exponential Smoothing", func() Regressor { return NewHoltRegressor() }},
+	}
+}
+
+// init-time sanity: extension codes must not collide with R1…R18.
+var _ = func() error {
+	seen := map[string]bool{}
+	for _, s := range AllModels() {
+		seen[s.Code] = true
+	}
+	for _, s := range ExtensionModels() {
+		if seen[s.Code] {
+			return fmt.Errorf("ml: extension code %s collides", s.Code)
+		}
+	}
+	return nil
+}()

@@ -1,0 +1,68 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// PermutationImportance measures each feature's contribution to a fitted
+// regressor by shuffling one feature column at a time and recording how
+// much the RMSE degrades (the standard model-agnostic importance of
+// Breiman 2001, as in sklearn.inspection.permutation_importance). For the
+// framework it answers the telemetry question behind the lag-10 window
+// choice: *which* history samples actually drive the QoS prediction.
+//
+// The returned slice has one entry per feature: mean RMSE increase over
+// the repeats (≥ 0 up to noise; larger = more important).
+func PermutationImportance(r Regressor, X [][]float64, y []float64, repeats int, seed int64) ([]float64, error) {
+	if len(X) == 0 {
+		return nil, fmt.Errorf("ml: importance needs samples")
+	}
+	if len(X) != len(y) {
+		return nil, fmt.Errorf("ml: importance got %d samples, %d targets", len(X), len(y))
+	}
+	if repeats < 1 {
+		repeats = 5
+	}
+	base, err := r.Predict(X)
+	if err != nil {
+		return nil, err
+	}
+	baseRMSE, err := RMSE(base, y)
+	if err != nil {
+		return nil, err
+	}
+	p := len(X[0])
+	n := len(X)
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, p)
+	shuffled := copyMatrix(X)
+	col := make([]float64, n)
+	for j := 0; j < p; j++ {
+		total := 0.0
+		for rep := 0; rep < repeats; rep++ {
+			for i := range col {
+				col[i] = X[i][j]
+			}
+			rng.Shuffle(n, func(a, b int) { col[a], col[b] = col[b], col[a] })
+			for i := range shuffled {
+				shuffled[i][j] = col[i]
+			}
+			pred, err := r.Predict(shuffled)
+			if err != nil {
+				return nil, err
+			}
+			rmse, err := RMSE(pred, y)
+			if err != nil {
+				return nil, err
+			}
+			total += rmse - baseRMSE
+		}
+		out[j] = total / float64(repeats)
+		// Restore the column for the next feature.
+		for i := range shuffled {
+			shuffled[i][j] = X[i][j]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package ml
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestPermutationImportanceFindsRealFeatures(t *testing.T) {
+	// y depends on features 0 and 1; feature 2 is pure noise.
+	X, y := syntheticLinear(300, 201, 0.05)
+	r := NewLinearRegression()
+	if err := r.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := PermutationImportance(r, X, y, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imp) != 3 {
+		t.Fatalf("importances = %v", imp)
+	}
+	// |coef| order is 3, 2, 0.5 → importance order 1 > 0 > 2.
+	if !(imp[1] > imp[0] && imp[0] > imp[2]) {
+		t.Errorf("importance order wrong: %v", imp)
+	}
+	if imp[2] > imp[0]/2 {
+		t.Errorf("weak feature 2 (%v) too close to real feature 0 (%v)", imp[2], imp[0])
+	}
+}
+
+func TestPermutationImportanceOnLagWindows(t *testing.T) {
+	// On the autocorrelated trace the most recent lag must dominate.
+	tr := dataset.Generate(dataset.DefaultConfig())
+	series := tr.LTE.Values()
+	X, y, err := MakeWindows(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewLinearRegression()
+	if err := r.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	imp, err := PermutationImportance(r, X, y, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := imp[len(imp)-1]
+	for j := 0; j < len(imp)-1; j++ {
+		if imp[j] > last {
+			t.Errorf("lag %d importance %v exceeds most-recent lag %v", j, imp[j], last)
+		}
+	}
+	if last <= 0 {
+		t.Errorf("most recent lag importance = %v, want > 0", last)
+	}
+}
+
+func TestPermutationImportanceValidation(t *testing.T) {
+	r := NewLinearRegression()
+	if _, err := PermutationImportance(r, nil, nil, 3, 1); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := PermutationImportance(r, [][]float64{{1}}, []float64{1, 2}, 3, 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// Unfitted regressor error propagates.
+	if _, err := PermutationImportance(r, [][]float64{{1}}, []float64{1}, 3, 1); err == nil {
+		t.Error("unfitted regressor should fail")
+	}
+}

@@ -1,0 +1,155 @@
+package ml
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+)
+
+// linearModel holds fitted coefficients shared by the linear estimators.
+type linearModel struct {
+	coef      []float64
+	intercept float64
+	nFeatures int
+}
+
+func (m *linearModel) predict(X [][]float64) ([]float64, error) {
+	if err := checkPredict(X, m.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = m.intercept + mat.Dot(m.coef, row)
+	}
+	return out, nil
+}
+
+// Coefficients returns a copy of the fitted weights.
+func (m *linearModel) Coefficients() []float64 {
+	out := make([]float64, len(m.coef))
+	copy(out, m.coef)
+	return out
+}
+
+// Intercept returns the fitted intercept.
+func (m *linearModel) Intercept() float64 { return m.intercept }
+
+// centerData subtracts per-column means from X and the mean from y,
+// returning the centered copies and the means. Linear estimators fit on
+// centered data and recover the intercept as ȳ − w·x̄, the standard
+// scikit-learn preprocessing.
+func centerData(X [][]float64, y []float64) (Xc [][]float64, yc []float64, xMean []float64, yMean float64) {
+	p := len(X[0])
+	xMean = make([]float64, p)
+	for _, row := range X {
+		for j, v := range row {
+			xMean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range xMean {
+		xMean[j] /= n
+	}
+	yMean = mean(y)
+	Xc = make([][]float64, len(X))
+	yc = make([]float64, len(y))
+	for i, row := range X {
+		r := make([]float64, p)
+		for j, v := range row {
+			r[j] = v - xMean[j]
+		}
+		Xc[i] = r
+		yc[i] = y[i] - yMean
+	}
+	return Xc, yc, xMean, yMean
+}
+
+// solveRidge solves (XᵀX + λI)w = Xᵀy on centered data.
+func solveRidge(Xc [][]float64, yc []float64, lambda float64) ([]float64, error) {
+	xm, err := mat.FromRows(Xc)
+	if err != nil {
+		return nil, err
+	}
+	xt := xm.T()
+	gram, err := xt.Mul(xm)
+	if err != nil {
+		return nil, err
+	}
+	gram.AddDiag(lambda)
+	rhs, err := xt.MulVec(yc)
+	if err != nil {
+		return nil, err
+	}
+	w, err := gram.SolveVec(rhs)
+	if err != nil {
+		return nil, fmt.Errorf("ml: ridge system: %w", err)
+	}
+	return w, nil
+}
+
+// LinearRegression is ordinary least squares (R11:LR). The normal
+// equations get a tiny jitter (1e-10) for numerical robustness on nearly
+// collinear lag windows; this does not measurably bias the solution.
+type LinearRegression struct {
+	linearModel
+}
+
+// NewLinearRegression creates an OLS estimator.
+func NewLinearRegression() *LinearRegression { return &LinearRegression{} }
+
+// Name implements Regressor.
+func (r *LinearRegression) Name() string { return "LR" }
+
+// Fit implements Regressor.
+func (r *LinearRegression) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	Xc, yc, xMean, yMean := centerData(X, y)
+	w, err := solveRidge(Xc, yc, 1e-10)
+	if err != nil {
+		return err
+	}
+	r.coef = w
+	r.intercept = yMean - mat.Dot(w, xMean)
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *LinearRegression) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }
+
+// Ridge is L2-regularized least squares (R14:Ridge) with scikit-learn's
+// default alpha = 1.
+type Ridge struct {
+	linearModel
+	// Alpha is the L2 penalty strength.
+	Alpha float64
+}
+
+// NewRidge creates a ridge estimator with the library default alpha = 1.
+func NewRidge() *Ridge { return &Ridge{Alpha: 1} }
+
+// Name implements Regressor.
+func (r *Ridge) Name() string { return "Ridge" }
+
+// Fit implements Regressor.
+func (r *Ridge) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	Xc, yc, xMean, yMean := centerData(X, y)
+	w, err := solveRidge(Xc, yc, r.Alpha)
+	if err != nil {
+		return err
+	}
+	r.coef = w
+	r.intercept = yMean - mat.Dot(w, xMean)
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *Ridge) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }

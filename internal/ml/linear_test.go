@@ -1,0 +1,198 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOLSRecoversExactCoefficients(t *testing.T) {
+	X, y := syntheticLinear(300, 7, 0) // noiseless
+	r := NewLinearRegression()
+	if err := r.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3, 0.5}
+	coef := r.Coefficients()
+	for j := range want {
+		if math.Abs(coef[j]-want[j]) > 1e-6 {
+			t.Errorf("coef[%d] = %v, want %v", j, coef[j], want[j])
+		}
+	}
+	if math.Abs(r.Intercept()-4) > 1e-6 {
+		t.Errorf("intercept = %v, want 4", r.Intercept())
+	}
+}
+
+func TestRidgeShrinksTowardZero(t *testing.T) {
+	X, y := syntheticLinear(100, 11, 0.2)
+	ols := NewLinearRegression()
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	heavy := &Ridge{Alpha: 1e6}
+	if err := heavy.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for j := range ols.Coefficients() {
+		if math.Abs(heavy.Coefficients()[j]) > math.Abs(ols.Coefficients()[j]) {
+			t.Errorf("heavy ridge coef %d (%v) larger than OLS (%v)",
+				j, heavy.Coefficients()[j], ols.Coefficients()[j])
+		}
+		if math.Abs(heavy.Coefficients()[j]) > 0.01 {
+			t.Errorf("alpha=1e6 should crush coef %d, got %v", j, heavy.Coefficients()[j])
+		}
+	}
+}
+
+func TestLassoProducesSparsity(t *testing.T) {
+	X, y := syntheticLinear(200, 13, 0.1)
+	las := &Lasso{Alpha: 10, MaxIter: 1000, Tol: 1e-6}
+	if err := las.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With a huge penalty every coefficient must be exactly zero — the
+	// soft-threshold property that distinguishes L1 from L2.
+	for j, c := range las.Coefficients() {
+		if c != 0 {
+			t.Errorf("alpha=10: coef %d = %v, want exactly 0", j, c)
+		}
+	}
+	// With a tiny penalty, lasso approaches OLS.
+	lite := &Lasso{Alpha: 1e-6, MaxIter: 5000, Tol: 1e-10}
+	if err := lite.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3, 0.5}
+	for j := range want {
+		if math.Abs(lite.Coefficients()[j]-want[j]) > 0.05 {
+			t.Errorf("light lasso coef %d = %v, want ≈%v", j, lite.Coefficients()[j], want[j])
+		}
+	}
+}
+
+func TestElasticNetBetweenLassoAndRidge(t *testing.T) {
+	X, y := syntheticLinear(200, 17, 0.1)
+	en := &ElasticNet{Alpha: 0.5, L1Ratio: 0.5, MaxIter: 2000, Tol: 1e-8}
+	if err := en.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Must shrink relative to OLS but keep the dominant signs.
+	coef := en.Coefficients()
+	if coef[0] <= 0 || coef[1] >= 0 {
+		t.Errorf("elastic net lost the signal signs: %v", coef)
+	}
+	if math.Abs(coef[0]) > 2 || math.Abs(coef[1]) > 3 {
+		t.Errorf("elastic net failed to shrink: %v", coef)
+	}
+}
+
+func TestHuberIgnoresOutliers(t *testing.T) {
+	X, y := syntheticLinear(200, 19, 0.05)
+	// Corrupt 10% of targets catastrophically.
+	for i := 0; i < 20; i++ {
+		y[i*10] += 500
+	}
+	hub := NewHuberRegressor()
+	if err := hub.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	ols := NewLinearRegression()
+	if err := ols.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// Huber's coefficients should stay near the truth; OLS gets dragged.
+	want := []float64{2, -3, 0.5}
+	hubErr, olsErr := 0.0, 0.0
+	for j := range want {
+		hubErr += math.Abs(hub.Coefficients()[j] - want[j])
+		olsErr += math.Abs(ols.Coefficients()[j] - want[j])
+	}
+	if hubErr > 0.5 {
+		t.Errorf("huber coefficient error %v too large", hubErr)
+	}
+	if hubErr >= olsErr {
+		t.Errorf("huber (%v) should beat OLS (%v) under outliers", hubErr, olsErr)
+	}
+}
+
+func TestRANSACIgnoresOutliers(t *testing.T) {
+	X, y := syntheticLinear(200, 23, 0.05)
+	for i := 0; i < 20; i++ {
+		y[i*10] += 500
+	}
+	ran := NewRANSACRegressor()
+	if err := ran.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3, 0.5}
+	for j := range want {
+		if math.Abs(ran.Coefficients()[j]-want[j]) > 0.3 {
+			t.Errorf("RANSAC coef %d = %v, want ≈%v", j, ran.Coefficients()[j], want[j])
+		}
+	}
+}
+
+func TestRANSACNeedsEnoughSamples(t *testing.T) {
+	r := NewRANSACRegressor()
+	if err := r.Fit([][]float64{{1, 2, 3}}, []float64{1}); err == nil {
+		t.Error("1 sample for 3 features should fail")
+	}
+}
+
+func TestTheilSenRobustness(t *testing.T) {
+	X, y := syntheticLinear(200, 29, 0.05)
+	for i := 0; i < 20; i++ {
+		y[i*10] += 500
+	}
+	ts := NewTheilSenRegressor()
+	if err := ts.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, -3, 0.5}
+	for j := range want {
+		if math.Abs(ts.Coefficients()[j]-want[j]) > 0.5 {
+			t.Errorf("Theil-Sen coef %d = %v, want ≈%v", j, ts.Coefficients()[j], want[j])
+		}
+	}
+	if err := ts.Fit([][]float64{{1, 2, 3}}, []float64{1}); err == nil {
+		t.Error("1 sample for 3 features should fail")
+	}
+}
+
+func TestARDPrunesIrrelevantFeatures(t *testing.T) {
+	// y depends on features 0 and 1 only; features 2..5 are noise.
+	X, yBase := syntheticLinear(300, 31, 0.05)
+	Xwide := make([][]float64, len(X))
+	for i, row := range X {
+		Xwide[i] = append(append([]float64{}, row...), float64(i%7)-3, float64(i%3)-1, float64(i%11)-5)
+	}
+	ard := NewARDRegression()
+	if err := ard.Fit(Xwide, yBase); err != nil {
+		t.Fatal(err)
+	}
+	coef := ard.Coefficients()
+	if math.Abs(coef[0]-2) > 0.1 || math.Abs(coef[1]+3) > 0.1 {
+		t.Errorf("ARD lost the real signal: %v", coef)
+	}
+	for j := 3; j < 6; j++ {
+		if math.Abs(coef[j]) > 0.1 {
+			t.Errorf("ARD kept irrelevant feature %d: %v", j, coef[j])
+		}
+	}
+}
+
+func TestSGDConvergesOnStandardizedData(t *testing.T) {
+	X, y := syntheticLinear(400, 37, 0.1)
+	sgd := NewSGDRegressor()
+	if err := sgd.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := sgd.Predict(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := R2(pred, y)
+	if r2 < 0.95 {
+		t.Errorf("SGD train R² = %v, want ≥ 0.95", r2)
+	}
+}

@@ -1,0 +1,64 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// RMSE returns the root mean squared error between predictions and
+// observations — the model-selection metric of Fig. 6.
+func RMSE(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, fmt.Errorf("ml: RMSE length mismatch %d vs %d", len(pred), len(obs))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("ml: RMSE of empty vectors")
+	}
+	s := 0.0
+	for i := range pred {
+		d := pred[i] - obs[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(pred))), nil
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, fmt.Errorf("ml: MAE length mismatch %d vs %d", len(pred), len(obs))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("ml: MAE of empty vectors")
+	}
+	s := 0.0
+	for i := range pred {
+		s += math.Abs(pred[i] - obs[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// R2 returns the coefficient of determination (1 − SSres/SStot). A model
+// predicting the mean scores 0; perfect prediction scores 1.
+func R2(pred, obs []float64) (float64, error) {
+	if len(pred) != len(obs) {
+		return 0, fmt.Errorf("ml: R2 length mismatch %d vs %d", len(pred), len(obs))
+	}
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("ml: R2 of empty vectors")
+	}
+	m := mean(obs)
+	ssRes, ssTot := 0.0, 0.0
+	for i := range obs {
+		r := obs[i] - pred[i]
+		ssRes += r * r
+		d := obs[i] - m
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}

@@ -1,0 +1,60 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRMSE(t *testing.T) {
+	got, err := RMSE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Errorf("perfect RMSE = %v, %v", got, err)
+	}
+	got, err = RMSE([]float64{0, 0}, []float64{3, 4})
+	if err != nil || math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Errorf("RMSE = %v, want sqrt(12.5)", got)
+	}
+	if _, err := RMSE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := RMSE(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestMAE(t *testing.T) {
+	got, err := MAE([]float64{0, 0}, []float64{3, -5})
+	if err != nil || got != 4 {
+		t.Errorf("MAE = %v, want 4", got)
+	}
+	if _, err := MAE([]float64{1}, []float64{}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := MAE(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}
+
+func TestR2(t *testing.T) {
+	obs := []float64{1, 2, 3, 4}
+	if got, _ := R2(obs, obs); got != 1 {
+		t.Errorf("perfect R2 = %v, want 1", got)
+	}
+	meanPred := []float64{2.5, 2.5, 2.5, 2.5}
+	if got, _ := R2(meanPred, obs); math.Abs(got) > 1e-12 {
+		t.Errorf("mean-prediction R2 = %v, want 0", got)
+	}
+	// Constant observations: perfect → 1, imperfect → 0.
+	if got, _ := R2([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Error("constant obs, perfect pred should give 1")
+	}
+	if got, _ := R2([]float64{4, 6}, []float64{5, 5}); got != 0 {
+		t.Error("constant obs, imperfect pred should give 0")
+	}
+	if _, err := R2([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := R2(nil, nil); err == nil {
+		t.Error("empty should fail")
+	}
+}

@@ -1,0 +1,106 @@
+// Package ml implements, from scratch on the standard library, the
+// eighteen regression estimators the paper evaluates with scikit-learn
+// (Section V-A2, R1–R18), plus the supporting pipeline pieces: the
+// StandardScaler, the lag-window featurizer that turns a bandwidth series
+// into a supervised dataset (10 historical values → the next value), and
+// the RMSE model-selection harness that reproduces Fig. 6.
+//
+// Estimators follow scikit-learn's default hyperparameters where the
+// algorithm is reproduced exactly, and document their simplifications
+// where a full reproduction is out of scope (see the individual types).
+// All stochastic estimators take explicit seeds and are fully
+// deterministic.
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Regressor is the estimator interface shared by all eighteen models: fit
+// on rows of features against targets, then predict targets for new rows.
+// Implementations are single-goroutine objects; fit and predict must not
+// be called concurrently on the same value.
+type Regressor interface {
+	// Name returns the short name used in the paper's legend (e.g. "RFR").
+	Name() string
+	// Fit trains the estimator. X is row-major (one sample per row).
+	Fit(X [][]float64, y []float64) error
+	// Predict returns one prediction per row of X. It fails if called
+	// before Fit or with a mismatched feature count.
+	Predict(X [][]float64) ([]float64, error)
+}
+
+// ErrNotFitted is returned by Predict before a successful Fit.
+var ErrNotFitted = errors.New("ml: estimator is not fitted")
+
+// checkFit validates a training set and returns its feature count.
+func checkFit(X [][]float64, y []float64) (int, error) {
+	if len(X) == 0 {
+		return 0, errors.New("ml: empty training set")
+	}
+	if len(X) != len(y) {
+		return 0, fmt.Errorf("ml: %d samples but %d targets", len(X), len(y))
+	}
+	p := len(X[0])
+	if p == 0 {
+		return 0, errors.New("ml: samples have no features")
+	}
+	for i, row := range X {
+		if len(row) != p {
+			return 0, fmt.Errorf("ml: ragged sample %d: %d features, want %d", i, len(row), p)
+		}
+	}
+	return p, nil
+}
+
+// checkPredict validates a prediction set against the fitted feature
+// count.
+func checkPredict(X [][]float64, p int) error {
+	if p == 0 {
+		return ErrNotFitted
+	}
+	for i, row := range X {
+		if len(row) != p {
+			return fmt.Errorf("ml: sample %d has %d features, want %d", i, len(row), p)
+		}
+	}
+	return nil
+}
+
+// mean returns the arithmetic mean of v (0 for empty input).
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// variance returns the population variance of v.
+func variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := mean(v)
+	s := 0.0
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// copyMatrix deep-copies a row-major sample matrix.
+func copyMatrix(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		r := make([]float64, len(row))
+		copy(r, row)
+		out[i] = r
+	}
+	return out
+}

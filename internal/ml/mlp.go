@@ -1,0 +1,199 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// MLPRegressor is a single-hidden-layer feed-forward neural network
+// trained with Adam on squared loss — the "neural networks" item of the
+// paper's future-work list (Section VII), provided as an extension model
+// beyond the eighteen evaluated regressors. Defaults follow
+// sklearn.neural_network.MLPRegressor: 100 ReLU units, Adam with
+// lr=1e-3, beta1=0.9, beta2=0.999, L2 alpha=1e-4, up to 200 epochs with
+// minibatches of 32.
+type MLPRegressor struct {
+	// Hidden is the hidden layer width.
+	Hidden int
+	// LearningRate is Adam's step size.
+	LearningRate float64
+	// Alpha is the L2 penalty.
+	Alpha float64
+	// Epochs bounds training passes.
+	Epochs int
+	// BatchSize is the minibatch size.
+	BatchSize int
+	// Seed makes initialization and shuffling reproducible.
+	Seed int64
+
+	// Parameters: x → ReLU(x·W1 + b1) → ·W2 + b2.
+	w1        [][]float64 // [in][hidden]
+	b1        []float64
+	w2        []float64 // [hidden]
+	b2        float64
+	nFeatures int
+}
+
+// NewMLPRegressor creates an MLP with library-default hyperparameters.
+func NewMLPRegressor() *MLPRegressor {
+	return &MLPRegressor{
+		Hidden: 100, LearningRate: 1e-3, Alpha: 1e-4,
+		Epochs: 200, BatchSize: 32, Seed: 42,
+	}
+}
+
+// Name implements Regressor.
+func (r *MLPRegressor) Name() string { return "MLP" }
+
+// forward computes the hidden activations and output for one sample.
+func (r *MLPRegressor) forward(x []float64, hidden []float64) float64 {
+	for j := 0; j < r.Hidden; j++ {
+		s := r.b1[j]
+		for i, xi := range x {
+			s += xi * r.w1[i][j]
+		}
+		if s < 0 {
+			s = 0 // ReLU
+		}
+		hidden[j] = s
+	}
+	return r.b2 + mat.Dot(r.w2, hidden)
+}
+
+// Fit implements Regressor.
+func (r *MLPRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	if r.Hidden < 1 {
+		r.Hidden = 100
+	}
+	if r.BatchSize < 1 {
+		r.BatchSize = 32
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	r.nFeatures = p
+
+	// He initialization for the ReLU layer.
+	scale1 := math.Sqrt(2 / float64(p))
+	r.w1 = make([][]float64, p)
+	for i := range r.w1 {
+		r.w1[i] = make([]float64, r.Hidden)
+		for j := range r.w1[i] {
+			r.w1[i][j] = rng.NormFloat64() * scale1
+		}
+	}
+	r.b1 = make([]float64, r.Hidden)
+	scale2 := math.Sqrt(1 / float64(r.Hidden))
+	r.w2 = make([]float64, r.Hidden)
+	for j := range r.w2 {
+		r.w2[j] = rng.NormFloat64() * scale2
+	}
+	r.b2 = mean(y)
+
+	// Adam state.
+	type adam struct{ m, v float64 }
+	mw1 := make([][]adam, p)
+	for i := range mw1 {
+		mw1[i] = make([]adam, r.Hidden)
+	}
+	mb1 := make([]adam, r.Hidden)
+	mw2 := make([]adam, r.Hidden)
+	var mb2 adam
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	adamStep := func(a *adam, grad float64) float64 {
+		a.m = beta1*a.m + (1-beta1)*grad
+		a.v = beta2*a.v + (1-beta2)*grad*grad
+		mHat := a.m / (1 - math.Pow(beta1, float64(step)))
+		vHat := a.v / (1 - math.Pow(beta2, float64(step)))
+		return r.LearningRate * mHat / (math.Sqrt(vHat) + eps)
+	}
+
+	n := len(X)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	hidden := make([]float64, r.Hidden)
+	gw1 := make([][]float64, p)
+	for i := range gw1 {
+		gw1[i] = make([]float64, r.Hidden)
+	}
+	gb1 := make([]float64, r.Hidden)
+	gw2 := make([]float64, r.Hidden)
+
+	for epoch := 0; epoch < r.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < n; start += r.BatchSize {
+			end := start + r.BatchSize
+			if end > n {
+				end = n
+			}
+			batch := idx[start:end]
+			// Zero gradients.
+			for i := range gw1 {
+				for j := range gw1[i] {
+					gw1[i][j] = 0
+				}
+			}
+			for j := range gb1 {
+				gb1[j] = 0
+				gw2[j] = 0
+			}
+			gb2 := 0.0
+			// Accumulate over the minibatch.
+			for _, k := range batch {
+				pred := r.forward(X[k], hidden)
+				diff := pred - y[k]
+				gb2 += diff
+				for j := 0; j < r.Hidden; j++ {
+					gw2[j] += diff * hidden[j]
+					if hidden[j] > 0 { // ReLU derivative
+						gh := diff * r.w2[j]
+						gb1[j] += gh
+						for i, xi := range X[k] {
+							gw1[i][j] += gh * xi
+						}
+					}
+				}
+			}
+			inv := 1 / float64(len(batch))
+			step++
+			// Apply Adam updates with L2 decay.
+			for i := 0; i < p; i++ {
+				for j := 0; j < r.Hidden; j++ {
+					g := gw1[i][j]*inv + r.Alpha*r.w1[i][j]
+					r.w1[i][j] -= adamStep(&mw1[i][j], g)
+				}
+			}
+			for j := 0; j < r.Hidden; j++ {
+				r.b1[j] -= adamStep(&mb1[j], gb1[j]*inv)
+				g := gw2[j]*inv + r.Alpha*r.w2[j]
+				r.w2[j] -= adamStep(&mw2[j], g)
+			}
+			r.b2 -= adamStep(&mb2, gb2*inv)
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *MLPRegressor) Predict(X [][]float64) ([]float64, error) {
+	if r.w1 == nil {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredict(X, r.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	hidden := make([]float64, r.Hidden)
+	for i, row := range X {
+		out[i] = r.forward(row, hidden)
+	}
+	return out, nil
+}

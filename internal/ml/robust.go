@@ -1,0 +1,320 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// HuberRegressor (R9:HuberR) minimizes the Huber loss — quadratic for
+// small residuals, linear beyond epsilon·σ — by iteratively reweighted
+// least squares with the robust scale σ re-estimated from the residual MAD
+// each iteration. Epsilon defaults to scikit-learn's 1.35.
+type HuberRegressor struct {
+	linearModel
+	// Epsilon is the quadratic/linear crossover in robust σ units.
+	Epsilon float64
+	// MaxIter bounds IRLS iterations.
+	MaxIter int
+	// Tol stops IRLS when coefficients move less than this.
+	Tol float64
+}
+
+// NewHuberRegressor creates a Huber estimator with library defaults.
+func NewHuberRegressor() *HuberRegressor {
+	return &HuberRegressor{Epsilon: 1.35, MaxIter: 100, Tol: 1e-6}
+}
+
+// Name implements Regressor.
+func (r *HuberRegressor) Name() string { return "HuberR" }
+
+// Fit implements Regressor.
+func (r *HuberRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	Xc, yc, xMean, yMean := centerData(X, y)
+	w := make([]float64, p)
+	var b float64
+	for it := 0; it < r.MaxIter; it++ {
+		// Residuals under the current model.
+		res := make([]float64, len(Xc))
+		for i, row := range Xc {
+			res[i] = yc[i] - b - mat.Dot(w, row)
+		}
+		sigma := madScale(res)
+		if sigma < 1e-9 {
+			sigma = 1e-9
+		}
+		// IRLS weights: 1 inside epsilon·σ, epsilon·σ/|r| outside.
+		cut := r.Epsilon * sigma
+		wr := make([]float64, len(res))
+		for i, rv := range res {
+			if a := math.Abs(rv); a <= cut || a == 0 {
+				wr[i] = 1
+			} else {
+				wr[i] = cut / a
+			}
+		}
+		// Weighted ridge solve: (XᵀWX + λI)w = XᵀW(y − b).
+		wNew, bNew, err := weightedLeastSquares(Xc, yc, wr)
+		if err != nil {
+			return err
+		}
+		delta := math.Abs(bNew - b)
+		for j := range w {
+			if d := math.Abs(wNew[j] - w[j]); d > delta {
+				delta = d
+			}
+		}
+		w, b = wNew, bNew
+		if delta < r.Tol {
+			break
+		}
+	}
+	r.coef = w
+	r.intercept = yMean + b - mat.Dot(w, xMean)
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *HuberRegressor) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }
+
+// madScale returns the residual scale as 1.4826·median(|r − median(r)|),
+// the consistent estimator of σ under normality.
+func madScale(res []float64) float64 {
+	m := median(res)
+	abs := make([]float64, len(res))
+	for i, v := range res {
+		abs[i] = math.Abs(v - m)
+	}
+	return 1.4826 * median(abs)
+}
+
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := make([]float64, len(v))
+	copy(s, v)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// weightedLeastSquares solves the per-sample weighted normal equations on
+// centered data, returning coefficients and an intercept adjustment.
+func weightedLeastSquares(Xc [][]float64, yc, weights []float64) ([]float64, float64, error) {
+	p := len(Xc[0])
+	// Augment with an intercept column, then solve (AᵀWA + λI)β = AᵀWy.
+	gram := mat.NewMatrix(p+1, p+1)
+	rhs := make([]float64, p+1)
+	for i, row := range Xc {
+		wi := weights[i]
+		// Row augmented: [x..., 1].
+		for a := 0; a <= p; a++ {
+			xa := 1.0
+			if a < p {
+				xa = row[a]
+			}
+			rhs[a] += wi * xa * yc[i]
+			for b := a; b <= p; b++ {
+				xb := 1.0
+				if b < p {
+					xb = row[b]
+				}
+				gram.Data[a*(p+1)+b] += wi * xa * xb
+			}
+		}
+	}
+	// Mirror the upper triangle.
+	for a := 0; a <= p; a++ {
+		for b := a + 1; b <= p; b++ {
+			gram.Data[b*(p+1)+a] = gram.Data[a*(p+1)+b]
+		}
+	}
+	gram.AddDiag(1e-8)
+	sol, err := gram.SolveVec(rhs)
+	if err != nil {
+		return nil, 0, fmt.Errorf("ml: weighted least squares: %w", err)
+	}
+	return sol[:p], sol[p], nil
+}
+
+// RANSACRegressor (R12:RANSACR) fits OLS on random minimal subsets,
+// scores each by its inlier count under a MAD-derived residual threshold,
+// and refits on the best consensus set — the RANdom SAmple Consensus
+// procedure with scikit-learn's default trial budget.
+type RANSACRegressor struct {
+	linearModel
+	// MaxTrials is the number of random minimal subsets tried.
+	MaxTrials int
+	// Seed makes subset sampling reproducible.
+	Seed int64
+}
+
+// NewRANSACRegressor creates a RANSAC estimator with library defaults.
+func NewRANSACRegressor() *RANSACRegressor {
+	return &RANSACRegressor{MaxTrials: 100, Seed: 42}
+}
+
+// Name implements Regressor.
+func (r *RANSACRegressor) Name() string { return "RANSACR" }
+
+// Fit implements Regressor.
+func (r *RANSACRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	minSamples := p + 1
+	if minSamples > len(X) {
+		return fmt.Errorf("ml: RANSAC needs ≥ %d samples, got %d", minSamples, len(X))
+	}
+	// Residual threshold: MAD of y, sklearn's default.
+	dev := make([]float64, len(y))
+	m := median(y)
+	for i, v := range y {
+		dev[i] = math.Abs(v - m)
+	}
+	threshold := median(dev)
+	if threshold < 1e-9 {
+		threshold = 1e-9
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	base := NewLinearRegression()
+	bestInliers := -1
+	var bestMask []bool
+	for trial := 0; trial < r.MaxTrials; trial++ {
+		idx := rng.Perm(len(X))[:minSamples]
+		sx := make([][]float64, minSamples)
+		sy := make([]float64, minSamples)
+		for i, id := range idx {
+			sx[i] = X[id]
+			sy[i] = y[id]
+		}
+		if err := base.Fit(sx, sy); err != nil {
+			continue
+		}
+		pred, err := base.Predict(X)
+		if err != nil {
+			continue
+		}
+		mask := make([]bool, len(X))
+		count := 0
+		for i := range X {
+			if math.Abs(pred[i]-y[i]) <= threshold {
+				mask[i] = true
+				count++
+			}
+		}
+		if count > bestInliers {
+			bestInliers = count
+			bestMask = mask
+		}
+	}
+	if bestInliers < minSamples {
+		// Degenerate data: fall back to a plain OLS fit on everything.
+		bestMask = make([]bool, len(X))
+		for i := range bestMask {
+			bestMask[i] = true
+		}
+	}
+	var ix [][]float64
+	var iy []float64
+	for i, ok := range bestMask {
+		if ok {
+			ix = append(ix, X[i])
+			iy = append(iy, y[i])
+		}
+	}
+	final := NewLinearRegression()
+	if err := final.Fit(ix, iy); err != nil {
+		return err
+	}
+	r.coef = final.coef
+	r.intercept = final.intercept
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *RANSACRegressor) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }
+
+// TheilSenRegressor (R18:TheilSenR) estimates coefficients as the
+// coordinate-wise median of OLS solutions over many random subsets of size
+// n_features+1. scikit-learn uses the spatial (geometric) median; the
+// coordinate-wise median is the standard lightweight surrogate and shares
+// its breakdown robustness — the documented simplification for this
+// estimator.
+type TheilSenRegressor struct {
+	linearModel
+	// NSubsamples is the number of random minimal subsets solved.
+	NSubsamples int
+	// Seed makes subset sampling reproducible.
+	Seed int64
+}
+
+// NewTheilSenRegressor creates a Theil-Sen estimator.
+func NewTheilSenRegressor() *TheilSenRegressor {
+	return &TheilSenRegressor{NSubsamples: 300, Seed: 42}
+}
+
+// Name implements Regressor.
+func (r *TheilSenRegressor) Name() string { return "TheilSenR" }
+
+// Fit implements Regressor.
+func (r *TheilSenRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	size := p + 1
+	if size > len(X) {
+		return fmt.Errorf("ml: Theil-Sen needs ≥ %d samples, got %d", size, len(X))
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	base := NewLinearRegression()
+	coefSamples := make([][]float64, 0, r.NSubsamples)
+	interceptSamples := make([]float64, 0, r.NSubsamples)
+	for trial := 0; trial < r.NSubsamples; trial++ {
+		idx := rng.Perm(len(X))[:size]
+		sx := make([][]float64, size)
+		sy := make([]float64, size)
+		for i, id := range idx {
+			sx[i] = X[id]
+			sy[i] = y[id]
+		}
+		if err := base.Fit(sx, sy); err != nil {
+			continue
+		}
+		coefSamples = append(coefSamples, base.Coefficients())
+		interceptSamples = append(interceptSamples, base.Intercept())
+	}
+	if len(coefSamples) == 0 {
+		return fmt.Errorf("ml: Theil-Sen found no solvable subsets")
+	}
+	w := make([]float64, p)
+	col := make([]float64, len(coefSamples))
+	for j := 0; j < p; j++ {
+		for i, c := range coefSamples {
+			col[i] = c[j]
+		}
+		w[j] = median(col)
+	}
+	r.coef = w
+	r.intercept = median(interceptSamples)
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *TheilSenRegressor) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }

@@ -1,0 +1,138 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// StandardScaler re-scales each feature to zero mean and unit variance,
+// mirroring sklearn.preprocessing.StandardScaler. The paper fits the
+// scaler on the training split and transforms the test split with the
+// training statistics, then inverse-transforms predictions back to Mbit/s
+// before computing RMSE — the same protocol this type supports.
+type StandardScaler struct {
+	// Mean and Scale hold the per-feature statistics after Fit.
+	Mean  []float64
+	Scale []float64
+}
+
+// Fit computes per-feature means and standard deviations. Features with
+// zero variance get scale 1 so transforming them is a no-op shift, exactly
+// like scikit-learn.
+func (s *StandardScaler) Fit(X [][]float64) error {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return errors.New("ml: scaler needs a non-empty matrix")
+	}
+	p := len(X[0])
+	s.Mean = make([]float64, p)
+	s.Scale = make([]float64, p)
+	for _, row := range X {
+		if len(row) != p {
+			return fmt.Errorf("ml: scaler got ragged rows")
+		}
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Scale[j] += d * d
+		}
+	}
+	for j := range s.Scale {
+		s.Scale[j] = math.Sqrt(s.Scale[j] / n)
+		if s.Scale[j] == 0 {
+			s.Scale[j] = 1
+		}
+	}
+	return nil
+}
+
+// Transform returns (x - mean) / scale per feature, as new slices.
+func (s *StandardScaler) Transform(X [][]float64) ([][]float64, error) {
+	if s.Mean == nil {
+		return nil, ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		if len(row) != len(s.Mean) {
+			return nil, fmt.Errorf("ml: scaler transform: row %d has %d features, want %d", i, len(row), len(s.Mean))
+		}
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = (v - s.Mean[j]) / s.Scale[j]
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// InverseTransform maps scaled values back to the original units.
+func (s *StandardScaler) InverseTransform(X [][]float64) ([][]float64, error) {
+	if s.Mean == nil {
+		return nil, ErrNotFitted
+	}
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		if len(row) != len(s.Mean) {
+			return nil, fmt.Errorf("ml: scaler inverse: row %d has %d features, want %d", i, len(row), len(s.Mean))
+		}
+		r := make([]float64, len(row))
+		for j, v := range row {
+			r[j] = v*s.Scale[j] + s.Mean[j]
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// ScalarScaler is the one-dimensional convenience used on a single
+// bandwidth series: it wraps StandardScaler for vectors.
+type ScalarScaler struct {
+	inner StandardScaler
+}
+
+// Fit computes the series statistics.
+func (s *ScalarScaler) Fit(v []float64) error {
+	rows := make([][]float64, len(v))
+	for i, x := range v {
+		rows[i] = []float64{x}
+	}
+	return s.inner.Fit(rows)
+}
+
+// Transform scales a vector.
+func (s *ScalarScaler) Transform(v []float64) ([]float64, error) {
+	if s.inner.Mean == nil {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = (x - s.inner.Mean[0]) / s.inner.Scale[0]
+	}
+	return out, nil
+}
+
+// Inverse un-scales a vector.
+func (s *ScalarScaler) Inverse(v []float64) ([]float64, error) {
+	if s.inner.Mean == nil {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x*s.inner.Scale[0] + s.inner.Mean[0]
+	}
+	return out, nil
+}
+
+// Mean returns the fitted mean of the series.
+func (s *ScalarScaler) Mean() float64 { return s.inner.Mean[0] }
+
+// Scale returns the fitted standard deviation of the series.
+func (s *ScalarScaler) Scale() float64 { return s.inner.Scale[0] }

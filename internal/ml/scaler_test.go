@@ -1,0 +1,139 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStandardScalerBasics(t *testing.T) {
+	X := [][]float64{{1, 100}, {2, 200}, {3, 300}}
+	var s StandardScaler
+	if err := s.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each column must have mean 0 and std 1.
+	for j := 0; j < 2; j++ {
+		m, ss := 0.0, 0.0
+		for i := range out {
+			m += out[i][j]
+		}
+		m /= float64(len(out))
+		for i := range out {
+			d := out[i][j] - m
+			ss += d * d
+		}
+		std := math.Sqrt(ss / float64(len(out)))
+		if math.Abs(m) > 1e-12 || math.Abs(std-1) > 1e-12 {
+			t.Errorf("column %d: mean %v std %v", j, m, std)
+		}
+	}
+	back, err := s.InverseTransform(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		for j := range X[i] {
+			if math.Abs(back[i][j]-X[i][j]) > 1e-9 {
+				t.Errorf("inverse transform drifted at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestStandardScalerZeroVariance(t *testing.T) {
+	X := [][]float64{{5, 1}, {5, 2}, {5, 3}}
+	var s StandardScaler
+	if err := s.Fit(X); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i][0] != 0 {
+			t.Errorf("constant column should transform to 0, got %v", out[i][0])
+		}
+	}
+}
+
+func TestStandardScalerErrors(t *testing.T) {
+	var s StandardScaler
+	if err := s.Fit(nil); err == nil {
+		t.Error("empty fit should fail")
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Error("transform before fit should fail")
+	}
+	if _, err := s.InverseTransform([][]float64{{1}}); err == nil {
+		t.Error("inverse before fit should fail")
+	}
+	if err := s.Fit([][]float64{{1, 2}, {3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Transform([][]float64{{1}}); err == nil {
+		t.Error("feature mismatch should fail")
+	}
+	if _, err := s.InverseTransform([][]float64{{1}}); err == nil {
+		t.Error("inverse feature mismatch should fail")
+	}
+	if err := s.Fit([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged fit should fail")
+	}
+}
+
+func TestScalarScalerRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		v := make([]float64, 50)
+		for i := range v {
+			v[i] = rng.NormFloat64()*17 + 42
+		}
+		var s ScalarScaler
+		if err := s.Fit(v); err != nil {
+			return false
+		}
+		scaled, err := s.Transform(v)
+		if err != nil {
+			return false
+		}
+		back, err := s.Inverse(scaled)
+		if err != nil {
+			return false
+		}
+		for i := range v {
+			if math.Abs(back[i]-v[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarScalerAccessors(t *testing.T) {
+	var s ScalarScaler
+	if _, err := s.Transform([]float64{1}); err == nil {
+		t.Error("transform before fit should fail")
+	}
+	if _, err := s.Inverse([]float64{1}); err == nil {
+		t.Error("inverse before fit should fail")
+	}
+	if err := s.Fit([]float64{2, 4, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean() != 4 {
+		t.Errorf("Mean = %v, want 4", s.Mean())
+	}
+	if math.Abs(s.Scale()-math.Sqrt(8.0/3)) > 1e-12 {
+		t.Errorf("Scale = %v", s.Scale())
+	}
+}

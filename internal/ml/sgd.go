@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// SGDRegressor (R15:SGDR) minimizes squared loss with an L2 penalty by
+// stochastic gradient descent, following scikit-learn's defaults:
+// alpha = 1e-4, eta = eta0/t^0.25 (invscaling) with eta0 = 0.01, up to
+// 1000 epochs with shuffling.
+type SGDRegressor struct {
+	linearModel
+	// Alpha is the L2 penalty.
+	Alpha float64
+	// Eta0 is the initial learning rate.
+	Eta0 float64
+	// PowerT is the invscaling exponent.
+	PowerT float64
+	// MaxEpochs bounds passes over the data.
+	MaxEpochs int
+	// Tol stops training when the epoch loss improves less than this.
+	Tol float64
+	// Seed makes shuffling reproducible.
+	Seed int64
+}
+
+// NewSGDRegressor creates an SGD estimator with library defaults.
+func NewSGDRegressor() *SGDRegressor {
+	return &SGDRegressor{Alpha: 1e-4, Eta0: 0.01, PowerT: 0.25, MaxEpochs: 1000, Tol: 1e-3, Seed: 42}
+}
+
+// Name implements Regressor.
+func (r *SGDRegressor) Name() string { return "SGDR" }
+
+// Fit implements Regressor.
+func (r *SGDRegressor) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	w := make([]float64, p)
+	b := 0.0
+	t := 1.0
+	bestLoss := math.Inf(1)
+	noImprove := 0
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < r.MaxEpochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss := 0.0
+		for _, i := range idx {
+			eta := r.Eta0 / math.Pow(t, r.PowerT)
+			t++
+			pred := b + mat.Dot(w, X[i])
+			errV := pred - y[i]
+			epochLoss += errV * errV / 2
+			for j, x := range X[i] {
+				w[j] -= eta * (errV*x + r.Alpha*w[j])
+			}
+			b -= eta * errV
+		}
+		epochLoss /= float64(len(X))
+		// sklearn's n_iter_no_change=5 early stopping on training loss.
+		if epochLoss > bestLoss-r.Tol {
+			noImprove++
+			if noImprove >= 5 {
+				break
+			}
+		} else {
+			noImprove = 0
+		}
+		if epochLoss < bestLoss {
+			bestLoss = epochLoss
+		}
+	}
+	r.coef = w
+	r.intercept = b
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *SGDRegressor) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }

@@ -1,0 +1,246 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/mat"
+)
+
+// LinearSVR (R16:SVM_Linear) is epsilon-insensitive support vector
+// regression with a linear kernel, solved in the primal by stochastic
+// subgradient descent on
+//
+//	(1/2)·||w||² + C·Σ max(0, |w·x + b − y| − ε)
+//
+// with scikit-learn's defaults C=1, ε=0.1 (LIBSVM solves the dual exactly;
+// the primal subgradient route is the documented simplification and lands
+// on the same optimum for these convex objectives).
+type LinearSVR struct {
+	linearModel
+	// C is the error-term weight.
+	C float64
+	// Epsilon is the insensitive-tube half-width.
+	Epsilon float64
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// Seed drives shuffling.
+	Seed int64
+}
+
+// NewLinearSVR creates a linear SVR with library defaults.
+func NewLinearSVR() *LinearSVR {
+	return &LinearSVR{C: 1, Epsilon: 0.1, Epochs: 400, Seed: 42}
+}
+
+// Name implements Regressor.
+func (r *LinearSVR) Name() string { return "SVM_Linear" }
+
+// Fit implements Regressor.
+func (r *LinearSVR) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	n := len(X)
+	w := make([]float64, p)
+	b := 0.0
+	rng := rand.New(rand.NewSource(r.Seed))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Pegasos-style step size: eta_t = 1/(lambda*t) with lambda = 1/(C·n).
+	lambda := 1 / (r.C * float64(n))
+	t := 1.0
+	for epoch := 0; epoch < r.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for _, i := range idx {
+			eta := 1 / (lambda * t)
+			t++
+			// Regularization shrink.
+			shrink := 1 - eta*lambda
+			if shrink < 0 {
+				shrink = 0
+			}
+			for j := range w {
+				w[j] *= shrink
+			}
+			pred := b + mat.Dot(w, X[i])
+			diff := pred - y[i]
+			if math.Abs(diff) > r.Epsilon {
+				sign := 1.0
+				if diff < 0 {
+					sign = -1
+				}
+				g := eta / float64(n) / lambda * sign // C·eta scaled per-sample
+				// Clamp the step so a single sample cannot explode w.
+				if g > 1 {
+					g = 1
+				}
+				for j, x := range X[i] {
+					w[j] -= g * x
+				}
+				b -= g
+			}
+		}
+	}
+	r.coef = w
+	r.intercept = b
+	r.nFeatures = p
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *LinearSVR) Predict(X [][]float64) ([]float64, error) { return r.predict(X) }
+
+// KernelSVR (R17:SVM_RBF) is epsilon-insensitive support vector regression
+// with the RBF kernel k(a,b) = exp(−γ·||a−b||²), trained by kernelized
+// subgradient descent in function space (a Pegasos-style routine over the
+// dual coefficients; LIBSVM's SMO is the exact solver this simplifies).
+// Defaults mirror scikit-learn: C=1, ε=0.1, γ="scale" = 1/(p·Var(X)).
+type KernelSVR struct {
+	// C is the error-term weight.
+	C float64
+	// Epsilon is the insensitive-tube half-width.
+	Epsilon float64
+	// Gamma is the RBF width; 0 means "scale" (1/(p·Var(X))).
+	Gamma float64
+	// Epochs is the number of passes over the data.
+	Epochs int
+	// Seed drives shuffling.
+	Seed int64
+
+	gammaUsed float64
+	xTrain    [][]float64
+	beta      []float64
+	bias      float64
+	nFeatures int
+}
+
+// NewKernelSVR creates an RBF SVR with library defaults.
+func NewKernelSVR() *KernelSVR {
+	return &KernelSVR{C: 1, Epsilon: 0.1, Epochs: 60, Seed: 42}
+}
+
+// Name implements Regressor.
+func (r *KernelSVR) Name() string { return "SVM_RBF" }
+
+// Fit implements Regressor.
+func (r *KernelSVR) Fit(X [][]float64, y []float64) error {
+	p, err := checkFit(X, y)
+	if err != nil {
+		return err
+	}
+	n := len(X)
+	r.nFeatures = p
+	r.xTrain = copyMatrix(X)
+	r.gammaUsed = r.Gamma
+	if r.gammaUsed <= 0 {
+		// sklearn's gamma="scale": 1/(n_features · Var(all feature values)).
+		all := make([]float64, 0, n*p)
+		for _, row := range X {
+			all = append(all, row...)
+		}
+		v := variance(all)
+		if v < 1e-12 {
+			v = 1e-12
+		}
+		r.gammaUsed = 1 / (float64(p) * v)
+	}
+	// Precompute the kernel matrix (n ≤ a few hundred for the lag-window
+	// datasets; O(n²) is fine).
+	k := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		k[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := math.Exp(-r.gammaUsed * mat.SqDist(X[i], X[j]))
+			k[i][j] = v
+			k[j][i] = v
+		}
+	}
+	beta := make([]float64, n)
+	bias := mean(y) // fixed offset; the tube handles the rest
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = bias
+	}
+	rng := rand.New(rand.NewSource(r.Seed))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Functional gradient steps with a decaying learning rate; each update
+	// to beta_i shifts all predictions through column i of K. The RKHS
+	// penalty is applied once per epoch as a multiplicative shrink of beta
+	// (and, equivalently, of f−bias).
+	lambda := 1 / (r.C * float64(n))
+	for epoch := 0; epoch < r.Epochs; epoch++ {
+		rng.Shuffle(n, func(a, b int) { idx[a], idx[b] = idx[b], idx[a] })
+		eta := 0.3 / (1 + 0.05*float64(epoch))
+		for _, i := range idx {
+			diff := f[i] - y[i]
+			if math.Abs(diff) <= r.Epsilon {
+				continue
+			}
+			step := eta
+			if diff > 0 {
+				step = -eta
+			}
+			beta[i] += step
+			for j := 0; j < n; j++ {
+				f[j] += step * k[i][j]
+			}
+		}
+		shrink := 1 - eta*lambda
+		if shrink < 0 {
+			shrink = 0
+		}
+		for i := range beta {
+			beta[i] *= shrink
+		}
+		for j := range f {
+			f[j] = bias + shrink*(f[j]-bias)
+		}
+	}
+	r.beta = beta
+	r.bias = bias
+	return nil
+}
+
+// Predict implements Regressor.
+func (r *KernelSVR) Predict(X [][]float64) ([]float64, error) {
+	if r.xTrain == nil {
+		return nil, ErrNotFitted
+	}
+	if err := checkPredict(X, r.nFeatures); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(X))
+	for i, row := range X {
+		s := r.bias
+		for j, tr := range r.xTrain {
+			if r.beta[j] == 0 {
+				continue
+			}
+			s += r.beta[j] * math.Exp(-r.gammaUsed*mat.SqDist(row, tr))
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// SupportFraction reports the fraction of training points with nonzero
+// dual coefficients — a diagnostic for the tube width.
+func (r *KernelSVR) SupportFraction() float64 {
+	if len(r.beta) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range r.beta {
+		if b != 0 {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.beta))
+}

@@ -1,0 +1,248 @@
+package ml
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTreeFitsTrainingSetPerfectly(t *testing.T) {
+	// A fully grown CART with distinct inputs memorizes the training set.
+	X, y := syntheticNonlinear(100, 41)
+	tree := NewDecisionTreeRegressor()
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := tree.Predict(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if math.Abs(pred[i]-y[i]) > 1e-9 {
+			t.Fatalf("training sample %d not memorized: %v vs %v", i, pred[i], y[i])
+		}
+	}
+	if tree.LeafCount() < 50 {
+		t.Errorf("full tree has only %d leaves", tree.LeafCount())
+	}
+}
+
+func TestTreeRecoversStepFunction(t *testing.T) {
+	// A single split at x=0 is the optimal tree for a step function.
+	var X [][]float64
+	var y []float64
+	for i := -50; i < 50; i++ {
+		X = append(X, []float64{float64(i) / 10})
+		if i < 0 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 5)
+		}
+	}
+	tree := NewDecisionTreeRegressor()
+	tree.MaxDepth = 1
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Depth() != 1 {
+		t.Errorf("depth = %d, want 1", tree.Depth())
+	}
+	low, _ := tree.Predict([][]float64{{-3}})
+	high, _ := tree.Predict([][]float64{{3}})
+	if low[0] != 1 || high[0] != 5 {
+		t.Errorf("step predictions = %v / %v, want 1 / 5", low[0], high[0])
+	}
+}
+
+func TestTreeMaxDepthHonored(t *testing.T) {
+	X, y := syntheticNonlinear(200, 43)
+	for _, d := range []int{1, 2, 4} {
+		tree := NewDecisionTreeRegressor()
+		tree.MaxDepth = d
+		if err := tree.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		if got := tree.Depth(); got > d {
+			t.Errorf("MaxDepth %d produced depth %d", d, got)
+		}
+	}
+}
+
+func TestTreeMinSamplesLeaf(t *testing.T) {
+	X, y := syntheticNonlinear(60, 47)
+	tree := NewDecisionTreeRegressor()
+	tree.MinSamplesLeaf = 10
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	// With ≥10 samples per leaf, at most 6 leaves are possible.
+	if got := tree.LeafCount(); got > 6 {
+		t.Errorf("leaf count %d violates MinSamplesLeaf=10 on 60 samples", got)
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	tree := NewDecisionTreeRegressor()
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := tree.Predict([][]float64{{1.5}})
+	if pred[0] != 7 {
+		t.Errorf("constant tree predicts %v", pred[0])
+	}
+	if tree.Depth() != 0 || tree.LeafCount() != 1 {
+		t.Errorf("constant target should yield a single leaf, got depth %d leaves %d",
+			tree.Depth(), tree.LeafCount())
+	}
+}
+
+func TestForestBeatsSingleTreeOutOfSample(t *testing.T) {
+	Xtr, ytr := syntheticNonlinear(300, 53)
+	Xte, yte := syntheticNonlinear(100, 59)
+	tree := NewDecisionTreeRegressor()
+	if err := tree.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	forest := NewRandomForestRegressor()
+	forest.NEstimators = 50
+	if err := forest.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	pt, _ := tree.Predict(Xte)
+	pf, _ := forest.Predict(Xte)
+	rt, _ := RMSE(pt, yte)
+	rf, _ := RMSE(pf, yte)
+	if rf >= rt {
+		t.Errorf("forest RMSE %v not better than single tree %v", rf, rt)
+	}
+	if forest.NTrees() != 50 {
+		t.Errorf("NTrees = %d", forest.NTrees())
+	}
+}
+
+func TestGradientBoostingImprovesWithStages(t *testing.T) {
+	Xtr, ytr := syntheticNonlinear(300, 61)
+	Xte, yte := syntheticNonlinear(100, 67)
+	weak := &GradientBoostingRegressor{NEstimators: 2, LearningRate: 0.1, MaxDepth: 3, Seed: 42}
+	strong := &GradientBoostingRegressor{NEstimators: 200, LearningRate: 0.1, MaxDepth: 3, Seed: 42}
+	if err := weak.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	if err := strong.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	pw, _ := weak.Predict(Xte)
+	ps, _ := strong.Predict(Xte)
+	rw, _ := RMSE(pw, yte)
+	rs, _ := RMSE(ps, yte)
+	if rs >= rw {
+		t.Errorf("200 stages (%v) should beat 2 stages (%v)", rs, rw)
+	}
+	if strong.NStages() != 200 {
+		t.Errorf("NStages = %d", strong.NStages())
+	}
+}
+
+func TestAdaBoostStops(t *testing.T) {
+	X, y := syntheticNonlinear(150, 71)
+	ada := NewAdaBoostRegressor()
+	if err := ada.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if ada.NStages() < 1 || ada.NStages() > 50 {
+		t.Errorf("NStages = %d, want within [1, 50]", ada.NStages())
+	}
+	pred, err := ada.Predict(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := R2(pred, y)
+	if r2 < 0.8 {
+		t.Errorf("AdaBoost train R² = %v", r2)
+	}
+}
+
+func TestHistGBMatchesExactGBRoughly(t *testing.T) {
+	Xtr, ytr := syntheticNonlinear(300, 73)
+	Xte, yte := syntheticNonlinear(100, 79)
+	h := NewHistGradientBoostingRegressor()
+	if err := h.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGradientBoostingRegressor()
+	if err := g.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	ph, _ := h.Predict(Xte)
+	pg, _ := g.Predict(Xte)
+	rh, _ := RMSE(ph, yte)
+	rg, _ := RMSE(pg, yte)
+	// Binning costs accuracy but must stay in the same league.
+	if rh > 2.5*rg {
+		t.Errorf("hist GB RMSE %v too far from exact GB %v", rh, rg)
+	}
+}
+
+func TestBaggingAveragesTrees(t *testing.T) {
+	Xtr, ytr := syntheticNonlinear(200, 83)
+	b := NewBaggingRegressor()
+	if err := b.Fit(Xtr, ytr); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := b.Predict(Xtr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := R2(pred, ytr)
+	if r2 < 0.9 {
+		t.Errorf("bagging train R² = %v", r2)
+	}
+}
+
+func TestGPRInterpolatesAndRevertsToPrior(t *testing.T) {
+	// Near training points the GP interpolates; far away it reverts to
+	// the zero prior — the failure mode the paper observed.
+	X := [][]float64{{0}, {1}, {2}, {3}}
+	y := []float64{5, 6, 7, 8}
+	gp := NewGaussianProcessRegressor()
+	gp.Alpha = 1e-8
+	if err := gp.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	near, _ := gp.Predict(X)
+	for i := range y {
+		if math.Abs(near[i]-y[i]) > 1e-3 {
+			t.Errorf("GPR does not interpolate sample %d: %v vs %v", i, near[i], y[i])
+		}
+	}
+	far, _ := gp.Predict([][]float64{{100}})
+	if math.Abs(far[0]) > 1e-6 {
+		t.Errorf("GPR far from data = %v, want ≈0 (prior mean)", far[0])
+	}
+}
+
+func TestKernelSVRFitsSmoothFunction(t *testing.T) {
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i)/50 - 1
+		X = append(X, []float64{x})
+		y = append(y, math.Sin(3*x))
+	}
+	svr := NewKernelSVR()
+	if err := svr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := svr.Predict(X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := R2(pred, y)
+	if r2 < 0.8 {
+		t.Errorf("kernel SVR R² = %v on sin(3x)", r2)
+	}
+	if sf := svr.SupportFraction(); sf <= 0 || sf > 1 {
+		t.Errorf("SupportFraction = %v", sf)
+	}
+}

@@ -1,0 +1,56 @@
+package ml
+
+import "fmt"
+
+// MakeWindows converts a time series into a supervised dataset with lag
+// features: row i is [v[i], …, v[i+lag-1]] and the target is v[i+lag].
+// This is the paper's featurization — "we set the history of measurements
+// used in the regression models to 10 values that represent t_i to t_{i-9}
+// … to predict bandwidth at t_{i+1}".
+func MakeWindows(series []float64, lag int) (X [][]float64, y []float64, err error) {
+	if lag < 1 {
+		return nil, nil, fmt.Errorf("ml: lag must be ≥ 1, got %d", lag)
+	}
+	n := len(series) - lag
+	if n < 1 {
+		return nil, nil, fmt.Errorf("ml: series of %d values too short for lag %d", len(series), lag)
+	}
+	X = make([][]float64, n)
+	y = make([]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, lag)
+		copy(row, series[i:i+lag])
+		X[i] = row
+		y[i] = series[i+lag]
+	}
+	return X, y, nil
+}
+
+// RecursiveForecast predicts the next horizon values of a series by
+// feeding each prediction back into the lag window — how Hecate "computes
+// the predicted values for the next 10 steps" from a single-step
+// regressor. history must hold at least lag values; the most recent lag
+// values seed the window.
+func RecursiveForecast(r Regressor, history []float64, lag, horizon int) ([]float64, error) {
+	if len(history) < lag {
+		return nil, fmt.Errorf("ml: forecast needs ≥ %d history values, got %d", lag, len(history))
+	}
+	if horizon < 1 {
+		return nil, fmt.Errorf("ml: horizon must be ≥ 1, got %d", horizon)
+	}
+	window := make([]float64, lag)
+	copy(window, history[len(history)-lag:])
+	out := make([]float64, 0, horizon)
+	for step := 0; step < horizon; step++ {
+		row := make([]float64, lag)
+		copy(row, window)
+		pred, err := r.Predict([][]float64{row})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pred[0])
+		copy(window, window[1:])
+		window[lag-1] = pred[0]
+	}
+	return out, nil
+}

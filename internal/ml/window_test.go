@@ -1,0 +1,97 @@
+package ml
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestMakeWindows(t *testing.T) {
+	series := []float64{1, 2, 3, 4, 5, 6}
+	X, y, err := MakeWindows(series, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := [][]float64{{1, 2, 3}, {2, 3, 4}, {3, 4, 5}}
+	wantY := []float64{4, 5, 6}
+	if !reflect.DeepEqual(X, wantX) || !reflect.DeepEqual(y, wantY) {
+		t.Errorf("windows = %v / %v", X, y)
+	}
+	// The rows must be copies, not aliases into the series.
+	X[0][0] = 99
+	if series[0] == 99 {
+		t.Error("window rows alias the input series")
+	}
+}
+
+func TestMakeWindowsErrors(t *testing.T) {
+	if _, _, err := MakeWindows([]float64{1, 2}, 0); err == nil {
+		t.Error("lag 0 should fail")
+	}
+	if _, _, err := MakeWindows([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("series == lag should fail (no targets)")
+	}
+	if _, _, err := MakeWindows([]float64{1, 2, 3, 4}, 3); err != nil {
+		t.Errorf("series = lag+1 should give one sample: %v", err)
+	}
+}
+
+// constantRegressor predicts a fixed value, for forecast plumbing tests.
+type constantRegressor struct{ v float64 }
+
+func (c *constantRegressor) Name() string                     { return "const" }
+func (c *constantRegressor) Fit([][]float64, []float64) error { return nil }
+func (c *constantRegressor) Predict(X [][]float64) ([]float64, error) {
+	out := make([]float64, len(X))
+	for i := range out {
+		out[i] = c.v
+	}
+	return out, nil
+}
+
+// lastValueRegressor predicts the final lag feature (persistence model).
+type lastValueRegressor struct{}
+
+func (lastValueRegressor) Name() string                     { return "last" }
+func (lastValueRegressor) Fit([][]float64, []float64) error { return nil }
+func (lastValueRegressor) Predict(X [][]float64) ([]float64, error) {
+	out := make([]float64, len(X))
+	for i, row := range X {
+		out[i] = row[len(row)-1]
+	}
+	return out, nil
+}
+
+func TestRecursiveForecast(t *testing.T) {
+	history := []float64{1, 2, 3, 4, 5}
+	got, err := RecursiveForecast(&constantRegressor{v: 7}, history, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []float64{7, 7, 7, 7}) {
+		t.Errorf("forecast = %v", got)
+	}
+	// Persistence model must propagate the last observed value.
+	got, err = RecursiveForecast(lastValueRegressor{}, history, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if math.Abs(v-5) > 1e-12 {
+			t.Errorf("persistence forecast = %v, want all 5s", got)
+		}
+	}
+}
+
+func TestRecursiveForecastErrors(t *testing.T) {
+	if _, err := RecursiveForecast(&constantRegressor{}, []float64{1}, 3, 2); err == nil {
+		t.Error("short history should fail")
+	}
+	if _, err := RecursiveForecast(&constantRegressor{}, []float64{1, 2, 3}, 3, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	r := NewLinearRegression() // unfitted
+	if _, err := RecursiveForecast(r, []float64{1, 2, 3}, 3, 2); err == nil {
+		t.Error("unfitted regressor error should propagate")
+	}
+}

@@ -1,0 +1,80 @@
+package netem
+
+import (
+	"math"
+
+	"repro/internal/topo"
+)
+
+// Link-failure injection. PolKA's pitch includes "flexible path migration
+// and robust failure recovery": because the core is stateless, recovering
+// from a dead link is the same single PBR retarget as any other
+// migration. These hooks let experiments kill and revive links and watch
+// the control plane route around them.
+
+// FailLink marks both directions of the a-b link as down. Flows whose
+// path crosses a down link receive no allocation from the next tick;
+// probes over it report an unreachable RTT.
+func (e *Emulator) FailLink(a, b string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.topo.Link(a, b); err != nil {
+		return err
+	}
+	if e.downLinks == nil {
+		e.downLinks = make(map[string]bool)
+	}
+	e.downLinks[a+"->"+b] = true
+	e.downLinks[b+"->"+a] = true
+	return nil
+}
+
+// RestoreLink brings both directions of the a-b link back up.
+func (e *Emulator) RestoreLink(a, b string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, err := e.topo.Link(a, b); err != nil {
+		return err
+	}
+	delete(e.downLinks, a+"->"+b)
+	delete(e.downLinks, b+"->"+a)
+	return nil
+}
+
+// LinkDown reports whether the directed link is currently failed.
+func (e *Emulator) LinkDown(linkID string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.downLinks[linkID]
+}
+
+// PathUp reports whether every link of the path is currently up.
+func (e *Emulator) PathUp(p topo.Path) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	links, err := e.topo.PathLinks(p)
+	if err != nil {
+		return false, err
+	}
+	for _, l := range links {
+		if e.downLinks[l.ID()] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// UnreachableRTTms is the sentinel RTT reported for probes over a failed
+// path (pings time out rather than return).
+const UnreachableRTTms = math.MaxFloat64
+
+// pathDownLocked reports whether any directed link of the resolved link
+// list is failed. Caller holds e.mu.
+func (e *Emulator) pathDownLocked(linkIDs []string) bool {
+	for _, id := range linkIDs {
+		if e.downLinks[id] {
+			return true
+		}
+	}
+	return false
+}

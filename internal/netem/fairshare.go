@@ -1,0 +1,128 @@
+package netem
+
+import "math"
+
+// allocKey identifies one allocation unit: a flow, or one subpath of a
+// multipath flow.
+type allocKey struct {
+	flow FlowID
+	sub  int
+}
+
+// allocFlow is an allocation unit presented to the max-min fair
+// allocator: a demand cap and the directed links it traverses.
+type allocFlow struct {
+	id     allocKey
+	demand float64
+	links  []string
+}
+
+// maxMinFair computes the max-min fair allocation of the flows over the
+// links by progressive filling: repeatedly find the tightest constraint —
+// either a link whose equal share among its unfrozen flows is smallest, or
+// a flow whose demand is below every link share — freeze the affected
+// flows at that rate, subtract their share from link capacities, and
+// recurse on the rest.
+//
+// The classic water-filling invariant holds on the result: a flow's rate
+// can only be increased by decreasing the rate of a flow with an equal or
+// smaller rate. TCP flows sharing a bottleneck converge to (approximately) this
+// allocation, which is why a flow-level emulator built on it reproduces
+// the testbed's iperf measurements.
+func maxMinFair(flows []allocFlow, capacity map[string]float64) map[allocKey]float64 {
+	rates := make(map[allocKey]float64, len(flows))
+	remaining := make(map[string]float64, len(capacity))
+	for k, v := range capacity {
+		remaining[k] = v
+	}
+	active := make([]allocFlow, 0, len(flows))
+	for _, f := range flows {
+		if f.demand <= 0 {
+			rates[f.id] = 0
+			continue
+		}
+		active = append(active, f)
+	}
+
+	const eps = 1e-9
+	for len(active) > 0 {
+		// Count unfrozen flows per link and find the minimum link share.
+		counts := make(map[string]int)
+		for _, f := range active {
+			for _, l := range f.links {
+				counts[l]++
+			}
+		}
+		share := math.Inf(1)
+		for l, n := range counts {
+			if s := remaining[l] / float64(n); s < share {
+				share = s
+			}
+		}
+		// The binding constraint is the smaller of the minimum link share
+		// and the minimum unfrozen demand.
+		minDemand := math.Inf(1)
+		for _, f := range active {
+			if f.demand < minDemand {
+				minDemand = f.demand
+			}
+		}
+		level := share
+		if minDemand < level {
+			level = minDemand
+		}
+		if level < 0 {
+			level = 0
+		}
+
+		// Decide which flows freeze at this level against a consistent
+		// snapshot: demand-limited flows get their demand; flows crossing
+		// an arg-min (saturating) link get the level. Capacity updates are
+		// applied only after the whole freeze set is known, so flows
+		// examined later in the pass do not see half-updated state.
+		bottleneck := make(map[string]bool)
+		for l, n := range counts {
+			if remaining[l]/float64(n) <= level+eps {
+				bottleneck[l] = true
+			}
+		}
+		next := active[:0]
+		frozeAny := false
+		for _, f := range active {
+			frozen := false
+			var rate float64
+			if f.demand <= level+eps {
+				frozen, rate = true, f.demand
+			} else {
+				for _, l := range f.links {
+					if bottleneck[l] {
+						frozen, rate = true, level
+						break
+					}
+				}
+			}
+			if frozen {
+				rates[f.id] = rate
+				for _, l := range f.links {
+					remaining[l] -= rate
+					if remaining[l] < 0 {
+						remaining[l] = 0
+					}
+				}
+				frozeAny = true
+			} else {
+				next = append(next, f)
+			}
+		}
+		if !frozeAny {
+			// Cannot happen: the arg-min link or arg-min demand always
+			// freezes at least one flow. Guard against float pathology.
+			for _, f := range next {
+				rates[f.id] = level
+			}
+			break
+		}
+		active = next
+	}
+	return rates
+}

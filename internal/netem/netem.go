@@ -1,0 +1,578 @@
+// Package netem is a discrete-time, flow-level network emulator standing in
+// for the paper's RARE/freeRtr + VirtualBox testbed. It models what the two
+// testbed experiments measure:
+//
+//   - per-link capacity caps (the VirtualBox rate limits) and propagation
+//     delays (the tc-injected 20 ms on MIA-SAO),
+//   - TCP-like flows that ramp up toward their max-min fair share of the
+//     bottleneck links along their path,
+//   - ICMP-like RTT probes whose latency includes a utilization-dependent
+//     queueing term,
+//   - and agile path migration: rerouting a flow is a single path swap at
+//     the ingress edge, exactly like updating one PBR entry in freeRtr.
+//
+// The emulator advances in fixed ticks. On every tick it computes the
+// max-min fair allocation of all active flows over the directed links of
+// their paths (progressive filling), applies a ramp so throughput curves
+// resemble TCP instead of jumping instantly, and records per-flow and
+// per-link time series.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/timeseries"
+	"repro/internal/topo"
+)
+
+// FlowID identifies a flow within one emulator instance.
+type FlowID int
+
+// FlowSpec describes a flow to inject.
+type FlowSpec struct {
+	// Name is a human-readable label ("flow1").
+	Name string
+	// Src and Dst are host node names; they must match the path endpoints.
+	Src, Dst string
+	// ToS is the IP type-of-service tag the edge classifier matches on.
+	ToS uint8
+	// Proto is the IP protocol (6 = TCP).
+	Proto uint8
+	// DemandMbps caps the flow's offered load; 0 means greedy (iperf-like,
+	// limited only by the network).
+	DemandMbps float64
+	// Path is the node sequence the flow is pinned to (its tunnel).
+	Path topo.Path
+	// MultiPaths, when non-empty, makes this an M-PolKA-style multipath
+	// flow: traffic splits across all listed paths (Path is ignored), each
+	// subpath taking its own max-min fair share. Multipath flows must be
+	// greedy (DemandMbps = 0).
+	MultiPaths []topo.Path
+	// SizeMB, when positive, makes the flow finite: it completes (and
+	// releases its bandwidth) once that many megabytes have been
+	// delivered — the shape needed for flow-completion-time experiments.
+	SizeMB float64
+}
+
+// paths returns the flow's subpaths (MultiPaths, or the single Path).
+func (s FlowSpec) paths() []topo.Path {
+	if len(s.MultiPaths) > 0 {
+		return s.MultiPaths
+	}
+	return []topo.Path{s.Path}
+}
+
+// Flow is the live state of an injected flow.
+type Flow struct {
+	ID   FlowID
+	Spec FlowSpec
+	// RateMbps is the currently achieved throughput (summed over
+	// subpaths for multipath flows).
+	RateMbps float64
+	// SubRates holds the per-subpath rates, aligned with Spec.MultiPaths
+	// (single-element for single-path flows).
+	SubRates []float64
+	// Bytes is the cumulative volume delivered.
+	Bytes float64
+	// Active is false once the flow is stopped or completed.
+	Active bool
+	// CompletedAt is the simulation time a finite flow finished
+	// delivering its SizeMB, or -1 while in flight / for unbounded flows.
+	CompletedAt float64
+}
+
+// Config tunes the emulator.
+type Config struct {
+	// TickSeconds is the simulation step (default 0.1 s).
+	TickSeconds float64
+	// RampMbpsPerSec bounds how fast a flow's rate may grow per second of
+	// simulated time, approximating TCP ramp-up (default 40).
+	RampMbpsPerSec float64
+	// QueueFactorMs scales the utilization-dependent queueing delay
+	// q = QueueFactorMs · u/(1-u) per link (default 0.5 ms).
+	QueueFactorMs float64
+	// MaxQueueMs caps the queueing delay per link (default 50 ms).
+	MaxQueueMs float64
+	// RecordLinkSeries enables per-link utilization recording.
+	RecordLinkSeries bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.TickSeconds <= 0 {
+		c.TickSeconds = 0.1
+	}
+	if c.RampMbpsPerSec <= 0 {
+		c.RampMbpsPerSec = 40
+	}
+	if c.QueueFactorMs <= 0 {
+		c.QueueFactorMs = 0.5
+	}
+	if c.MaxQueueMs <= 0 {
+		c.MaxQueueMs = 50
+	}
+	return c
+}
+
+// Emulator is the simulation engine. All methods are safe for concurrent
+// use; the control-plane services drive it from several goroutines.
+type Emulator struct {
+	mu   sync.Mutex
+	topo *topo.Topology
+	cfg  Config
+	now  float64
+
+	nextID FlowID
+	flows  map[FlowID]*Flow
+	order  []FlowID
+
+	flowSeries map[FlowID]*timeseries.Series
+	linkUtil   map[string]*timeseries.Series
+	// lastAlloc is last tick's allocated Mbps per directed link ID.
+	lastAlloc map[string]float64
+	// downLinks marks failed directed links (see failure.go).
+	downLinks map[string]bool
+
+	events    []event
+	validator func(topo.Path) error
+}
+
+type event struct {
+	at float64
+	fn func(*Emulator)
+}
+
+// New creates an emulator over the given topology.
+func New(t *topo.Topology, cfg Config) *Emulator {
+	cfg = cfg.withDefaults()
+	e := &Emulator{
+		topo:       t,
+		cfg:        cfg,
+		flows:      make(map[FlowID]*Flow),
+		flowSeries: make(map[FlowID]*timeseries.Series),
+		lastAlloc:  make(map[string]float64),
+	}
+	if cfg.RecordLinkSeries {
+		e.linkUtil = make(map[string]*timeseries.Series)
+		for _, l := range t.Links() {
+			e.linkUtil[l.ID()] = &timeseries.Series{}
+		}
+	}
+	return e
+}
+
+// Topology returns the emulator's topology.
+func (e *Emulator) Topology() *topo.Topology { return e.topo }
+
+// Now returns the current simulation time in seconds.
+func (e *Emulator) Now() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
+
+// SetPathValidator installs a hook invoked with every path a flow is placed
+// on (AddFlow and Reroute). The control plane uses it to assert that the
+// PolKA data plane would steer packets along exactly that path.
+func (e *Emulator) SetPathValidator(v func(topo.Path) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.validator = v
+}
+
+// checkPath validates a path against the topology, the spec endpoints and
+// the installed validator. Caller holds e.mu.
+func (e *Emulator) checkPath(spec FlowSpec, p topo.Path) error {
+	if len(p.Nodes) < 2 {
+		return fmt.Errorf("netem: path %v too short", p.Nodes)
+	}
+	if p.Nodes[0] != spec.Src || p.Nodes[len(p.Nodes)-1] != spec.Dst {
+		return fmt.Errorf("netem: path %v does not connect %s to %s", p, spec.Src, spec.Dst)
+	}
+	if _, err := e.topo.PathLinks(p); err != nil {
+		return err
+	}
+	if e.validator != nil {
+		if err := e.validator(p); err != nil {
+			return fmt.Errorf("netem: path rejected by data plane: %w", err)
+		}
+	}
+	return nil
+}
+
+// AddFlow injects a flow and returns its ID. The flow starts at the current
+// simulation time with rate 0 and ramps up from the next tick.
+func (e *Emulator) AddFlow(spec FlowSpec) (FlowID, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(spec.MultiPaths) > 0 && spec.DemandMbps != 0 {
+		return 0, errors.New("netem: multipath flows must be greedy (DemandMbps = 0)")
+	}
+	for _, p := range spec.paths() {
+		if err := e.checkPath(spec, p); err != nil {
+			return 0, err
+		}
+	}
+	if spec.DemandMbps < 0 {
+		return 0, errors.New("netem: negative demand")
+	}
+	if spec.SizeMB < 0 {
+		return 0, errors.New("netem: negative flow size")
+	}
+	e.nextID++
+	id := e.nextID
+	f := &Flow{ID: id, Spec: spec, Active: true, CompletedAt: -1, SubRates: make([]float64, len(spec.paths()))}
+	e.flows[id] = f
+	e.order = append(e.order, id)
+	e.flowSeries[id] = &timeseries.Series{}
+	return id, nil
+}
+
+// Reroute moves a flow onto a new path. This models the single PBR update
+// at the ingress edge: the flow keeps its identity, counters and current
+// rate (subject to the new path's fair share from the next tick on).
+func (e *Emulator) Reroute(id FlowID, p topo.Path) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.flows[id]
+	if !ok {
+		return fmt.Errorf("netem: unknown flow %d", id)
+	}
+	if len(f.Spec.MultiPaths) > 0 {
+		return fmt.Errorf("netem: flow %d is multipath; reroute by replacing it", id)
+	}
+	if err := e.checkPath(f.Spec, p); err != nil {
+		return err
+	}
+	f.Spec.Path = p
+	return nil
+}
+
+// StopFlow deactivates a flow; its series remains queryable.
+func (e *Emulator) StopFlow(id FlowID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.flows[id]
+	if !ok {
+		return fmt.Errorf("netem: unknown flow %d", id)
+	}
+	f.Active = false
+	f.RateMbps = 0
+	for i := range f.SubRates {
+		f.SubRates[i] = 0
+	}
+	return nil
+}
+
+// Flow returns a snapshot of the flow's state.
+func (e *Emulator) Flow(id FlowID) (Flow, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f, ok := e.flows[id]
+	if !ok {
+		return Flow{}, fmt.Errorf("netem: unknown flow %d", id)
+	}
+	return f.snapshot(), nil
+}
+
+// snapshot deep-copies the flow state.
+func (f *Flow) snapshot() Flow {
+	c := *f
+	c.SubRates = make([]float64, len(f.SubRates))
+	copy(c.SubRates, f.SubRates)
+	return c
+}
+
+// Flows returns snapshots of all flows in creation order.
+func (e *Emulator) Flows() []Flow {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Flow, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.flows[id].snapshot())
+	}
+	return out
+}
+
+// Schedule registers fn to run at simulation time at (or at the first tick
+// boundary after it). Events run before the tick's allocation, so a
+// reroute scheduled at t takes effect in the allocation of tick t.
+func (e *Emulator) Schedule(at float64, fn func(*Emulator)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.events = append(e.events, event{at: at, fn: fn})
+	sort.SliceStable(e.events, func(i, j int) bool { return e.events[i].at < e.events[j].at })
+}
+
+// Step advances the simulation by one tick.
+func (e *Emulator) Step() {
+	e.mu.Lock()
+	due := e.dueEventsLocked()
+	e.mu.Unlock()
+	// Events run without the lock so they may call emulator methods.
+	for _, ev := range due {
+		ev.fn(e)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.stepLocked()
+}
+
+// dueEventsLocked pops events scheduled at or before the current time.
+func (e *Emulator) dueEventsLocked() []event {
+	var due []event
+	for len(e.events) > 0 && e.events[0].at <= e.now+1e-9 {
+		due = append(due, e.events[0])
+		e.events = e.events[1:]
+	}
+	return due
+}
+
+// RunUntil advances the simulation until the clock reaches t.
+func (e *Emulator) RunUntil(t float64) {
+	for e.Now()+1e-9 < t {
+		e.Step()
+	}
+}
+
+// RunFor advances the simulation by d seconds.
+func (e *Emulator) RunFor(d float64) {
+	e.RunUntil(e.Now() + d)
+}
+
+// stepLocked performs one allocation tick. Caller holds e.mu.
+func (e *Emulator) stepLocked() {
+	tick := e.cfg.TickSeconds
+	// Effective demand this tick: TCP-like additive ramp toward the cap,
+	// per subpath (each subpath of a multipath flow ramps independently,
+	// like one subflow of an MPTCP connection).
+	var specs []allocFlow
+	for _, id := range e.order {
+		f := e.flows[id]
+		if !f.Active {
+			continue
+		}
+		for sub, p := range f.Spec.paths() {
+			demand := f.SubRates[sub] + e.cfg.RampMbpsPerSec*tick
+			if f.Spec.DemandMbps > 0 && demand > f.Spec.DemandMbps {
+				demand = f.Spec.DemandMbps
+			}
+			links, err := e.topo.PathLinks(p)
+			if err != nil {
+				// Paths are validated on entry; a failure here means the
+				// topology changed under us, which we treat as a dead path.
+				demand = 0
+			}
+			ids := make([]string, len(links))
+			for i, l := range links {
+				ids[i] = l.ID()
+			}
+			if e.pathDownLocked(ids) {
+				// A failed link blackholes the subpath until rerouted.
+				demand = 0
+			}
+			specs = append(specs, allocFlow{id: allocKey{flow: id, sub: sub}, demand: demand, links: ids})
+		}
+	}
+	capacities := make(map[string]float64)
+	for _, l := range e.topo.Links() {
+		capacities[l.ID()] = l.Attrs.CapacityMbps
+	}
+	rates := maxMinFair(specs, capacities)
+
+	// Apply rates, advance counters, record series.
+	e.now += tick
+	alloc := make(map[string]float64)
+	for _, id := range e.order {
+		if f := e.flows[id]; f.Active {
+			f.RateMbps = 0
+		}
+	}
+	for _, s := range specs {
+		f := e.flows[s.id.flow]
+		rate := rates[s.id]
+		f.SubRates[s.id.sub] = rate
+		f.RateMbps += rate
+		f.Bytes += rate * 1e6 / 8 * tick
+		for _, l := range s.links {
+			alloc[l] += rate
+		}
+	}
+	// Finite flows complete once their volume is delivered.
+	for _, id := range e.order {
+		f := e.flows[id]
+		if f.Active && f.Spec.SizeMB > 0 && f.Bytes >= f.Spec.SizeMB*1e6 {
+			f.Active = false
+			f.RateMbps = 0
+			for i := range f.SubRates {
+				f.SubRates[i] = 0
+			}
+			f.CompletedAt = e.now
+		}
+	}
+	e.lastAlloc = alloc
+	for _, id := range e.order {
+		f := e.flows[id]
+		rate := 0.0
+		if f.Active {
+			rate = f.RateMbps
+		}
+		e.flowSeries[id].MustAppend(e.now, rate)
+	}
+	if e.linkUtil != nil {
+		for _, l := range e.topo.Links() {
+			util := alloc[l.ID()] / l.Attrs.CapacityMbps
+			e.linkUtil[l.ID()].MustAppend(e.now, util)
+		}
+	}
+}
+
+// FlowSeries returns the flow's throughput series (Mbps per tick).
+func (e *Emulator) FlowSeries(id FlowID) (*timeseries.Series, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.flowSeries[id]
+	if !ok {
+		return nil, fmt.Errorf("netem: unknown flow %d", id)
+	}
+	return s.Clone(), nil
+}
+
+// LinkUtilSeries returns a link's utilization series (0..1 per tick);
+// recording must have been enabled in the config.
+func (e *Emulator) LinkUtilSeries(linkID string) (*timeseries.Series, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.linkUtil == nil {
+		return nil, errors.New("netem: link series recording disabled")
+	}
+	s, ok := e.linkUtil[linkID]
+	if !ok {
+		return nil, fmt.Errorf("netem: unknown link %q", linkID)
+	}
+	return s.Clone(), nil
+}
+
+// LinkAllocatedMbps returns the Mbps allocated on a directed link in the
+// last tick.
+func (e *Emulator) LinkAllocatedMbps(linkID string) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastAlloc[linkID]
+}
+
+// PathAvailableMbps estimates the residual capacity of a path: the minimum
+// over its links of capacity minus current allocation. This is the
+// bandwidth metric the telemetry service samples for Hecate.
+func (e *Emulator) PathAvailableMbps(p topo.Path) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	links, err := e.topo.PathLinks(p)
+	if err != nil {
+		return 0, err
+	}
+	avail := math.Inf(1)
+	for _, l := range links {
+		if e.downLinks[l.ID()] {
+			return 0, nil
+		}
+		r := l.Attrs.CapacityMbps - e.lastAlloc[l.ID()]
+		if r < 0 {
+			r = 0
+		}
+		if r < avail {
+			avail = r
+		}
+	}
+	return avail, nil
+}
+
+// PathMaxUtilization returns the highest link utilization (0..1) along
+// the path in the last tick — the min-max objective's telemetry metric. A
+// failed link counts as fully utilized.
+func (e *Emulator) PathMaxUtilization(p topo.Path) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	links, err := e.topo.PathLinks(p)
+	if err != nil {
+		return 0, err
+	}
+	maxU := 0.0
+	for _, l := range links {
+		if e.downLinks[l.ID()] {
+			return 1, nil
+		}
+		u := e.lastAlloc[l.ID()] / l.Attrs.CapacityMbps
+		if u > maxU {
+			maxU = u
+		}
+	}
+	return maxU, nil
+}
+
+// ProbeRTTms measures the round-trip time of an ICMP-like probe along the
+// path: propagation both ways plus a queueing term that grows with link
+// utilization (q = QueueFactorMs·u/(1-u), capped). This is what the first
+// testbed experiment's ping loop observes.
+func (e *Emulator) ProbeRTTms(p topo.Path) (float64, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fwd, err := e.topo.PathLinks(p)
+	if err != nil {
+		return 0, err
+	}
+	rtt := 0.0
+	down := false
+	add := func(l *topo.Link) {
+		if e.downLinks[l.ID()] {
+			down = true
+			return
+		}
+		rtt += l.Attrs.DelayMs
+		u := e.lastAlloc[l.ID()] / l.Attrs.CapacityMbps
+		if u > 0.999 {
+			u = 0.999
+		}
+		q := e.cfg.QueueFactorMs * u / (1 - u)
+		if q > e.cfg.MaxQueueMs {
+			q = e.cfg.MaxQueueMs
+		}
+		rtt += q
+	}
+	for _, l := range fwd {
+		add(l)
+	}
+	// Reverse direction.
+	for i := len(p.Nodes) - 1; i > 0; i-- {
+		l, err := e.topo.Link(p.Nodes[i], p.Nodes[i-1])
+		if err != nil {
+			return 0, err
+		}
+		add(l)
+	}
+	if down {
+		return UnreachableRTTms, nil
+	}
+	return rtt, nil
+}
+
+// TotalActiveMbps sums the current rates of the given flows (all active
+// flows when none specified) — the "total throughput" series of the flow
+// aggregation experiment.
+func (e *Emulator) TotalActiveMbps(ids ...FlowID) float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0.0
+	if len(ids) == 0 {
+		ids = e.order
+	}
+	for _, id := range ids {
+		if f, ok := e.flows[id]; ok && f.Active {
+			total += f.RateMbps
+		}
+	}
+	return total
+}

@@ -1,0 +1,87 @@
+package polka
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		words := make([]uint64, 1+rng.Intn(3))
+		for i := range words {
+			words[i] = rng.Uint64()
+		}
+		h := Header{
+			RouteID: gf2.FromWords(words),
+			ToS:     uint8(rng.Intn(256)),
+			Proto:   6,
+		}
+		wire := h.Marshal()
+		if len(wire) != h.WireSize() {
+			t.Fatalf("WireSize %d != marshalled length %d", h.WireSize(), len(wire))
+		}
+		got, n, err := UnmarshalHeader(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(wire) {
+			t.Fatalf("consumed %d bytes, want %d", n, len(wire))
+		}
+		if !got.RouteID.Equal(h.RouteID) || got.ToS != h.ToS || got.Proto != h.Proto {
+			t.Fatalf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+}
+
+func TestHeaderZeroRouteID(t *testing.T) {
+	h := Header{ToS: 4, Proto: 6}
+	got, _, err := UnmarshalHeader(h.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.RouteID.IsZero() {
+		t.Errorf("zero routeID round trip: got %v", got.RouteID)
+	}
+	if h.RouteIDBits() != 0 {
+		t.Errorf("RouteIDBits = %d, want 0", h.RouteIDBits())
+	}
+}
+
+func TestHeaderUnmarshalErrors(t *testing.T) {
+	if _, _, err := UnmarshalHeader(nil); err == nil {
+		t.Error("nil buffer should fail")
+	}
+	if _, _, err := UnmarshalHeader([]byte{9, 0, 0, 0, 0}); err == nil {
+		t.Error("bad version should fail")
+	}
+	h := Header{RouteID: gf2.FromCoeffs(40)}
+	wire := h.Marshal()
+	if _, _, err := UnmarshalHeader(wire[:len(wire)-1]); err == nil {
+		t.Error("truncated routeID should fail")
+	}
+}
+
+func TestHeaderTrailingBytesIgnored(t *testing.T) {
+	h := Header{RouteID: gf2.FromUint64(0xABCD), ToS: 8, Proto: 6}
+	wire := append(h.Marshal(), 0xFF, 0xFE)
+	got, n, err := UnmarshalHeader(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != h.WireSize() {
+		t.Errorf("consumed %d, want %d", n, h.WireSize())
+	}
+	if !got.RouteID.Equal(h.RouteID) {
+		t.Errorf("routeID = %v, want %v", got.RouteID, h.RouteID)
+	}
+}
+
+func TestRouteIDBits(t *testing.T) {
+	h := Header{RouteID: gf2.MustParseBits("10000")}
+	if got := h.RouteIDBits(); got != 5 {
+		t.Errorf("RouteIDBits = %d, want 5", got)
+	}
+}

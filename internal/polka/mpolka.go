@@ -1,0 +1,101 @@
+package polka
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/gf2"
+)
+
+// M-PolKA (Pereira et al., "mPolKA-INT: stateless multipath source routing
+// for in-band network telemetry") generalizes PolKA from a single output
+// port per hop to a set of output ports: the residue at a node is read as a
+// one-hot bitmask, so a single routeID can encode a multicast/multipath
+// tree. The paper lists multipath telemetry as the companion data-plane
+// capability of the framework; this file implements the route encoding and
+// the set-forwarding operation.
+
+// NewMultipathDomain creates a routing domain sized for M-PolKA: the
+// residue at a node is a one-hot port *bitmask*, so node identifiers need
+// degree strictly greater than the highest port number (not merely its
+// bit length, as in unicast PolKA).
+func NewMultipathDomain(nodeNames []string, maxPort uint64) (*Domain, error) {
+	if maxPort >= 63 {
+		return nil, fmt.Errorf("polka: multipath port %d out of range [0,62]", maxPort)
+	}
+	// A bitmask with bit maxPort set has degree maxPort, so the nodeID
+	// needs degree ≥ maxPort+1; NewDomain sizes by the numeric value, and
+	// 1<<maxPort has exactly degree maxPort.
+	return NewDomain(nodeNames, 1<<maxPort)
+}
+
+// MultipathHop is one node of a multipath route: the packet is replicated
+// to every port whose bit is set in Ports.
+type MultipathHop struct {
+	// NodeID is the node's polynomial identifier.
+	NodeID gf2.Poly
+	// Ports is the output port set encoded one-hot: bit j means port j.
+	// The bitmask, as a polynomial, must have degree < deg(NodeID).
+	Ports uint64
+}
+
+// PortSet converts a list of port numbers into the one-hot bitmask used by
+// MultipathHop. Ports must be < 64.
+func PortSet(ports ...uint) (uint64, error) {
+	var m uint64
+	for _, p := range ports {
+		if p >= 64 {
+			return 0, fmt.Errorf("polka: multipath port %d out of range [0,63]", p)
+		}
+		m |= 1 << p
+	}
+	return m, nil
+}
+
+// PortsFromSet expands a one-hot bitmask into the sorted list of port
+// numbers it contains.
+func PortsFromSet(mask uint64) []uint {
+	out := make([]uint, 0, bits.OnesCount64(mask))
+	for mask != 0 {
+		p := uint(bits.TrailingZeros64(mask))
+		out = append(out, p)
+		mask &= mask - 1
+	}
+	return out
+}
+
+// ComputeMultipathRouteID computes the M-PolKA route identifier whose
+// residue at each hop is that hop's one-hot port set.
+func ComputeMultipathRouteID(hops []MultipathHop) (gf2.Poly, error) {
+	if len(hops) == 0 {
+		return gf2.Poly{}, ErrEmptyPath
+	}
+	moduli := make([]gf2.Poly, len(hops))
+	residues := make([]gf2.Poly, len(hops))
+	for i, h := range hops {
+		o := gf2.FromUint64(h.Ports)
+		if o.Degree() >= h.NodeID.Degree() {
+			return gf2.Poly{}, fmt.Errorf("hop %d: %w: port set %#b under nodeID %v",
+				i, ErrPortTooLarge, h.Ports, h.NodeID)
+		}
+		for j := 0; j < i; j++ {
+			if hops[j].NodeID.Equal(h.NodeID) {
+				return gf2.Poly{}, fmt.Errorf("%w: hop %d repeats nodeID %v", ErrDuplicateNode, i, h.NodeID)
+			}
+		}
+		moduli[i] = h.NodeID
+		residues[i] = o
+	}
+	r, err := gf2.CRT(residues, moduli)
+	if err != nil {
+		return gf2.Poly{}, fmt.Errorf("polka: multipath routeID computation failed: %w", err)
+	}
+	return r, nil
+}
+
+// OutputPortSet forwards a multipath packet at the switch: the residue of
+// the routeID is interpreted as the one-hot set of output ports to
+// replicate the packet to.
+func (s *Switch) OutputPortSet(routeID gf2.Poly) []uint {
+	return PortsFromSet(s.OutputPort(routeID))
+}

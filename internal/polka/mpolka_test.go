@@ -1,0 +1,154 @@
+package polka
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+func TestPortSet(t *testing.T) {
+	m, err := PortSet(0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 0b100101 {
+		t.Errorf("PortSet(0,2,5) = %#b", m)
+	}
+	if got := PortsFromSet(m); !reflect.DeepEqual(got, []uint{0, 2, 5}) {
+		t.Errorf("PortsFromSet(%#b) = %v", m, got)
+	}
+	if _, err := PortSet(64); err == nil {
+		t.Error("port 64 should fail")
+	}
+	if got := PortsFromSet(0); len(got) != 0 {
+		t.Errorf("PortsFromSet(0) = %v", got)
+	}
+}
+
+func TestMultipathRouteID(t *testing.T) {
+	// Three nodes; the middle one replicates to ports 1 and 3.
+	ids := gf2.IrreducibleSequence(5, 3)
+	mid, err := PortSet(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := []MultipathHop{
+		{NodeID: ids[0], Ports: 1 << 2},
+		{NodeID: ids[1], Ports: mid},
+		{NodeID: ids[2], Ports: 1 << 1},
+	}
+	routeID, err := ComputeMultipathRouteID(hops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hops {
+		sw, err := NewSwitch("n", h.NodeID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sw.OutputPort(routeID); got != h.Ports {
+			t.Errorf("hop %d: residue %#b, want %#b", i, got, h.Ports)
+		}
+	}
+	// The replication set at the middle node must be {1, 3}.
+	sw, _ := NewSwitch("mid", ids[1])
+	if got := sw.OutputPortSet(routeID); !reflect.DeepEqual(got, []uint{1, 3}) {
+		t.Errorf("OutputPortSet = %v, want [1 3]", got)
+	}
+}
+
+func TestMultipathRouteIDErrors(t *testing.T) {
+	if _, err := ComputeMultipathRouteID(nil); !errors.Is(err, ErrEmptyPath) {
+		t.Errorf("empty: got %v", err)
+	}
+	id := gf2.FromUint64(0b1011) // degree 3: masks must be < 8
+	if _, err := ComputeMultipathRouteID([]MultipathHop{{NodeID: id, Ports: 0b1000}}); !errors.Is(err, ErrPortTooLarge) {
+		t.Errorf("oversized mask: got %v", err)
+	}
+	if _, err := ComputeMultipathRouteID([]MultipathHop{
+		{NodeID: id, Ports: 1}, {NodeID: id, Ports: 2},
+	}); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("duplicate node: got %v", err)
+	}
+}
+
+func TestMultipathRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ids := gf2.IrreducibleSequence(6, 10)
+	for trial := 0; trial < 50; trial++ {
+		k := 2 + rng.Intn(6)
+		perm := rng.Perm(len(ids))[:k]
+		hops := make([]MultipathHop, k)
+		for i, idx := range perm {
+			hops[i] = MultipathHop{NodeID: ids[idx], Ports: uint64(1 + rng.Intn(63))}
+		}
+		routeID, err := ComputeMultipathRouteID(hops)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, h := range hops {
+			sw, _ := NewSwitch("n", h.NodeID)
+			if got := sw.OutputPort(routeID); got != h.Ports {
+				t.Fatalf("trial %d: residue %#b, want %#b", trial, got, h.Ports)
+			}
+		}
+	}
+}
+
+func BenchmarkForwardCRC(b *testing.B) {
+	d, err := NewDomain([]string{"MIA", "CHI", "AMS", "SAO", "CAL"}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := []PathHop{{"MIA", 2}, {"CHI", 3}, {"AMS", 1}}
+	routeID, err := d.EncodePath(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, _ := d.Switch("CHI")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sw.OutputPort(routeID)
+	}
+}
+
+func BenchmarkForwardNaive(b *testing.B) {
+	d, err := NewDomain([]string{"MIA", "CHI", "AMS", "SAO", "CAL"}, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := []PathHop{{"MIA", 2}, {"CHI", 3}, {"AMS", 1}}
+	routeID, err := d.EncodePath(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw, _ := d.Switch("CHI")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sw.OutputPortNaive(routeID)
+	}
+}
+
+func BenchmarkEncodePath5Hops(b *testing.B) {
+	names := []string{"a", "b", "c", "d", "e"}
+	d, err := NewDomain(names, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := make([]PathHop, len(names))
+	for i, n := range names {
+		path[i] = PathHop{Node: n, Port: uint64(i + 1)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.EncodePath(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

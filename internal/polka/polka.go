@@ -1,0 +1,293 @@
+// Package polka implements the PolKA source-routing architecture
+// (Dominicini et al., NetSoft 2020), the path-aware data plane used by the
+// paper's integration framework.
+//
+// PolKA replaces the port-switching label stack of classic segment routing
+// with a single fixed label computed in the polynomial residue number
+// system: every core node i is assigned an irreducible polynomial nodeID
+// s_i(t) over GF(2); a route through nodes s_1..s_k with desired output
+// ports o_1..o_k is encoded by the controller as the unique polynomial
+// routeID R with
+//
+//	R ≡ o_i(t)  (mod s_i(t))   for every hop i
+//
+// via the Chinese Remainder Theorem. A core node forwards by computing
+// port = R mod s_i — a stateless mod operation that programmable switches
+// can execute on their CRC units — and the label R never changes along the
+// path, enabling agile path migration and edge-controlled traffic
+// engineering.
+package polka
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/gf2"
+)
+
+// Common errors returned by route computation and forwarding.
+var (
+	// ErrUnknownNode is returned when a path references a node that is not
+	// part of the domain.
+	ErrUnknownNode = errors.New("polka: unknown node")
+	// ErrPortTooLarge is returned when a hop's output port does not fit
+	// below the degree of the node's identifier polynomial.
+	ErrPortTooLarge = errors.New("polka: output port does not fit under nodeID degree")
+	// ErrEmptyPath is returned when a route with no hops is requested.
+	ErrEmptyPath = errors.New("polka: empty path")
+	// ErrDuplicateNode is returned when the same core node appears twice in
+	// one path; CRT residues would then conflict.
+	ErrDuplicateNode = errors.New("polka: node appears twice in path")
+)
+
+// Hop is one core-node traversal of a route: the packet arrives at the node
+// with identifier NodeID and must leave through Port.
+type Hop struct {
+	// NodeID is the node's polynomial identifier (pairwise coprime across
+	// the domain; distinct irreducibles in practice).
+	NodeID gf2.Poly
+	// Port is the output port number; its binary representation is the
+	// residue polynomial o(t) and must satisfy deg(o) < deg(NodeID).
+	Port uint64
+}
+
+// portPoly converts a port number to its residue polynomial, checking that
+// it fits under the node identifier.
+func portPoly(nodeID gf2.Poly, port uint64) (gf2.Poly, error) {
+	p := gf2.FromUint64(port)
+	if p.Degree() >= nodeID.Degree() {
+		return gf2.Poly{}, fmt.Errorf("%w: port %d needs degree ≥ %d but nodeID %v has degree %d",
+			ErrPortTooLarge, port, p.Degree()+1, nodeID, nodeID.Degree())
+	}
+	return p, nil
+}
+
+// ComputeRouteID computes the PolKA route identifier for the ordered hops.
+// This is the controller-side operation: the resulting polynomial is
+// embedded once in the packet header and is valid for the whole path.
+func ComputeRouteID(hops []Hop) (gf2.Poly, error) {
+	if len(hops) == 0 {
+		return gf2.Poly{}, ErrEmptyPath
+	}
+	moduli := make([]gf2.Poly, len(hops))
+	residues := make([]gf2.Poly, len(hops))
+	for i, h := range hops {
+		o, err := portPoly(h.NodeID, h.Port)
+		if err != nil {
+			return gf2.Poly{}, fmt.Errorf("hop %d: %w", i, err)
+		}
+		for j := 0; j < i; j++ {
+			if hops[j].NodeID.Equal(h.NodeID) {
+				return gf2.Poly{}, fmt.Errorf("%w: hop %d repeats nodeID %v", ErrDuplicateNode, i, h.NodeID)
+			}
+		}
+		moduli[i] = h.NodeID
+		residues[i] = o
+	}
+	r, err := gf2.CRT(residues, moduli)
+	if err != nil {
+		return gf2.Poly{}, fmt.Errorf("polka: routeID computation failed: %w", err)
+	}
+	return r, nil
+}
+
+// Switch models a single stateless PolKA core node. Forwarding consults no
+// table: the output port is a pure function of the packet's routeID and the
+// node's own identifier. The zero value is unusable; create switches with
+// NewSwitch.
+type Switch struct {
+	name    string
+	nodeID  gf2.Poly
+	reducer *gf2.Reducer // CRC-style reducer when the nodeID degree permits
+}
+
+// NewSwitch creates a core node with the given name and polynomial
+// identifier. When the identifier's degree is within gf2.MaxReducerDegree
+// (always, for realistic nodeIDs) a CRC-table reducer is prepared so the
+// forwarding hot path mirrors the hardware implementation.
+func NewSwitch(name string, nodeID gf2.Poly) (*Switch, error) {
+	if nodeID.Degree() < 1 {
+		return nil, fmt.Errorf("polka: nodeID for %q must have degree ≥ 1, got %v", name, nodeID)
+	}
+	s := &Switch{name: name, nodeID: nodeID}
+	if nodeID.Degree() <= gf2.MaxReducerDegree {
+		red, err := gf2.NewReducer(nodeID)
+		if err != nil {
+			return nil, fmt.Errorf("polka: building reducer for %q: %w", name, err)
+		}
+		s.reducer = red
+	}
+	return s, nil
+}
+
+// Name returns the switch's name.
+func (s *Switch) Name() string { return s.name }
+
+// NodeID returns the switch's polynomial identifier.
+func (s *Switch) NodeID() gf2.Poly { return s.nodeID }
+
+// OutputPort forwards a packet: it returns routeID mod nodeID as a port
+// number, using the CRC-table reducer when available.
+func (s *Switch) OutputPort(routeID gf2.Poly) uint64 {
+	if s.reducer != nil {
+		return s.reducer.ReduceBytes(routeIDBytes(routeID))
+	}
+	v, _ := routeID.Mod(s.nodeID).Uint64()
+	return v
+}
+
+// OutputPortNaive forwards using the plain polynomial long division,
+// bypassing the CRC table. It exists so benchmarks can compare the two
+// data-plane implementations (the paper's "reuse the CRC hardware" claim).
+func (s *Switch) OutputPortNaive(routeID gf2.Poly) uint64 {
+	v, _ := routeID.Mod(s.nodeID).Uint64()
+	return v
+}
+
+// Domain is a PolKA routing domain: a set of named core nodes with pairwise
+// coprime polynomial identifiers and the CRT machinery to encode routes
+// across them. A Domain is safe for concurrent use.
+type Domain struct {
+	mu       sync.RWMutex
+	switches map[string]*Switch
+	order    []string // insertion order, for deterministic iteration
+}
+
+// NewDomain creates a routing domain assigning each named node a distinct
+// irreducible polynomial of degree at least minDegree(maxPort), where
+// maxPort is the highest output port number any node will use. Node names
+// must be unique.
+func NewDomain(nodeNames []string, maxPort uint64) (*Domain, error) {
+	if len(nodeNames) == 0 {
+		return nil, errors.New("polka: domain needs at least one node")
+	}
+	// The port residue o(t) must satisfy deg(o) < deg(s). A port value p
+	// has degree bits.Len(p)-1, so the nodeID degree must be at least
+	// bits.Len(maxPort). Keep a floor of 3 so small domains still get
+	// nontrivial identifiers.
+	minDeg := 3
+	if d := gf2.FromUint64(maxPort).Degree() + 1; d > minDeg {
+		minDeg = d
+	}
+	ids := gf2.IrreducibleSequence(minDeg, len(nodeNames))
+	d := &Domain{switches: make(map[string]*Switch, len(nodeNames))}
+	for i, name := range nodeNames {
+		if _, dup := d.switches[name]; dup {
+			return nil, fmt.Errorf("polka: duplicate node name %q", name)
+		}
+		sw, err := NewSwitch(name, ids[i])
+		if err != nil {
+			return nil, err
+		}
+		d.switches[name] = sw
+		d.order = append(d.order, name)
+	}
+	return d, nil
+}
+
+// NewDomainWithIDs creates a domain from explicit name → nodeID
+// assignments, validating that the identifiers are pairwise coprime. It is
+// used to reproduce published examples (e.g. Fig. 1 of the paper) exactly.
+func NewDomainWithIDs(assignments map[string]gf2.Poly) (*Domain, error) {
+	if len(assignments) == 0 {
+		return nil, errors.New("polka: domain needs at least one node")
+	}
+	names := make([]string, 0, len(assignments))
+	for name := range assignments {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	d := &Domain{switches: make(map[string]*Switch, len(names))}
+	for _, name := range names {
+		sw, err := NewSwitch(name, assignments[name])
+		if err != nil {
+			return nil, err
+		}
+		d.switches[name] = sw
+		d.order = append(d.order, name)
+	}
+	for i := range names {
+		for j := i + 1; j < len(names); j++ {
+			a, b := assignments[names[i]], assignments[names[j]]
+			if !gf2.GCD(a, b).Equal(gf2.One) {
+				return nil, fmt.Errorf("polka: nodeIDs for %q (%v) and %q (%v) are not coprime",
+					names[i], a, names[j], b)
+			}
+		}
+	}
+	return d, nil
+}
+
+// Switch returns the named core node, or ErrUnknownNode.
+func (d *Domain) Switch(name string) (*Switch, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	sw, ok := d.switches[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	return sw, nil
+}
+
+// Nodes returns the node names in insertion order.
+func (d *Domain) Nodes() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// PathHop names a node and the output port the packet must take there.
+type PathHop struct {
+	Node string
+	Port uint64
+}
+
+// EncodePath computes the routeID for an ordered list of (node, port) hops.
+func (d *Domain) EncodePath(path []PathHop) (gf2.Poly, error) {
+	hops := make([]Hop, len(path))
+	for i, ph := range path {
+		sw, err := d.Switch(ph.Node)
+		if err != nil {
+			return gf2.Poly{}, fmt.Errorf("hop %d: %w", i, err)
+		}
+		hops[i] = Hop{NodeID: sw.NodeID(), Port: ph.Port}
+	}
+	return ComputeRouteID(hops)
+}
+
+// VerifyPath walks the path hop by hop, forwarding with each switch's data
+// plane, and reports the first hop whose computed output port disagrees
+// with the requested one. A nil error means the routeID steers the packet
+// exactly along the requested path.
+func (d *Domain) VerifyPath(routeID gf2.Poly, path []PathHop) error {
+	for i, ph := range path {
+		sw, err := d.Switch(ph.Node)
+		if err != nil {
+			return fmt.Errorf("hop %d: %w", i, err)
+		}
+		if got := sw.OutputPort(routeID); got != ph.Port {
+			return fmt.Errorf("polka: hop %d (%s): routeID forwards to port %d, want %d",
+				i, ph.Node, got, ph.Port)
+		}
+	}
+	return nil
+}
+
+// routeIDBytes renders the routeID as the big-endian byte string a packet
+// header would carry.
+func routeIDBytes(p gf2.Poly) []byte {
+	if p.IsZero() {
+		return nil
+	}
+	n := p.Degree()/8 + 1
+	out := make([]byte, n)
+	w := p.Words()
+	for i := 0; i < n; i++ {
+		out[n-1-i] = byte(w[i/8] >> (uint(i%8) * 8))
+	}
+	return out
+}

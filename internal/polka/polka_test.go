@@ -1,0 +1,223 @@
+package polka
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// fig1Domain reproduces the worked example of Fig. 1 in the paper.
+func fig1Domain(t *testing.T) *Domain {
+	t.Helper()
+	d, err := NewDomainWithIDs(map[string]gf2.Poly{
+		"s1": gf2.FromUint64(0b11),   // t+1
+		"s2": gf2.FromUint64(0b111),  // t^2+t+1
+		"s3": gf2.FromUint64(0b1011), // t^3+t+1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFig1WorkedExample(t *testing.T) {
+	d := fig1Domain(t)
+	// Output ports o1=1, o2=t (port 2), o3=t^2+t (port 6).
+	path := []PathHop{{"s1", 1}, {"s2", 2}, {"s3", 6}}
+	routeID, err := d.EncodePath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.VerifyPath(routeID, path); err != nil {
+		t.Fatal(err)
+	}
+	// The paper states routeID 10000 (t^4) yields port 2 at s2.
+	s2, err := d.Switch("s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.OutputPort(gf2.MustParseBits("10000")); got != 2 {
+		t.Errorf("s2.OutputPort(10000) = %d, want 2", got)
+	}
+}
+
+func TestRouteIDIsStableAcrossPath(t *testing.T) {
+	// The defining property of PolKA vs port switching: one label, never
+	// rewritten, yields the right port at every hop.
+	d := fig1Domain(t)
+	path := []PathHop{{"s1", 1}, {"s2", 2}, {"s3", 5}}
+	routeID, err := d.EncodePath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ph := range path {
+		sw, _ := d.Switch(ph.Node)
+		if got := sw.OutputPort(routeID); got != ph.Port {
+			t.Errorf("switch %s: port %d, want %d", ph.Node, got, ph.Port)
+		}
+	}
+}
+
+func TestComputeRouteIDErrors(t *testing.T) {
+	if _, err := ComputeRouteID(nil); !errors.Is(err, ErrEmptyPath) {
+		t.Errorf("empty path: got %v", err)
+	}
+	s := gf2.FromUint64(0b111) // degree 2: ports must be < 4
+	if _, err := ComputeRouteID([]Hop{{NodeID: s, Port: 4}}); !errors.Is(err, ErrPortTooLarge) {
+		t.Errorf("oversized port: got %v", err)
+	}
+	if _, err := ComputeRouteID([]Hop{{NodeID: s, Port: 1}, {NodeID: s, Port: 2}}); !errors.Is(err, ErrDuplicateNode) {
+		t.Errorf("duplicate node: got %v", err)
+	}
+}
+
+func TestNewDomainAssignsCoprimeIDs(t *testing.T) {
+	names := []string{"MIA", "CHI", "CAL", "SAO", "AMS"}
+	d, err := NewDomain(names, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Nodes()
+	if len(got) != len(names) {
+		t.Fatalf("Nodes() = %v", got)
+	}
+	for i, n := range names {
+		if got[i] != n {
+			t.Errorf("node %d = %q, want %q (insertion order)", i, got[i], n)
+		}
+	}
+	for i := range names {
+		a, _ := d.Switch(names[i])
+		if a.NodeID().Degree() < 4 {
+			t.Errorf("nodeID %v degree too small for maxPort 12", a.NodeID())
+		}
+		if !gf2.IsIrreducible(a.NodeID()) {
+			t.Errorf("nodeID %v not irreducible", a.NodeID())
+		}
+		for j := i + 1; j < len(names); j++ {
+			b, _ := d.Switch(names[j])
+			if a.NodeID().Equal(b.NodeID()) {
+				t.Errorf("nodes %s and %s share nodeID %v", names[i], names[j], a.NodeID())
+			}
+		}
+	}
+}
+
+func TestNewDomainErrors(t *testing.T) {
+	if _, err := NewDomain(nil, 4); err == nil {
+		t.Error("empty domain should fail")
+	}
+	if _, err := NewDomain([]string{"a", "a"}, 4); err == nil {
+		t.Error("duplicate names should fail")
+	}
+	if _, err := NewDomainWithIDs(nil); err == nil {
+		t.Error("empty explicit domain should fail")
+	}
+	if _, err := NewDomainWithIDs(map[string]gf2.Poly{
+		"a": gf2.FromUint64(0b111),
+		"b": gf2.FromUint64(0b111),
+	}); err == nil {
+		t.Error("non-coprime ids should fail")
+	}
+	if _, err := NewDomainWithIDs(map[string]gf2.Poly{"a": gf2.One}); err == nil {
+		t.Error("degree-0 id should fail")
+	}
+}
+
+func TestDomainUnknownNode(t *testing.T) {
+	d := fig1Domain(t)
+	if _, err := d.Switch("nope"); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("got %v, want ErrUnknownNode", err)
+	}
+	if _, err := d.EncodePath([]PathHop{{"nope", 1}}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("got %v, want ErrUnknownNode", err)
+	}
+	if err := d.VerifyPath(gf2.One, []PathHop{{"nope", 1}}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("got %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestVerifyPathDetectsWrongPort(t *testing.T) {
+	d := fig1Domain(t)
+	path := []PathHop{{"s1", 1}, {"s2", 2}}
+	routeID, err := d.EncodePath(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []PathHop{{"s1", 1}, {"s2", 3}}
+	err = d.VerifyPath(routeID, bad)
+	if err == nil || !strings.Contains(err.Error(), "s2") {
+		t.Errorf("VerifyPath should name the disagreeing hop, got %v", err)
+	}
+}
+
+func TestCRCAndNaiveForwardingAgree(t *testing.T) {
+	d, err := NewDomain([]string{"a", "b", "c", "d", "e", "f"}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		routeID := gf2.FromWords([]uint64{rng.Uint64(), rng.Uint64()})
+		for _, name := range d.Nodes() {
+			sw, _ := d.Switch(name)
+			if crc, naive := sw.OutputPort(routeID), sw.OutputPortNaive(routeID); crc != naive {
+				t.Fatalf("switch %s: CRC port %d != naive port %d for routeID %v",
+					name, crc, naive, routeID)
+			}
+		}
+	}
+}
+
+func TestRandomPathsRoundTrip(t *testing.T) {
+	names := make([]string, 12)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	d, err := NewDomain(names, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		k := 2 + rng.Intn(8)
+		perm := rng.Perm(len(names))[:k]
+		path := make([]PathHop, k)
+		for i, idx := range perm {
+			path[i] = PathHop{Node: names[idx], Port: uint64(1 + rng.Intn(15))}
+		}
+		routeID, err := d.EncodePath(path)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := d.VerifyPath(routeID, path); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestNewSwitchRejectsBadID(t *testing.T) {
+	if _, err := NewSwitch("x", gf2.Zero); err == nil {
+		t.Error("zero nodeID should fail")
+	}
+	if _, err := NewSwitch("x", gf2.One); err == nil {
+		t.Error("degree-0 nodeID should fail")
+	}
+}
+
+func TestSwitchAccessors(t *testing.T) {
+	id := gf2.FromUint64(0b1011)
+	sw, err := NewSwitch("core1", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Name() != "core1" {
+		t.Errorf("Name() = %q", sw.Name())
+	}
+	if !sw.NodeID().Equal(id) {
+		t.Errorf("NodeID() = %v", sw.NodeID())
+	}
+}

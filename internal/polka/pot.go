@@ -1,0 +1,175 @@
+package polka
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/gf2"
+)
+
+// Proof of Transit (PoT-PolKA, Borges et al., IEEE TNSM 2024 — reference
+// [18] of the paper): the edge verifies that a packet actually traversed
+// every node of its programmed path, using the same polynomial residue
+// system that forwards it.
+//
+// Each node of a path holds a secret key polynomial k_i with
+// deg(k_i) < deg(s_i). The ingress stamps the packet with a fresh nonce
+// polynomial N. At every hop, node i computes its transit tag
+//
+//	tag_i = (N mod s_i) · k_i mod s_i
+//
+// and folds it into the packet's accumulator through its CRT basis
+// element: acc ← acc + tag_i·b_i (mod M), where b_i ≡ 1 (mod s_i) and
+// b_i ≡ 0 (mod s_j), j≠i. Because the basis elements are orthogonal, the
+// egress — which knows all keys — can verify acc ≡ tag_i (mod s_i) for
+// every i: a hop that was skipped (or a tag forged without the key)
+// leaves the wrong residue with overwhelming probability. Like the
+// original scheme, the accumulator proves the *set* of traversed nodes;
+// ordering is enforced by the forwarding itself.
+
+// ErrTransitViolation is returned when a proof does not verify.
+var ErrTransitViolation = errors.New("polka: proof of transit verification failed")
+
+// TransitProof is the per-path proof-of-transit context shared by the
+// ingress (nonce stamping), the nodes (tag computation) and the egress
+// (verification).
+type TransitProof struct {
+	nodes    []string
+	moduli   []gf2.Poly
+	keys     map[string]gf2.Poly
+	basis    *gf2.CRTBasis
+	nonceDeg int
+	rng      *rand.Rand
+}
+
+// NewTransitProof builds the PoT context for an ordered node path within
+// the domain. Keys are drawn from the seeded generator — in a deployment
+// they would be provisioned out of band by the controller, exactly as the
+// routeIDs are.
+func NewTransitProof(d *Domain, path []string, seed int64) (*TransitProof, error) {
+	if len(path) == 0 {
+		return nil, ErrEmptyPath
+	}
+	rng := rand.New(rand.NewSource(seed))
+	moduli := make([]gf2.Poly, len(path))
+	keys := make(map[string]gf2.Poly, len(path))
+	totalDeg := 0
+	for i, name := range path {
+		sw, err := d.Switch(name)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := keys[name]; dup {
+			return nil, fmt.Errorf("%w: %q", ErrDuplicateNode, name)
+		}
+		moduli[i] = sw.NodeID()
+		totalDeg += sw.NodeID().Degree()
+		// Secret key: a uniformly random nonzero residue mod s_i.
+		deg := sw.NodeID().Degree()
+		var k gf2.Poly
+		for k.IsZero() {
+			k = gf2.FromUint64(rng.Uint64() & ((1 << deg) - 1))
+		}
+		keys[name] = k
+	}
+	basis, err := gf2.NewCRTBasis(moduli)
+	if err != nil {
+		return nil, err
+	}
+	nodes := make([]string, len(path))
+	copy(nodes, path)
+	return &TransitProof{
+		nodes: nodes, moduli: moduli, keys: keys, basis: basis,
+		nonceDeg: totalDeg, rng: rng,
+	}, nil
+}
+
+// Nodes returns the protected path.
+func (t *TransitProof) Nodes() []string {
+	out := make([]string, len(t.nodes))
+	copy(out, t.nodes)
+	return out
+}
+
+// NewNonce draws a fresh per-packet nonce polynomial.
+func (t *TransitProof) NewNonce() gf2.Poly {
+	words := make([]uint64, (t.nonceDeg+63)/64)
+	for i := range words {
+		words[i] = t.rng.Uint64()
+	}
+	return gf2.FromWords(words)
+}
+
+// nodeIndex locates a node on the path.
+func (t *TransitProof) nodeIndex(name string) (int, error) {
+	for i, n := range t.nodes {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: %q not on the protected path", ErrUnknownNode, name)
+}
+
+// NodeTag computes the transit tag node name contributes for the nonce —
+// the in-switch operation (two CRC-style mod reductions and one carry-less
+// multiply).
+func (t *TransitProof) NodeTag(name string, nonce gf2.Poly) (gf2.Poly, error) {
+	i, err := t.nodeIndex(name)
+	if err != nil {
+		return gf2.Poly{}, err
+	}
+	s := t.moduli[i]
+	return nonce.Mod(s).Mul(t.keys[name]).Mod(s), nil
+}
+
+// Accumulate folds a node's tag into the packet accumulator (the
+// operation executed at each hop).
+func (t *TransitProof) Accumulate(acc gf2.Poly, name string, nonce gf2.Poly) (gf2.Poly, error) {
+	i, err := t.nodeIndex(name)
+	if err != nil {
+		return gf2.Poly{}, err
+	}
+	tag, err := t.NodeTag(name, nonce)
+	if err != nil {
+		return gf2.Poly{}, err
+	}
+	// Solve-by-basis: tag_i·b_i has residue tag_i at s_i and 0 elsewhere.
+	residues := make([]gf2.Poly, len(t.nodes))
+	residues[i] = tag
+	term, err := t.basis.Solve(residues)
+	if err != nil {
+		return gf2.Poly{}, err
+	}
+	return acc.Add(term).Mod(t.basis.Product()), nil
+}
+
+// WalkAccumulate simulates the full path traversal: every node folds its
+// tag in, in order, and the final accumulator is returned.
+func (t *TransitProof) WalkAccumulate(nonce gf2.Poly) (gf2.Poly, error) {
+	var acc gf2.Poly
+	var err error
+	for _, name := range t.nodes {
+		acc, err = t.Accumulate(acc, name, nonce)
+		if err != nil {
+			return gf2.Poly{}, err
+		}
+	}
+	return acc, nil
+}
+
+// Verify is the egress check: the accumulator must carry every node's tag
+// in its residue. It returns ErrTransitViolation (wrapped with the first
+// offending node) on mismatch.
+func (t *TransitProof) Verify(acc, nonce gf2.Poly) error {
+	for i, name := range t.nodes {
+		want, err := t.NodeTag(name, nonce)
+		if err != nil {
+			return err
+		}
+		if got := acc.Mod(t.moduli[i]); !got.Equal(want) {
+			return fmt.Errorf("%w: node %s residue %v, want %v", ErrTransitViolation, name, got, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,206 @@
+// Package rl implements a tabular Q-learning flow allocator in the
+// lineage the paper builds on: DeepRoute (Kiran et al., MLN 2019) "uses an
+// AI agent using greedy Q-learning to learn optimal routing strategies",
+// and the paper's future work lists deep reinforcement learning as the
+// next optimizer family for the framework. This package provides the
+// classical tabular variant over the emulated testbed: states are
+// discretized per-tunnel utilizations, actions are tunnel choices for the
+// arriving flow, and the reward is the flow's marginal contribution to
+// total network throughput.
+//
+// The trained policy plugs into the same decision point as Hecate's
+// regression recommendation, so the two approaches (and the random
+// baseline) can be compared head to head — see Env and the
+// BenchmarkAblationAllocators benchmark at the repository root.
+package rl
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// State is a discretized observation of the network: one utilization
+// bucket per tunnel, rendered as a short string key ("2|0|1").
+type State string
+
+// Config tunes the Q-learning agent.
+type Config struct {
+	// Buckets is the number of utilization levels per tunnel.
+	Buckets int
+	// Epsilon is the exploration rate during training.
+	Epsilon float64
+	// LearningRate is the Q-update step (alpha).
+	LearningRate float64
+	// Discount is the future-reward discount (gamma).
+	Discount float64
+	// Seed drives exploration.
+	Seed int64
+}
+
+// DefaultConfig returns standard tabular Q-learning settings.
+func DefaultConfig() Config {
+	return Config{Buckets: 4, Epsilon: 0.2, LearningRate: 0.3, Discount: 0.6, Seed: 42}
+}
+
+// Agent is the tabular Q-learning allocator. Not safe for concurrent use.
+type Agent struct {
+	cfg     Config
+	tunnels []int
+	q       map[State][]float64 // state → Q-value per action index
+	rng     *rand.Rand
+}
+
+// NewAgent creates an agent choosing among the given tunnels.
+func NewAgent(tunnelIDs []int, cfg Config) (*Agent, error) {
+	if len(tunnelIDs) == 0 {
+		return nil, errors.New("rl: agent needs at least one tunnel")
+	}
+	if cfg.Buckets < 2 {
+		cfg.Buckets = 4
+	}
+	if cfg.LearningRate <= 0 || cfg.LearningRate > 1 {
+		cfg.LearningRate = 0.3
+	}
+	if cfg.Discount < 0 || cfg.Discount >= 1 {
+		cfg.Discount = 0.6
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		cfg.Epsilon = 0.2
+	}
+	ids := make([]int, len(tunnelIDs))
+	copy(ids, tunnelIDs)
+	sort.Ints(ids)
+	return &Agent{
+		cfg:     cfg,
+		tunnels: ids,
+		q:       make(map[State][]float64),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// Tunnels returns the agent's action set (tunnel IDs, ascending).
+func (a *Agent) Tunnels() []int {
+	out := make([]int, len(a.tunnels))
+	copy(out, a.tunnels)
+	return out
+}
+
+// Observe discretizes per-tunnel available bandwidth (Mbps) against each
+// tunnel's bottleneck capacity into the agent's state space. Both maps
+// must cover every tunnel in the action set.
+func (a *Agent) Observe(availMbps, capacityMbps map[int]float64) (State, error) {
+	parts := make([]string, len(a.tunnels))
+	for i, id := range a.tunnels {
+		avail, ok := availMbps[id]
+		if !ok {
+			return "", fmt.Errorf("rl: no availability for tunnel %d", id)
+		}
+		capa, ok := capacityMbps[id]
+		if !ok || capa <= 0 {
+			return "", fmt.Errorf("rl: no capacity for tunnel %d", id)
+		}
+		frac := avail / capa
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		b := int(frac * float64(a.cfg.Buckets))
+		if b == a.cfg.Buckets {
+			b--
+		}
+		parts[i] = strconv.Itoa(b)
+	}
+	return State(strings.Join(parts, "|")), nil
+}
+
+// qValues returns (allocating if needed) the Q row for a state.
+func (a *Agent) qValues(s State) []float64 {
+	row, ok := a.q[s]
+	if !ok {
+		row = make([]float64, len(a.tunnels))
+		a.q[s] = row
+	}
+	return row
+}
+
+// ChooseTunnel picks an action for the state: epsilon-greedy when explore
+// is true (training), greedy otherwise (deployment). Ties break toward
+// the lowest tunnel ID, deterministically.
+func (a *Agent) ChooseTunnel(s State, explore bool) int {
+	if explore && a.rng.Float64() < a.cfg.Epsilon {
+		return a.tunnels[a.rng.Intn(len(a.tunnels))]
+	}
+	row := a.qValues(s)
+	best := 0
+	for i := 1; i < len(row); i++ {
+		if row[i] > row[best] {
+			best = i
+		}
+	}
+	return a.tunnels[best]
+}
+
+// actionIndex maps a tunnel ID back to its action index.
+func (a *Agent) actionIndex(tunnel int) (int, error) {
+	for i, id := range a.tunnels {
+		if id == tunnel {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("rl: tunnel %d not in action set", tunnel)
+}
+
+// Update applies the Q-learning rule
+//
+//	Q(s,a) ← Q(s,a) + α·(r + γ·max_a' Q(s',a') − Q(s,a))
+//
+// for the transition (s, tunnel, reward, next).
+func (a *Agent) Update(s State, tunnel int, reward float64, next State) error {
+	ai, err := a.actionIndex(tunnel)
+	if err != nil {
+		return err
+	}
+	row := a.qValues(s)
+	nextRow := a.qValues(next)
+	maxNext := math.Inf(-1)
+	for _, v := range nextRow {
+		if v > maxNext {
+			maxNext = v
+		}
+	}
+	row[ai] += a.cfg.LearningRate * (reward + a.cfg.Discount*maxNext - row[ai])
+	return nil
+}
+
+// QValue exposes a learned value for inspection and tests.
+func (a *Agent) QValue(s State, tunnel int) (float64, error) {
+	ai, err := a.actionIndex(tunnel)
+	if err != nil {
+		return 0, err
+	}
+	return a.qValues(s)[ai], nil
+}
+
+// States returns the number of distinct states visited so far.
+func (a *Agent) States() int { return len(a.q) }
+
+// SetEpsilon adjusts the exploration rate (training schedules decay it).
+func (a *Agent) SetEpsilon(eps float64) {
+	if eps < 0 {
+		eps = 0
+	}
+	if eps > 1 {
+		eps = 1
+	}
+	a.cfg.Epsilon = eps
+}
+
+// Epsilon returns the current exploration rate.
+func (a *Agent) Epsilon() float64 { return a.cfg.Epsilon }

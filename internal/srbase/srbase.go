@@ -1,0 +1,128 @@
+// Package srbase implements classic port-switching source routing, the
+// baseline PolKA is compared against in the paper's background section
+// (Sec. II-B): the route label is an ordered list of output ports, each hop
+// pops the head of the list and forwards through that port, and the packet
+// header therefore changes at every hop.
+//
+// The package mirrors the shape of package polka (encode a path at the
+// edge, forward per hop in the core) so the two data planes can be swapped
+// under the same emulator and benchmarked head to head: per-hop work,
+// header bytes on the wire, and the cost of path migration.
+package srbase
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrEmptyStack is returned when forwarding is attempted with no labels
+// left, i.e. the packet overran its route.
+var ErrEmptyStack = errors.New("srbase: label stack exhausted")
+
+// ErrStackTooDeep is returned when encoding a route longer than the wire
+// format supports.
+var ErrStackTooDeep = errors.New("srbase: label stack too deep")
+
+// maxStackDepth bounds the label stack in the wire encoding (one byte).
+const maxStackDepth = 255
+
+// LabelStack is an ordered list of output ports, outermost (first hop)
+// label first. Unlike a PolKA routeID it mutates at every hop.
+type LabelStack struct {
+	labels []uint16
+}
+
+// NewLabelStack encodes a path as a label stack. Each port must fit in 16
+// bits, which matches the port-switching schemes (MPLS-like) the paper
+// contrasts with.
+func NewLabelStack(ports []uint16) (*LabelStack, error) {
+	if len(ports) == 0 {
+		return nil, errors.New("srbase: empty path")
+	}
+	if len(ports) > maxStackDepth {
+		return nil, fmt.Errorf("%w: %d hops", ErrStackTooDeep, len(ports))
+	}
+	l := make([]uint16, len(ports))
+	copy(l, ports)
+	return &LabelStack{labels: l}, nil
+}
+
+// Depth returns the number of labels remaining.
+func (s *LabelStack) Depth() int { return len(s.labels) }
+
+// Peek returns the outermost label without consuming it.
+func (s *LabelStack) Peek() (uint16, error) {
+	if len(s.labels) == 0 {
+		return 0, ErrEmptyStack
+	}
+	return s.labels[0], nil
+}
+
+// Pop consumes and returns the outermost label: this is the per-hop
+// forwarding operation of port switching. The header must be rewritten
+// (label removed) at each hop — the operational cost PolKA avoids.
+func (s *LabelStack) Pop() (uint16, error) {
+	if len(s.labels) == 0 {
+		return 0, ErrEmptyStack
+	}
+	head := s.labels[0]
+	s.labels = s.labels[1:]
+	return head, nil
+}
+
+// Clone returns an independent copy of the stack, as a core node would see
+// a fresh packet of the same flow.
+func (s *LabelStack) Clone() *LabelStack {
+	l := make([]uint16, len(s.labels))
+	copy(l, s.labels)
+	return &LabelStack{labels: l}
+}
+
+// Marshal serializes the stack:
+//
+//	byte 0    depth N
+//	bytes 1.. N big-endian uint16 labels
+func (s *LabelStack) Marshal() []byte {
+	out := make([]byte, 1+2*len(s.labels))
+	out[0] = byte(len(s.labels))
+	for i, l := range s.labels {
+		binary.BigEndian.PutUint16(out[1+2*i:], l)
+	}
+	return out
+}
+
+// UnmarshalLabelStack parses a wire-format stack, returning it and the
+// number of bytes consumed.
+func UnmarshalLabelStack(b []byte) (*LabelStack, int, error) {
+	if len(b) < 1 {
+		return nil, 0, errors.New("srbase: truncated stack header")
+	}
+	n := int(b[0])
+	if len(b) < 1+2*n {
+		return nil, 0, fmt.Errorf("srbase: stack truncated: need %d label bytes, have %d", 2*n, len(b)-1)
+	}
+	labels := make([]uint16, n)
+	for i := range labels {
+		labels[i] = binary.BigEndian.Uint16(b[1+2*i:])
+	}
+	return &LabelStack{labels: labels}, 1 + 2*n, nil
+}
+
+// WireSize returns the marshalled size in bytes. Port-switching headers
+// grow linearly with path length at 16 bits per hop; PolKA's routeID grows
+// with the sum of nodeID degrees instead, and — crucially — keeps a single
+// fixed field that core hardware never rewrites.
+func (s *LabelStack) WireSize() int { return 1 + 2*len(s.labels) }
+
+// Walk simulates forwarding a packet along its entire route, returning the
+// sequence of ports taken. It consumes a clone, leaving s intact.
+func (s *LabelStack) Walk() []uint16 {
+	c := s.Clone()
+	out := make([]uint16, 0, c.Depth())
+	for c.Depth() > 0 {
+		p, _ := c.Pop()
+		out = append(out, p)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package srbase
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestPushPopOrder(t *testing.T) {
+	s, err := NewLabelStack([]uint16{3, 1, 4, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{3, 1, 4, 1, 5}
+	for i, w := range want {
+		if got := s.Depth(); got != len(want)-i {
+			t.Fatalf("Depth = %d, want %d", got, len(want)-i)
+		}
+		peek, err := s.Peek()
+		if err != nil || peek != w {
+			t.Fatalf("Peek = %d, %v; want %d", peek, err, w)
+		}
+		got, err := s.Pop()
+		if err != nil || got != w {
+			t.Fatalf("Pop %d = %d, %v; want %d", i, got, err, w)
+		}
+	}
+	if _, err := s.Pop(); !errors.Is(err, ErrEmptyStack) {
+		t.Errorf("Pop on empty = %v, want ErrEmptyStack", err)
+	}
+	if _, err := s.Peek(); !errors.Is(err, ErrEmptyStack) {
+		t.Errorf("Peek on empty = %v, want ErrEmptyStack", err)
+	}
+}
+
+func TestNewLabelStackErrors(t *testing.T) {
+	if _, err := NewLabelStack(nil); err == nil {
+		t.Error("empty path should fail")
+	}
+	long := make([]uint16, 256)
+	if _, err := NewLabelStack(long); !errors.Is(err, ErrStackTooDeep) {
+		t.Errorf("256 hops: got %v", err)
+	}
+	if _, err := NewLabelStack(make([]uint16, 255)); err != nil {
+		t.Errorf("255 hops should work: %v", err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s, _ := NewLabelStack([]uint16{1, 2, 3})
+	c := s.Clone()
+	if _, err := c.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Depth() != 3 {
+		t.Errorf("original mutated by clone pop: depth %d", s.Depth())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	ports := []uint16{0, 1, 65535, 42}
+	s, _ := NewLabelStack(ports)
+	wire := s.Marshal()
+	if len(wire) != s.WireSize() {
+		t.Fatalf("WireSize %d != marshalled %d", s.WireSize(), len(wire))
+	}
+	got, n, err := UnmarshalLabelStack(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(wire) {
+		t.Errorf("consumed %d, want %d", n, len(wire))
+	}
+	if !reflect.DeepEqual(got.Walk(), ports) {
+		t.Errorf("round trip = %v, want %v", got.Walk(), ports)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, _, err := UnmarshalLabelStack(nil); err == nil {
+		t.Error("nil should fail")
+	}
+	if _, _, err := UnmarshalLabelStack([]byte{3, 0, 1}); err == nil {
+		t.Error("truncated labels should fail")
+	}
+}
+
+func TestWalkLeavesStackIntact(t *testing.T) {
+	ports := []uint16{7, 8, 9}
+	s, _ := NewLabelStack(ports)
+	if got := s.Walk(); !reflect.DeepEqual(got, ports) {
+		t.Errorf("Walk = %v, want %v", got, ports)
+	}
+	if s.Depth() != 3 {
+		t.Errorf("Walk consumed the stack: depth %d", s.Depth())
+	}
+}
+
+func TestWireSizeGrowsPerHop(t *testing.T) {
+	// Header-size scaling, the comparison the paper draws against MPLS-style
+	// stacks: 2 bytes per hop plus 1 byte of depth.
+	for _, hops := range []int{1, 5, 20, 100} {
+		s, _ := NewLabelStack(make([]uint16, hops))
+		if got, want := s.WireSize(), 1+2*hops; got != want {
+			t.Errorf("WireSize(%d hops) = %d, want %d", hops, got, want)
+		}
+	}
+}
+
+func BenchmarkPopPerHop(b *testing.B) {
+	base, _ := NewLabelStack([]uint16{1, 2, 3, 4, 5})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := base.Clone()
+		for c.Depth() > 0 {
+			if _, err := c.Pop(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package telemetry implements the framework's Telemetry Service: a
+// time-series store fed by collection agents that sample network metrics
+// (per-path available bandwidth, RTT, per-link utilization) at predefined
+// intervals, exactly as the Controller's startTelemetry()/createTelemetry()
+// loop does in the paper's sequence diagram (Fig. 4). Hecate later reads
+// the stored history through getTelemetry() to build its regression
+// windows.
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/timeseries"
+)
+
+// Store is a concurrency-safe collection of named time series. Keys use
+// the convention "<kind>:<object>:<metric>", e.g.
+// "path:MIA-CHI-AMS:available_mbps" or "link:MIA->SAO:util".
+type Store struct {
+	mu     sync.RWMutex
+	series map[string]*timeseries.Series
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{series: make(map[string]*timeseries.Series)}
+}
+
+// Insert appends a sample to the named series, creating it on first use.
+// Timestamps within one series must be strictly increasing.
+func (s *Store) Insert(key string, t, v float64) error {
+	if key == "" {
+		return fmt.Errorf("telemetry: empty series key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser, ok := s.series[key]
+	if !ok {
+		ser = &timeseries.Series{}
+		s.series[key] = ser
+	}
+	if err := ser.Append(t, v); err != nil {
+		return fmt.Errorf("telemetry: series %q: %w", key, err)
+	}
+	return nil
+}
+
+// Series returns an independent copy of the named series and whether it
+// exists.
+func (s *Store) Series(key string) (*timeseries.Series, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[key]
+	if !ok {
+		return nil, false
+	}
+	return ser.Clone(), true
+}
+
+// Keys returns all series names in sorted order.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.series))
+	for k := range s.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LastN returns the most recent n values of the named series, oldest
+// first; fewer if the series is shorter, nil if it does not exist. This is
+// the exact window shape Hecate's lag-feature regressors consume.
+func (s *Store) LastN(key string, n int) []float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[key]
+	if !ok {
+		return nil
+	}
+	return ser.LastN(n)
+}
+
+// Last returns the most recent sample of the named series.
+func (s *Store) Last(key string) (timeseries.Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[key]
+	if !ok {
+		return timeseries.Point{}, false
+	}
+	return ser.Last()
+}
+
+// Len returns the number of samples in the named series (0 if absent).
+func (s *Store) Len(key string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[key]
+	if !ok {
+		return 0
+	}
+	return ser.Len()
+}
+
+// WriteCSV exports the named series (all of them when keys is empty) as
+// long-format CSV rows "key,time_s,value" with a header — the dashboard's
+// export format for offline analysis of link-occupation history.
+func (s *Store) WriteCSV(w io.Writer, keys ...string) error {
+	if len(keys) == 0 {
+		keys = s.Keys()
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", "time_s", "value"}); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		ser, ok := s.Series(k)
+		if !ok {
+			return fmt.Errorf("telemetry: no series %q to export", k)
+		}
+		for i := 0; i < ser.Len(); i++ {
+			pt := ser.At(i)
+			row := []string{
+				k,
+				strconv.FormatFloat(pt.Time, 'f', -1, 64),
+				strconv.FormatFloat(pt.Value, 'f', 6, 64),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Probe is one metric a collection agent samples: a series key and the
+// sampling function.
+type Probe struct {
+	// Key names the series the samples land in.
+	Key string
+	// Sample reads the current metric value.
+	Sample func() (float64, error)
+}
+
+// Collector drives a set of probes into a store. The caller owns the clock
+// (real or simulated) and invokes CollectAt at its chosen interval, which
+// keeps the collector deterministic under the emulator.
+type Collector struct {
+	store  *Store
+	probes []Probe
+}
+
+// NewCollector creates a collector over the given store.
+func NewCollector(store *Store, probes []Probe) *Collector {
+	ps := make([]Probe, len(probes))
+	copy(ps, probes)
+	return &Collector{store: store, probes: ps}
+}
+
+// AddProbe registers an additional probe.
+func (c *Collector) AddProbe(p Probe) { c.probes = append(c.probes, p) }
+
+// CollectAt samples every probe and stores the values at time t. It
+// returns the first error encountered but keeps sampling the remaining
+// probes, so one failing agent does not blind the rest of the telemetry.
+func (c *Collector) CollectAt(t float64) error {
+	var firstErr error
+	for _, p := range c.probes {
+		v, err := p.Sample()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("telemetry: probe %q: %w", p.Key, err)
+			}
+			continue
+		}
+		if err := c.store.Insert(p.Key, t, v); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// PathBandwidthKey builds the conventional series key for a path's
+// available bandwidth.
+func PathBandwidthKey(pathName string) string {
+	return "path:" + pathName + ":available_mbps"
+}
+
+// PathRTTKey builds the conventional series key for a path's probe RTT.
+func PathRTTKey(pathName string) string {
+	return "path:" + pathName + ":rtt_ms"
+}
+
+// LinkUtilKey builds the conventional series key for a directed link's
+// utilization.
+func LinkUtilKey(linkID string) string {
+	return "link:" + linkID + ":util"
+}
+
+// PathUtilKey builds the conventional series key for a path's maximum
+// link utilization (the min-max objective's metric).
+func PathUtilKey(pathName string) string {
+	return "path:" + pathName + ":max_util"
+}

@@ -1,0 +1,188 @@
+package telemetry
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInsertAndQuery(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 5; i++ {
+		if err := s.Insert("path:p1:available_mbps", float64(i), float64(10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ser, ok := s.Series("path:p1:available_mbps")
+	if !ok || ser.Len() != 5 {
+		t.Fatalf("Series: ok=%v len=%d", ok, ser.Len())
+	}
+	if got := s.LastN("path:p1:available_mbps", 3); !reflect.DeepEqual(got, []float64{12, 13, 14}) {
+		t.Errorf("LastN = %v", got)
+	}
+	p, ok := s.Last("path:p1:available_mbps")
+	if !ok || p.Value != 14 {
+		t.Errorf("Last = %+v, %v", p, ok)
+	}
+	if s.Len("path:p1:available_mbps") != 5 {
+		t.Errorf("Len = %d", s.Len("path:p1:available_mbps"))
+	}
+}
+
+func TestMissingSeries(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Series("nope"); ok {
+		t.Error("missing series should report !ok")
+	}
+	if got := s.LastN("nope", 3); got != nil {
+		t.Errorf("LastN on missing = %v", got)
+	}
+	if _, ok := s.Last("nope"); ok {
+		t.Error("Last on missing should report !ok")
+	}
+	if s.Len("nope") != 0 {
+		t.Error("Len on missing should be 0")
+	}
+}
+
+func TestInsertValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Insert("", 0, 1); err == nil {
+		t.Error("empty key should fail")
+	}
+	if err := s.Insert("k", 5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert("k", 5, 2); err == nil {
+		t.Error("duplicate timestamp should fail")
+	}
+}
+
+func TestSeriesCopyIsIndependent(t *testing.T) {
+	s := NewStore()
+	_ = s.Insert("k", 1, 1)
+	ser, _ := s.Series("k")
+	ser.MustAppend(2, 2)
+	if s.Len("k") != 1 {
+		t.Error("mutating the returned copy affected the store")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	s := NewStore()
+	for _, k := range []string{"zebra", "alpha", "midpoint"} {
+		_ = s.Insert(k, 0, 1)
+	}
+	if got := s.Keys(); !reflect.DeepEqual(got, []string{"alpha", "midpoint", "zebra"}) {
+		t.Errorf("Keys = %v", got)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	s := NewStore()
+	good := 0.0
+	c := NewCollector(s, []Probe{
+		{Key: "a", Sample: func() (float64, error) { good += 1; return good, nil }},
+		{Key: "b", Sample: func() (float64, error) { return 0, errors.New("agent down") }},
+	})
+	c.AddProbe(Probe{Key: "c", Sample: func() (float64, error) { return 42, nil }})
+	err := c.CollectAt(1)
+	if err == nil {
+		t.Error("failing probe should surface an error")
+	}
+	// The healthy probes must still have been sampled.
+	if s.Len("a") != 1 || s.Len("c") != 1 {
+		t.Errorf("healthy probes not collected: a=%d c=%d", s.Len("a"), s.Len("c"))
+	}
+	if s.Len("b") != 0 {
+		t.Error("failing probe should store nothing")
+	}
+	if err := c.CollectAt(2); err == nil {
+		t.Error("persistent failure should keep erroring")
+	}
+	if got := s.LastN("a", 2); !reflect.DeepEqual(got, []float64{1, 2}) {
+		t.Errorf("a samples = %v", got)
+	}
+}
+
+func TestConcurrentInsertsDistinctSeries(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := string(rune('a' + g))
+			for i := 0; i < 100; i++ {
+				if err := s.Insert(key, float64(i), float64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < 8; g++ {
+		if got := s.Len(string(rune('a' + g))); got != 100 {
+			t.Errorf("series %c has %d samples", 'a'+g, got)
+		}
+	}
+}
+
+func TestKeyBuilders(t *testing.T) {
+	if got := PathBandwidthKey("MIA-CHI-AMS"); got != "path:MIA-CHI-AMS:available_mbps" {
+		t.Errorf("PathBandwidthKey = %q", got)
+	}
+	if got := PathRTTKey("p"); got != "path:p:rtt_ms" {
+		t.Errorf("PathRTTKey = %q", got)
+	}
+	if got := LinkUtilKey("MIA->SAO"); got != "link:MIA->SAO:util" {
+		t.Errorf("LinkUtilKey = %q", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := NewStore()
+	_ = s.Insert("path:p1:available_mbps", 0, 10)
+	_ = s.Insert("path:p1:available_mbps", 1, 12)
+	_ = s.Insert("path:p2:rtt_ms", 0, 7.5)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "series,time_s,value\n") {
+		t.Errorf("missing header: %q", out)
+	}
+	for _, want := range []string{
+		"path:p1:available_mbps,0,10.000000",
+		"path:p1:available_mbps,1,12.000000",
+		"path:p2:rtt_ms,0,7.500000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing row %q in:\n%s", want, out)
+		}
+	}
+	// Selected-keys export.
+	sb.Reset()
+	if err := s.WriteCSV(&sb, "path:p2:rtt_ms"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "p1") {
+		t.Error("selected export leaked other series")
+	}
+	// Unknown key fails.
+	if err := s.WriteCSV(&sb, "nope"); err == nil {
+		t.Error("unknown key should fail")
+	}
+	// Write errors propagate.
+	if err := s.WriteCSV(failWriter{}); err == nil {
+		t.Error("writer failure should propagate")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }

@@ -1,0 +1,179 @@
+// Package timeseries provides the small time-indexed sample container
+// shared by the emulator, the telemetry service and the dataset tooling:
+// an append-only series of (time, value) points with windowed queries and
+// summary statistics.
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is one timestamped sample. Time is in seconds from an arbitrary
+// epoch chosen by the producer (the emulator clock, or the dataset's
+// second index).
+type Point struct {
+	Time  float64
+	Value float64
+}
+
+// Series is an append-only ordered sequence of samples. The zero value is
+// an empty series ready to use. Series is not safe for concurrent use; the
+// telemetry store adds locking on top.
+type Series struct {
+	pts []Point
+}
+
+// FromValues builds a series sampling values at 1-second intervals starting
+// at t=0 — the shape of the UQ dataset traces.
+func FromValues(values []float64) *Series {
+	s := &Series{pts: make([]Point, len(values))}
+	for i, v := range values {
+		s.pts[i] = Point{Time: float64(i), Value: v}
+	}
+	return s
+}
+
+// Append adds a sample. Time must be strictly greater than the previous
+// sample's time; out-of-order appends are rejected so windows stay sorted.
+func (s *Series) Append(t, v float64) error {
+	if n := len(s.pts); n > 0 && t <= s.pts[n-1].Time {
+		return fmt.Errorf("timeseries: non-monotonic append at t=%v (last %v)", t, s.pts[n-1].Time)
+	}
+	s.pts = append(s.pts, Point{Time: t, Value: v})
+	return nil
+}
+
+// MustAppend is Append that panics on error, for producers that control
+// their own clock.
+func (s *Series) MustAppend(t, v float64) {
+	if err := s.Append(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.pts) }
+
+// At returns the i-th sample.
+func (s *Series) At(i int) Point { return s.pts[i] }
+
+// Values returns a copy of all sample values in time order.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Times returns a copy of all sample times in order.
+func (s *Series) Times() []float64 {
+	out := make([]float64, len(s.pts))
+	for i, p := range s.pts {
+		out[i] = p.Time
+	}
+	return out
+}
+
+// Last returns the most recent sample and true, or a zero point and false
+// for an empty series.
+func (s *Series) Last() (Point, bool) {
+	if len(s.pts) == 0 {
+		return Point{}, false
+	}
+	return s.pts[len(s.pts)-1], true
+}
+
+// LastN returns up to n most recent values, oldest first. This is the
+// "history of measurements" window the regression models consume.
+func (s *Series) LastN(n int) []float64 {
+	if n > len(s.pts) {
+		n = len(s.pts)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = s.pts[len(s.pts)-n+i].Value
+	}
+	return out
+}
+
+// Window returns the samples with from ≤ Time < to.
+func (s *Series) Window(from, to float64) []Point {
+	lo := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].Time >= from })
+	hi := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].Time >= to })
+	out := make([]Point, hi-lo)
+	copy(out, s.pts[lo:hi])
+	return out
+}
+
+// Mean returns the arithmetic mean of all values (0 for an empty series).
+func (s *Series) Mean() float64 {
+	if len(s.pts) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range s.pts {
+		sum += p.Value
+	}
+	return sum / float64(len(s.pts))
+}
+
+// Std returns the population standard deviation of all values.
+func (s *Series) Std() float64 {
+	n := len(s.pts)
+	if n == 0 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, p := range s.pts {
+		d := p.Value - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Min returns the minimum value (+Inf for an empty series).
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.pts {
+		if p.Value < m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Max returns the maximum value (-Inf for an empty series).
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.pts {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// Clone returns an independent copy of the series.
+func (s *Series) Clone() *Series {
+	pts := make([]Point, len(s.pts))
+	copy(pts, s.pts)
+	return &Series{pts: pts}
+}
+
+// MeanWindow returns the mean of the values with from ≤ Time < to, and the
+// number of samples that contributed.
+func (s *Series) MeanWindow(from, to float64) (float64, int) {
+	pts := s.Window(from, to)
+	if len(pts) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, p := range pts {
+		sum += p.Value
+	}
+	return sum / float64(len(pts)), len(pts)
+}

@@ -1,0 +1,154 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendMonotonic(t *testing.T) {
+	var s Series
+	if err := s.Append(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(2, 30); err == nil {
+		t.Error("equal timestamp should fail")
+	}
+	if err := s.Append(1.5, 30); err == nil {
+		t.Error("backwards timestamp should fail")
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend out of order should panic")
+		}
+	}()
+	var s Series
+	s.MustAppend(2, 1)
+	s.MustAppend(1, 1)
+}
+
+func TestFromValues(t *testing.T) {
+	s := FromValues([]float64{5, 6, 7})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if p := s.At(1); p.Time != 1 || p.Value != 6 {
+		t.Errorf("At(1) = %+v", p)
+	}
+	if got := s.Values(); !reflect.DeepEqual(got, []float64{5, 6, 7}) {
+		t.Errorf("Values = %v", got)
+	}
+	if got := s.Times(); !reflect.DeepEqual(got, []float64{0, 1, 2}) {
+		t.Errorf("Times = %v", got)
+	}
+}
+
+func TestLastAndLastN(t *testing.T) {
+	var s Series
+	if _, ok := s.Last(); ok {
+		t.Error("empty Last should report false")
+	}
+	for i := 0; i < 5; i++ {
+		s.MustAppend(float64(i), float64(i*i))
+	}
+	p, ok := s.Last()
+	if !ok || p.Value != 16 {
+		t.Errorf("Last = %+v, %v", p, ok)
+	}
+	if got := s.LastN(3); !reflect.DeepEqual(got, []float64{4, 9, 16}) {
+		t.Errorf("LastN(3) = %v", got)
+	}
+	if got := s.LastN(99); len(got) != 5 {
+		t.Errorf("LastN(99) len = %d", len(got))
+	}
+}
+
+func TestWindow(t *testing.T) {
+	var s Series
+	for i := 0; i < 10; i++ {
+		s.MustAppend(float64(i), float64(i))
+	}
+	w := s.Window(3, 6)
+	if len(w) != 3 || w[0].Time != 3 || w[2].Time != 5 {
+		t.Errorf("Window(3,6) = %v", w)
+	}
+	if len(s.Window(100, 200)) != 0 {
+		t.Error("out-of-range window should be empty")
+	}
+	mean, n := s.MeanWindow(0, 4)
+	if n != 4 || mean != 1.5 {
+		t.Errorf("MeanWindow = %v, %d", mean, n)
+	}
+	if _, n := s.MeanWindow(50, 60); n != 0 {
+		t.Error("empty window count should be 0")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := FromValues([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := s.Std(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("Std = %v, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	var empty Series
+	if empty.Mean() != 0 || empty.Std() != 0 {
+		t.Error("empty stats should be 0")
+	}
+	if !math.IsInf(empty.Min(), 1) || !math.IsInf(empty.Max(), -1) {
+		t.Error("empty Min/Max should be ±Inf")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := FromValues([]float64{1, 2})
+	c := s.Clone()
+	c.MustAppend(10, 3)
+	if s.Len() != 2 || c.Len() != 3 {
+		t.Errorf("clone not independent: %d, %d", s.Len(), c.Len())
+	}
+}
+
+func TestWindowPropertyOrderedAndBounded(t *testing.T) {
+	f := func(seed int64, loRaw, hiRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Series
+		t0 := 0.0
+		for i := 0; i < 50; i++ {
+			t0 += rng.Float64() + 0.01
+			s.MustAppend(t0, rng.Float64())
+		}
+		lo, hi := float64(loRaw%60), float64(hiRaw%60)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		w := s.Window(lo, hi)
+		for i, p := range w {
+			if p.Time < lo || p.Time >= hi {
+				return false
+			}
+			if i > 0 && w[i-1].Time >= p.Time {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomConfig parametrizes the random-topology generator used by the
+// whole-stack property tests: routing, PolKA encoding and emulation must
+// hold on arbitrary connected graphs, not just the hand-built lab.
+type RandomConfig struct {
+	// Cores is the number of core routers (≥ 2).
+	Cores int
+	// ExtraLinks adds random core-core links beyond the spanning tree
+	// that guarantees connectivity.
+	ExtraLinks int
+	// Hosts attaches this many hosts to random cores (each behind its
+	// own edge link).
+	Hosts int
+	// Seed makes the graph reproducible.
+	Seed int64
+}
+
+// RandomTopology generates a connected random network: a spanning tree
+// over the cores (so the graph is always connected), extra random links
+// for path diversity, and hosts hung off random cores. Link capacities
+// are drawn from {5, 10, 20, 50, 100} Mbps and delays from [0.5, 10) ms.
+func RandomTopology(cfg RandomConfig) (*Topology, error) {
+	if cfg.Cores < 2 {
+		return nil, fmt.Errorf("topo: random topology needs ≥ 2 cores, got %d", cfg.Cores)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := New()
+	cores := make([]string, cfg.Cores)
+	for i := range cores {
+		cores[i] = fmt.Sprintf("core%d", i)
+		if err := t.AddNode(cores[i], Core); err != nil {
+			return nil, err
+		}
+	}
+	capChoices := []float64{5, 10, 20, 50, 100}
+	randAttrs := func() LinkAttrs {
+		return LinkAttrs{
+			CapacityMbps: capChoices[rng.Intn(len(capChoices))],
+			DelayMs:      0.5 + rng.Float64()*9.5,
+		}
+	}
+	// Spanning tree: each core i ≥ 1 links to a random earlier core.
+	for i := 1; i < cfg.Cores; i++ {
+		j := rng.Intn(i)
+		if err := t.AddLink(cores[i], cores[j], randAttrs()); err != nil {
+			return nil, err
+		}
+	}
+	// Extra links for diversity; skip duplicates.
+	for k := 0; k < cfg.ExtraLinks; k++ {
+		a, b := rng.Intn(cfg.Cores), rng.Intn(cfg.Cores)
+		if a == b {
+			continue
+		}
+		na, err := t.Node(cores[a])
+		if err != nil {
+			return nil, err
+		}
+		if _, err := na.Port(cores[b]); err == nil {
+			continue // already linked
+		}
+		if err := t.AddLink(cores[a], cores[b], randAttrs()); err != nil {
+			return nil, err
+		}
+	}
+	// Hosts.
+	for h := 0; h < cfg.Hosts; h++ {
+		name := fmt.Sprintf("host%d", h)
+		if err := t.AddNode(name, Host); err != nil {
+			return nil, err
+		}
+		attach := cores[rng.Intn(cfg.Cores)]
+		if err := t.AddLink(name, attach, LinkAttrs{CapacityMbps: 1000, DelayMs: 0.1}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,53 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestRandomTopologyConnected(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		tp, err := RandomTopology(RandomConfig{Cores: 10, ExtraLinks: 8, Hosts: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := tp.Nodes()
+		if len(nodes) != 14 {
+			t.Fatalf("seed %d: %d nodes", seed, len(nodes))
+		}
+		// Connectivity: a path must exist between every host pair.
+		hosts := tp.NodesOfKind(Host)
+		for i := range hosts {
+			for j := i + 1; j < len(hosts); j++ {
+				if _, err := tp.ShortestPath(hosts[i], hosts[j], ByHops); err != nil {
+					t.Fatalf("seed %d: no path %s -> %s: %v", seed, hosts[i], hosts[j], err)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomTopologyDeterministic(t *testing.T) {
+	a, err := RandomTopology(RandomConfig{Cores: 8, ExtraLinks: 5, Hosts: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomTopology(RandomConfig{Cores: 8, ExtraLinks: 5, Hosts: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.Links(), b.Links()
+	if len(la) != len(lb) {
+		t.Fatalf("link counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i].ID() != lb[i].ID() || la[i].Attrs != lb[i].Attrs {
+			t.Fatalf("link %d differs: %+v vs %+v", i, la[i], lb[i])
+		}
+	}
+}
+
+func TestRandomTopologyValidation(t *testing.T) {
+	if _, err := RandomTopology(RandomConfig{Cores: 1}); err == nil {
+		t.Error("single core should fail")
+	}
+}

@@ -1,0 +1,121 @@
+package topo
+
+// Builders for the concrete topologies evaluated in the paper.
+
+// Well-known node names of the emulated Global P4 Lab subset (Fig. 9).
+const (
+	HostMIA = "host1" // traffic source, attached at MIA
+	HostAMS = "host2" // traffic sink, attached at AMS
+	MIA     = "MIA"   // Miami (ingress edge)
+	CHI     = "CHI"   // Chicago
+	CAL     = "CAL"   // Caltech
+	SAO     = "SAO"   // São Paulo
+	AMS     = "AMS"   // Amsterdam (egress edge)
+)
+
+// GlobalP4LabConfig parametrizes the emulated testbed. The zero value is
+// not useful; start from DefaultGlobalP4LabConfig.
+type GlobalP4LabConfig struct {
+	// MIASAODelayMs is the extra propagation delay injected on the MIA-SAO
+	// link (the paper adds 20 ms with tc on the host OS).
+	MIASAODelayMs float64
+	// Constrained applies the second experiment's bandwidth caps
+	// (MIA-SAO/SAO-AMS/CHI-AMS = 20 Mbps, MIA-CHI = 10, MIA-CAL/CAL-CHI = 5).
+	// When false, all core links get UncappedMbps.
+	Constrained bool
+	// UncappedMbps is the capacity of unconstrained links.
+	UncappedMbps float64
+}
+
+// DefaultGlobalP4LabConfig mirrors the paper's testbed settings for both
+// experiments: the 20 ms MIA-SAO delay is always present, and the
+// experiment-2 rate caps are applied.
+func DefaultGlobalP4LabConfig() GlobalP4LabConfig {
+	return GlobalP4LabConfig{
+		MIASAODelayMs: 20,
+		Constrained:   true,
+		UncappedMbps:  1000,
+	}
+}
+
+// BuildGlobalP4Lab constructs the emulated subset of the Global P4 Lab
+// testbed used in Section V-C: edge routers MIA and AMS, core routers CHI,
+// CAL and SAO, and one host behind each edge. Tunnels 1-3 of the
+// experiments correspond to TunnelPath1..TunnelPath3.
+func BuildGlobalP4Lab(cfg GlobalP4LabConfig) (*Topology, error) {
+	t := New()
+	for _, n := range []struct {
+		name string
+		kind NodeKind
+	}{
+		{HostMIA, Host}, {HostAMS, Host},
+		{MIA, Edge}, {AMS, Edge},
+		{CHI, Core}, {CAL, Core}, {SAO, Core},
+	} {
+		if err := t.AddNode(n.name, n.kind); err != nil {
+			return nil, err
+		}
+	}
+	cap20, cap10, cap5 := 20.0, 10.0, 5.0
+	if !cfg.Constrained {
+		cap20, cap10, cap5 = cfg.UncappedMbps, cfg.UncappedMbps, cfg.UncappedMbps
+	}
+	links := []struct {
+		a, b  string
+		attrs LinkAttrs
+	}{
+		{HostMIA, MIA, LinkAttrs{CapacityMbps: 1000, DelayMs: 0.1}},
+		{HostAMS, AMS, LinkAttrs{CapacityMbps: 1000, DelayMs: 0.1}},
+		{MIA, SAO, LinkAttrs{CapacityMbps: cap20, DelayMs: 1 + cfg.MIASAODelayMs}},
+		{SAO, AMS, LinkAttrs{CapacityMbps: cap20, DelayMs: 2}},
+		{MIA, CHI, LinkAttrs{CapacityMbps: cap10, DelayMs: 1.5}},
+		{CHI, AMS, LinkAttrs{CapacityMbps: cap20, DelayMs: 2}},
+		{MIA, CAL, LinkAttrs{CapacityMbps: cap5, DelayMs: 1.5}},
+		{CAL, CHI, LinkAttrs{CapacityMbps: cap5, DelayMs: 1}},
+	}
+	for _, l := range links {
+		if err := t.AddLink(l.a, l.b, l.attrs); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// TunnelPath1 is the experiments' Tunnel 1: MIA-SAO-AMS (high latency, 20
+// Mbps bottleneck), host to host.
+func TunnelPath1() Path {
+	return Path{Nodes: []string{HostMIA, MIA, SAO, AMS, HostAMS}}
+}
+
+// TunnelPath2 is Tunnel 2: MIA-CHI-AMS (low latency, 10 Mbps bottleneck).
+func TunnelPath2() Path {
+	return Path{Nodes: []string{HostMIA, MIA, CHI, AMS, HostAMS}}
+}
+
+// TunnelPath3 is Tunnel 3: MIA-CAL-CHI-AMS (5 Mbps bottleneck).
+func TunnelPath3() Path {
+	return Path{Nodes: []string{HostMIA, MIA, CAL, CHI, AMS, HostAMS}}
+}
+
+// BuildTriangle constructs the simple 3-node illustration of Fig. 2: a
+// source s, destination d, and intermediate i, with a direct s-d link and a
+// two-hop s-i-d alternative carrying different QoS attributes. It is the
+// didactic topology for the Section III flow-model tests.
+func BuildTriangle(direct, viaI LinkAttrs) (*Topology, error) {
+	t := New()
+	for _, n := range []string{"s", "i", "d"} {
+		if err := t.AddNode(n, Core); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.AddLink("s", "d", direct); err != nil {
+		return nil, err
+	}
+	if err := t.AddLink("s", "i", viaI); err != nil {
+		return nil, err
+	}
+	if err := t.AddLink("i", "d", viaI); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
