@@ -1,17 +1,23 @@
 // Package repro's root benchmark harness: one benchmark per table/figure
-// of the paper's evaluation (Section V) plus the ablations called out in
-// DESIGN.md. Run everything with
+// of the paper's evaluation (Section V), ablations of the design choices,
+// and throughput benchmarks for the packet-level data plane
+// (internal/dataplane). Run everything with
 //
 //	go test -bench=. -benchmem
 //
 // The figure benchmarks execute the same experiment drivers as the CLIs
-// (cmd/mlcompare, cmd/labdemo), so each timed iteration regenerates the
-// corresponding artifact end to end.
+// (cmd/mlcompare, cmd/labdemo, cmd/dataplanedemo), so each timed iteration
+// regenerates the corresponding artifact end to end. See README.md for the
+// module layout and how each benchmark maps onto the paper.
 package repro
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
+	"repro/internal/dataplane"
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/gf2"
@@ -161,7 +167,7 @@ func BenchmarkMinMaxOptimizer(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §5) ---------------------------------------------
+// --- Ablations ------------------------------------------------------------
 
 // BenchmarkAblationRouteIDCRT times route computation from scratch for a
 // 5-hop path, versus the precomputed-basis variant below — the PolKA
@@ -323,7 +329,7 @@ func BenchmarkAblationReactiveVsPredictive(b *testing.B) {
 }
 
 // BenchmarkAblationHorizon compares 1-step versus 10-step recommendation
-// cost (the horizon ablation of DESIGN.md).
+// cost (the prediction-horizon ablation of the Hecate optimizer).
 func BenchmarkAblationHorizon(b *testing.B) {
 	tr := dataset.Generate(dataset.DefaultConfig())
 	wifi, lte := tr.WiFi.Values(), tr.LTE.Values()
@@ -503,6 +509,216 @@ func BenchmarkAblationWorkloadPolicies(b *testing.B) {
 				mean = res.MeanTotalMbps
 			}
 			b.ReportMetric(mean, "carried-mbps")
+		})
+	}
+}
+
+// --- Packet-level data plane (internal/dataplane) -------------------------
+
+// newLabPacketEngine builds a packet engine over the Global P4 Lab with the
+// three tunnel routes encoded, for the throughput benchmarks.
+func newLabPacketEngine(b *testing.B, workers int) (*dataplane.Engine, []*dataplane.Route) {
+	b.Helper()
+	lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	routers := append(lab.NodesOfKind(topo.Edge), lab.NodesOfKind(topo.Core)...)
+	domain, err := polka.NewDomain(routers, lab.MaxPort())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := dataplane.New(lab, dataplane.Config{Domain: domain, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var routes []*dataplane.Route
+	for _, tun := range []topo.Path{topo.TunnelPath1(), topo.TunnelPath2(), topo.TunnelPath3()} {
+		r, err := engine.UnicastRoute(tun)
+		if err != nil {
+			b.Fatal(err)
+		}
+		routes = append(routes, r)
+	}
+	return engine, routes
+}
+
+// BenchmarkDataplaneForwarding measures end-to-end packet forwarding
+// throughput on the lab topology: each iteration injects a batch across the
+// three tunnels and drains the engine, serially and sharded over the
+// available cores. The pkts/s metric counts delivered packets; hops/s
+// counts forwarding decisions.
+func BenchmarkDataplaneForwarding(b *testing.B) {
+	const batch = 1024
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{fmt.Sprintf("parallel-%d", runtime.NumCPU()), runtime.NumCPU()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			engine, routes := newLabPacketEngine(b, mode.workers)
+			var delivered, hops uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range routes {
+					if err := engine.InjectBatch(r.Inject, r.NewPackets(batch/len(routes), 1500)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stats, err := engine.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Dropped() != 0 {
+					b.Fatalf("dropped %d packets", stats.Dropped())
+				}
+				delivered += stats.Delivered
+				hops += stats.Hops
+				engine.Reset()
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(delivered)/s, "pkts/s")
+				b.ReportMetric(float64(hops)/s, "hops/s")
+			}
+		})
+	}
+}
+
+// BenchmarkDataplaneTableVsNaive compares the two forwarding
+// implementations on identical routeIDs along a 10-hop path with degree-8
+// node identifiers: the table-driven CRC reduction consuming the wire bytes
+// (the hardware model) versus plain polynomial long division. The paper's
+// claim is that the former makes per-hop forwarding essentially free on
+// switch CRC units; the measured speedup is the tracked number.
+func BenchmarkDataplaneTableVsNaive(b *testing.B) {
+	const hops = 10
+	names := make([]string, hops)
+	for i := range names {
+		names[i] = fmt.Sprintf("s%d", i)
+	}
+	// maxPort 200 forces degree-8 identifiers, giving a ~80-bit routeID.
+	domain, err := polka.NewDomain(names, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := make([]polka.PathHop, hops)
+	for i := range path {
+		path[i] = polka.PathHop{Node: names[i], Port: uint64(i%5 + 1)}
+	}
+	rid, err := domain.EncodePath(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ridBytes := polka.RouteIDBytes(rid)
+	switches := make([]*polka.Switch, hops)
+	for i, name := range names {
+		sw, err := domain.Switch(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		switches[i] = sw
+	}
+	b.Run("table", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, sw := range switches {
+				if sw.OutputPortBytes(ridBytes) != path[j].Port {
+					b.Fatal("wrong port")
+				}
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j, sw := range switches {
+				if sw.OutputPortNaive(rid) != path[j].Port {
+					b.Fatal("wrong port")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkDataplaneModes measures per-mode forwarding cost on the lab:
+// unicast and multicast are pure CRC work, while proof-of-transit adds the
+// per-hop tag fold and the egress verification.
+func BenchmarkDataplaneModes(b *testing.B) {
+	const batch = 256
+	lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	routers := append(lab.NodesOfKind(topo.Edge), lab.NodesOfKind(topo.Core)...)
+	domain, err := polka.NewMultipathDomain(routers, lab.MaxPort())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := dataplane.New(lab, dataplane.Config{Domain: domain})
+	if err != nil {
+		b.Fatal(err)
+	}
+	uni, err := engine.UnicastRoute(topo.TunnelPath1())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pot, err := engine.PoTRoute(topo.TunnelPath1(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mia, err := lab.Node(topo.MIA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sao, err := lab.Node(topo.SAO)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ams, err := lab.Node(topo.AMS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	miaOut, _ := mia.Port(topo.SAO)
+	saoOut, _ := sao.Port(topo.AMS)
+	amsOut, _ := ams.Port(topo.HostAMS)
+	mc, err := engine.MulticastRoute(topo.MIA, map[string]uint64{
+		topo.MIA: 1 << miaOut,
+		topo.SAO: 1 << saoOut,
+		topo.AMS: 1 << amsOut,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, c := range []struct {
+		name  string
+		route *dataplane.Route
+	}{{"unicast", uni}, {"multicast", mc}, {"pot", pot}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			var delivered uint64
+			for i := 0; i < b.N; i++ {
+				if err := engine.InjectBatch(c.route.Inject, c.route.NewPackets(batch, 1500)); err != nil {
+					b.Fatal(err)
+				}
+				stats, err := engine.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Delivered == 0 || stats.Dropped() != 0 {
+					b.Fatalf("delivered %d dropped %d", stats.Delivered, stats.Dropped())
+				}
+				delivered += stats.Delivered
+				engine.Reset()
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(delivered)/s, "pkts/s")
+			}
 		})
 	}
 }

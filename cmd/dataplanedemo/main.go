@@ -1,0 +1,53 @@
+// Command dataplanedemo runs the packet-level PolKA forwarding scenario on
+// the emulated Global P4 Lab: the three tunnels as unicast routes, an
+// M-PolKA multicast tree over SAO and CHI, and a proof-of-transit-protected
+// route — every route verified against polka.VerifyPath before injection.
+//
+//	dataplanedemo -packets 100000 -workers 8
+//
+// It prints per-route delivery accounting, the engine's drop counters, and
+// the achieved forwarding throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	packets := flag.Int("packets", 10000, "packets injected per route")
+	size := flag.Int("size", 1500, "payload size in bytes")
+	workers := flag.Int("workers", runtime.NumCPU(), "forwarding workers (1 = serial)")
+	seed := flag.Int64("seed", 1, "proof-of-transit key seed")
+	flag.Parse()
+	if *workers < 1 {
+		*workers = 1 // the engine runs serially for anything ≤ 1
+	}
+
+	res, err := experiments.RunPacketLevel(experiments.PacketLevelConfig{
+		PacketsPerRoute: *packets,
+		PacketSize:      *size,
+		Workers:         *workers,
+		PoTSeed:         *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dataplanedemo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("packet-level PolKA forwarding — Global P4 Lab, %d workers\n\n", *workers)
+	fmt.Printf("%-10s %-10s %12s %10s %10s\n", "route", "mode", "routeID bits", "injected", "delivered")
+	for _, r := range res.Routes {
+		fmt.Printf("%-10s %-10s %12d %10d %10d\n", r.Label, r.Mode, r.RouteIDBits, r.Injected, r.Delivered)
+	}
+	s := res.Stats
+	fmt.Printf("\nforwarding decisions %d   rounds %d\n", s.Hops, s.Rounds)
+	fmt.Printf("delivered %d pkts / %d bytes   pot-verified %d\n", s.Delivered, s.DeliveredBytes, s.PoTVerified)
+	fmt.Printf("drops: ttl %d   bad-port %d   pot %d\n", s.TTLDrops, s.BadPortDrops, s.PoTDrops)
+	fmt.Printf("throughput %.0f forwarding decisions/sec (%.2f ms total)\n",
+		res.PktsPerSec, float64(res.Duration.Microseconds())/1000)
+}

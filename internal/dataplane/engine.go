@@ -1,0 +1,375 @@
+package dataplane
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"sync"
+
+	"repro/internal/polka"
+	"repro/internal/topo"
+)
+
+// noLink marks a port index with no attached link.
+const noLink int32 = -2
+
+// egressLink marks a port whose neighbor is outside the forwarding domain:
+// sending there delivers the packet.
+const egressLink int32 = -1
+
+// nodeState is the engine's per-switch state. During a forwarding round a
+// node is owned by exactly one worker, so none of it is locked.
+type nodeState struct {
+	name string
+	sw   *polka.Switch
+	// next maps output port → engine node index of the neighbor, or
+	// egressLink / noLink. Index 0 is always noLink (ports are 1-based).
+	next []int32
+	// neighbor maps output port → neighbor name ("" when unused).
+	neighbor []string
+	queue    []Packet
+	stats    NodeStats
+}
+
+// Engine is the packet-level forwarding engine. The external API (Inject,
+// Run, Delivered, ...) is meant to be driven from one goroutine: configure,
+// inject, run, inspect. Run itself fans work out over Config.Workers.
+type Engine struct {
+	topo    *topo.Topology
+	domain  *polka.Domain
+	cfg     Config
+	nodes   []*nodeState
+	index   map[string]int
+	nextID  uint64
+	pending int
+	stats   Stats
+	deliv   []Packet
+}
+
+// New builds an engine over the topology. Every node of the domain (the
+// configured one, or the default core-node domain) must exist in the
+// topology; those nodes become the forwarding plane, and every other node
+// is a delivery endpoint.
+func New(t *topo.Topology, cfg Config) (*Engine, error) {
+	if cfg.DefaultTTL <= 0 {
+		cfg.DefaultTTL = 64
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 1 << 20
+	}
+	d := cfg.Domain
+	if d == nil {
+		cores := t.NodesOfKind(topo.Core)
+		if len(cores) == 0 {
+			return nil, fmt.Errorf("dataplane: topology has no core nodes and no domain was supplied")
+		}
+		var err error
+		d, err = polka.NewDomain(cores, t.MaxPort())
+		if err != nil {
+			return nil, fmt.Errorf("dataplane: building default domain: %w", err)
+		}
+	}
+	names := d.Nodes()
+	e := &Engine{topo: t, domain: d, cfg: cfg,
+		nodes: make([]*nodeState, 0, len(names)),
+		index: make(map[string]int, len(names)),
+	}
+	for _, name := range names {
+		if !t.HasNode(name) {
+			return nil, fmt.Errorf("dataplane: domain node %q not in topology", name)
+		}
+		e.index[name] = len(e.nodes)
+		e.nodes = append(e.nodes, &nodeState{name: name})
+	}
+	for _, ns := range e.nodes {
+		sw, err := d.Switch(ns.name)
+		if err != nil {
+			return nil, err
+		}
+		ns.sw = sw
+		n, err := t.Node(ns.name)
+		if err != nil {
+			return nil, err
+		}
+		deg := n.Degree()
+		ns.next = make([]int32, deg+1)
+		ns.neighbor = make([]string, deg+1)
+		ns.next[0] = noLink
+		for i, nb := range n.Neighbors() {
+			port := i + 1
+			ns.neighbor[port] = nb
+			if idx, fwd := e.index[nb]; fwd {
+				ns.next[port] = int32(idx)
+			} else {
+				ns.next[port] = egressLink
+			}
+		}
+		ns.stats.Egress = make([]uint64, deg+1)
+	}
+	return e, nil
+}
+
+// Topology returns the engine's topology.
+func (e *Engine) Topology() *topo.Topology { return e.topo }
+
+// Domain returns the PolKA domain the engine forwards with.
+func (e *Engine) Domain() *polka.Domain { return e.domain }
+
+// Inject queues one packet at the named forwarding node and returns its
+// engine-assigned ID.
+func (e *Engine) Inject(node string, pkt Packet) (uint64, error) {
+	idx, ok := e.index[node]
+	if !ok {
+		return 0, fmt.Errorf("dataplane: %q is not a forwarding node", node)
+	}
+	if e.pending >= e.cfg.MaxInFlight {
+		return 0, fmt.Errorf("dataplane: %d packets already in flight, cap is %d — drain with Run first",
+			e.pending, e.cfg.MaxInFlight)
+	}
+	if pkt.TTL <= 0 {
+		pkt.TTL = e.cfg.DefaultTTL
+	}
+	e.nextID++
+	pkt.ID = e.nextID
+	e.nodes[idx].queue = append(e.nodes[idx].queue, pkt)
+	e.pending++
+	e.stats.Injected++
+	return pkt.ID, nil
+}
+
+// InjectBatch queues a batch of packets at the named forwarding node.
+func (e *Engine) InjectBatch(node string, pkts []Packet) error {
+	for i := range pkts {
+		if _, err := e.Inject(node, pkts[i]); err != nil {
+			return fmt.Errorf("packet %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Run forwards every queued packet to completion (delivery or drop) and
+// returns the cumulative stats. Execution proceeds in hop-synchronous
+// rounds: each round forwards every queued packet by exactly one hop, then
+// merges the emitted packets into the destination queues. TTL bounds the
+// number of rounds and Config.MaxInFlight bounds the population (a crafted
+// multicast routeID could otherwise amplify geometrically), so Run
+// terminates even on looping routeIDs. A canceled context stops between
+// rounds, leaving undelivered packets queued.
+func (e *Engine) Run(ctx context.Context) (Stats, error) {
+	for e.pending > 0 {
+		select {
+		case <-ctx.Done():
+			return e.stats, ctx.Err()
+		default:
+		}
+		e.stats.Rounds++
+		var bufs []*roundBuf
+		if e.cfg.Workers > 1 {
+			bufs = e.runRoundParallel()
+		} else {
+			bufs = []*roundBuf{e.runRoundSerial()}
+		}
+		e.pending = 0
+		for _, b := range bufs {
+			e.stats.add(b.stats)
+			e.deliv = append(e.deliv, b.delivered...)
+			for _, op := range b.out {
+				e.nodes[op.dst].queue = append(e.nodes[op.dst].queue, op.pkt)
+			}
+			e.pending += len(b.out)
+		}
+		if e.pending > e.cfg.MaxInFlight {
+			return e.stats, fmt.Errorf("dataplane: %d packets in flight exceeds the cap of %d — multicast replication loop?",
+				e.pending, e.cfg.MaxInFlight)
+		}
+	}
+	return e.stats, nil
+}
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Delivered returns the packets delivered since the last Reset, in
+// delivery order (deterministic for serial runs; grouped per worker shard
+// for parallel runs).
+func (e *Engine) Delivered() []Packet {
+	out := make([]Packet, len(e.deliv))
+	copy(out, e.deliv)
+	return out
+}
+
+// NodeStats returns a snapshot of one switch's counters.
+func (e *Engine) NodeStats(name string) (NodeStats, error) {
+	idx, ok := e.index[name]
+	if !ok {
+		return NodeStats{}, fmt.Errorf("dataplane: %q is not a forwarding node", name)
+	}
+	s := e.nodes[idx].stats
+	eg := make([]uint64, len(s.Egress))
+	copy(eg, s.Egress)
+	s.Egress = eg
+	return s, nil
+}
+
+// Reset clears all queues, counters and the delivered list, keeping the
+// topology, domain and reducers. Benchmarks use it between runs.
+func (e *Engine) Reset() {
+	for _, ns := range e.nodes {
+		ns.queue = nil
+		ns.stats = NodeStats{Egress: make([]uint64, len(ns.next))}
+	}
+	e.stats = Stats{}
+	e.deliv = nil
+	e.pending = 0
+	e.nextID = 0
+}
+
+// outPkt is a packet emitted during a round, destined to a forwarding node.
+type outPkt struct {
+	dst int32
+	pkt Packet
+}
+
+// roundBuf collects one worker's outputs for a round: packets bound for
+// other switches, delivered packets, and counter deltas.
+type roundBuf struct {
+	out       []outPkt
+	delivered []Packet
+	stats     Stats
+}
+
+// runRoundSerial forwards every queued packet one hop on the calling
+// goroutine.
+func (e *Engine) runRoundSerial() *roundBuf {
+	buf := &roundBuf{}
+	batches := make([][]Packet, len(e.nodes))
+	for i, ns := range e.nodes {
+		batches[i], ns.queue = ns.queue, nil
+	}
+	for i, ns := range e.nodes {
+		for _, pkt := range batches[i] {
+			e.forward(ns, pkt, buf)
+		}
+	}
+	return buf
+}
+
+// runRoundParallel shards the switches over Config.Workers goroutines;
+// worker w owns every node with index ≡ w (mod Workers), so per-node queues
+// and counters are touched by exactly one goroutine. Emitted packets are
+// buffered per worker and merged by Run after the barrier.
+func (e *Engine) runRoundParallel() []*roundBuf {
+	w := e.cfg.Workers
+	if w > len(e.nodes) {
+		w = len(e.nodes)
+	}
+	bufs := make([]*roundBuf, w)
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		buf := &roundBuf{}
+		bufs[wi] = buf
+		wg.Add(1)
+		go func(wi int, buf *roundBuf) {
+			defer wg.Done()
+			for i := wi; i < len(e.nodes); i += w {
+				ns := e.nodes[i]
+				batch := ns.queue
+				ns.queue = nil
+				for _, pkt := range batch {
+					e.forward(ns, pkt, buf)
+				}
+			}
+		}(wi, buf)
+	}
+	wg.Wait()
+	return bufs
+}
+
+// forward executes one forwarding decision for pkt at node ns.
+func (e *Engine) forward(ns *nodeState, pkt Packet, buf *roundBuf) {
+	ns.stats.Rx++
+	buf.stats.Hops++
+	if pkt.TTL <= 0 {
+		ns.stats.TTLDrops++
+		buf.stats.TTLDrops++
+		e.trace(TraceEvent{PacketID: pkt.ID, Node: ns.name, TTL: 0, Drop: DropTTL})
+		return
+	}
+	if pkt.Mode == PoT && pkt.Proof != nil {
+		acc, err := pkt.Proof.Accumulate(pkt.Acc, ns.name, pkt.Nonce)
+		if err != nil {
+			// Off the protected path: a misrouted PoT packet.
+			ns.stats.PoTDrops++
+			buf.stats.PoTDrops++
+			e.trace(TraceEvent{PacketID: pkt.ID, Node: ns.name, TTL: pkt.TTL, Drop: DropPoT})
+			return
+		}
+		pkt.Acc = acc
+	}
+	residue := ns.sw.OutputPortBytes(pkt.RouteID)
+	if pkt.Mode != Multicast {
+		e.emit(ns, pkt, residue, buf)
+		return
+	}
+	// Multicast: the residue is a one-hot port set; replicate to each port.
+	for mask := residue; mask != 0; mask &= mask - 1 {
+		port := uint64(bits.TrailingZeros64(mask))
+		e.emit(ns, pkt, port, buf)
+	}
+}
+
+// emit sends one copy of pkt out of ns through port: onward to another
+// switch, or delivered off-domain, or dropped on an invalid port.
+func (e *Engine) emit(ns *nodeState, pkt Packet, port uint64, buf *roundBuf) {
+	if port == 0 || port >= uint64(len(ns.next)) || ns.next[port] == noLink {
+		ns.stats.BadPortDrops++
+		buf.stats.BadPortDrops++
+		e.trace(TraceEvent{PacketID: pkt.ID, Node: ns.name, Port: port, TTL: pkt.TTL, Drop: DropBadPort})
+		return
+	}
+	pkt.TTL--
+	if e.cfg.RecordPaths {
+		// Copy-on-append: multicast copies of one packet share the Path
+		// backing array, so appending in place would alias.
+		path := make([]Visit, len(pkt.Path)+1)
+		copy(path, pkt.Path)
+		path[len(pkt.Path)] = Visit{Node: ns.name, Port: port}
+		pkt.Path = path
+	}
+	dst := ns.next[port]
+	if dst >= 0 {
+		ns.stats.Tx++
+		ns.stats.Egress[port]++
+		buf.out = append(buf.out, outPkt{dst: dst, pkt: pkt})
+		e.trace(TraceEvent{PacketID: pkt.ID, Node: ns.name, Port: port,
+			Next: ns.neighbor[port], TTL: pkt.TTL})
+		return
+	}
+	// Delivery off-domain.
+	pkt.Egress = ns.neighbor[port]
+	if pkt.Mode == PoT && pkt.Proof != nil {
+		if err := pkt.Proof.Verify(pkt.Acc, pkt.Nonce); err != nil {
+			ns.stats.PoTDrops++
+			buf.stats.PoTDrops++
+			e.trace(TraceEvent{PacketID: pkt.ID, Node: ns.name, Port: port,
+				Next: pkt.Egress, TTL: pkt.TTL, Drop: DropPoT})
+			return
+		}
+		buf.stats.PoTVerified++
+	}
+	ns.stats.Tx++
+	ns.stats.Egress[port]++
+	ns.stats.Delivered++
+	buf.stats.Delivered++
+	buf.stats.DeliveredBytes += uint64(pkt.Size)
+	buf.delivered = append(buf.delivered, pkt)
+	e.trace(TraceEvent{PacketID: pkt.ID, Node: ns.name, Port: port,
+		Next: pkt.Egress, TTL: pkt.TTL, Delivered: true})
+}
+
+// trace invokes the trace hook when configured.
+func (e *Engine) trace(ev TraceEvent) {
+	if e.cfg.Trace != nil {
+		e.cfg.Trace(ev)
+	}
+}

@@ -1,0 +1,265 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/gf2"
+	"repro/internal/polka"
+	"repro/internal/topo"
+)
+
+// Route is an encoded forwarding program: the routeID polynomial (and its
+// wire bytes), the injection point, and the hop list the packet is expected
+// to traverse. Routes are encoded once by the control plane and stamped
+// onto every packet of a flow.
+type Route struct {
+	// Inject is the forwarding node packets of this route enter at.
+	Inject string
+	// Hops lists the (node, port) forwarding decisions the routeID encodes
+	// — the input to polka.Domain.VerifyPath. Empty for multicast routes.
+	Hops []polka.PathHop
+	// PortSets holds the per-node one-hot port masks of a multicast route
+	// (nil for unicast/PoT routes).
+	PortSets map[string]uint64
+	// RouteID is the CRT-encoded route polynomial.
+	RouteID gf2.Poly
+	// Mode is the forwarding mode packets of this route use.
+	Mode Mode
+
+	ridBytes []byte
+	proof    *polka.TransitProof
+	nonce    gf2.Poly
+}
+
+// NewPacket stamps a fresh packet for this route. TTL 0 picks the engine
+// default at injection.
+func (r *Route) NewPacket(size int) Packet {
+	pkt := Packet{RouteID: r.ridBytes, Size: size, Mode: r.Mode}
+	if r.proof != nil {
+		pkt.Proof = r.proof
+		pkt.Nonce = r.nonce
+	}
+	return pkt
+}
+
+// NewPackets stamps a batch of n identical packets for this route.
+func (r *Route) NewPackets(n, size int) []Packet {
+	out := make([]Packet, n)
+	for i := range out {
+		out[i] = r.NewPacket(size)
+	}
+	return out
+}
+
+// Proof returns the proof-of-transit context of a PoT route (nil
+// otherwise).
+func (r *Route) Proof() *polka.TransitProof { return r.proof }
+
+// Nonce returns the PoT nonce stamped on this route's packets.
+func (r *Route) Nonce() gf2.Poly { return r.nonce }
+
+// forwardingSpan locates the contiguous run of forwarding nodes on the
+// path and validates that the path enters the domain once and exits it at a
+// delivery endpoint.
+func (e *Engine) forwardingSpan(p topo.Path) (first, last int, err error) {
+	first, last = -1, -1
+	for i, name := range p.Nodes {
+		if !e.topo.HasNode(name) {
+			return 0, 0, fmt.Errorf("dataplane: path node %q not in topology", name)
+		}
+		if _, fwd := e.index[name]; fwd {
+			if first < 0 {
+				first = i
+			} else if last != i-1 {
+				return 0, 0, fmt.Errorf("dataplane: path %v leaves and re-enters the forwarding domain", p)
+			}
+			last = i
+		}
+	}
+	if first < 0 {
+		return 0, 0, fmt.Errorf("dataplane: path %v has no forwarding nodes", p)
+	}
+	if last == len(p.Nodes)-1 {
+		return 0, 0, fmt.Errorf("dataplane: path %v must terminate at a delivery endpoint outside the forwarding domain", p)
+	}
+	return first, last, nil
+}
+
+// UnicastRoute encodes a unicast route along the path: the routeID's
+// residue at every forwarding node is the output port toward the path's
+// next node. The path must cross the forwarding domain in one contiguous
+// run and terminate at a non-forwarding node (host or off-domain edge),
+// where the packet is delivered.
+func (e *Engine) UnicastRoute(p topo.Path) (*Route, error) {
+	first, last, err := e.forwardingSpan(p)
+	if err != nil {
+		return nil, err
+	}
+	hops := make([]polka.PathHop, 0, last-first+1)
+	for i := first; i <= last; i++ {
+		n, err := e.topo.Node(p.Nodes[i])
+		if err != nil {
+			return nil, err
+		}
+		port, err := n.Port(p.Nodes[i+1])
+		if err != nil {
+			return nil, err
+		}
+		hops = append(hops, polka.PathHop{Node: p.Nodes[i], Port: port})
+	}
+	rid, err := e.domain.EncodePath(hops)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: encoding %v: %w", p, err)
+	}
+	return &Route{
+		Inject:   p.Nodes[first],
+		Hops:     hops,
+		RouteID:  rid,
+		Mode:     Unicast,
+		ridBytes: polka.RouteIDBytes(rid),
+	}, nil
+}
+
+// PoTRoute encodes a unicast route whose packets additionally carry a
+// proof of transit over every forwarding hop. All packets of the route
+// share one proof context and nonce; per-packet nonces would be drawn at
+// the ingress in a deployment.
+func (e *Engine) PoTRoute(p topo.Path, seed int64) (*Route, error) {
+	r, err := e.UnicastRoute(p)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(r.Hops))
+	for i, h := range r.Hops {
+		names[i] = h.Node
+	}
+	proof, err := polka.NewTransitProof(e.domain, names, seed)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: building transit proof: %w", err)
+	}
+	r.Mode = PoT
+	r.proof = proof
+	r.nonce = proof.NewNonce()
+	return r, nil
+}
+
+// MulticastRoute encodes an M-PolKA multicast tree: portSets maps each
+// forwarding node of the tree to the one-hot bitmask of output ports it
+// replicates packets to (see polka.PortSet). Packets are injected at root,
+// which must appear in portSets. The replication graph may re-converge
+// (two branches delivering to the same egress), but cycles are rejected:
+// a cyclic tree would amplify each packet geometrically until TTL expiry.
+func (e *Engine) MulticastRoute(root string, portSets map[string]uint64) (*Route, error) {
+	if _, ok := portSets[root]; !ok {
+		return nil, fmt.Errorf("dataplane: multicast root %q not in port sets", root)
+	}
+	if err := e.checkMulticastAcyclic(portSets); err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(portSets))
+	for name := range portSets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	hops := make([]polka.MultipathHop, 0, len(names))
+	for _, name := range names {
+		if _, fwd := e.index[name]; !fwd {
+			return nil, fmt.Errorf("dataplane: %q is not a forwarding node", name)
+		}
+		sw, err := e.domain.Switch(name)
+		if err != nil {
+			return nil, err
+		}
+		hops = append(hops, polka.MultipathHop{NodeID: sw.NodeID(), Ports: portSets[name]})
+	}
+	rid, err := polka.ComputeMultipathRouteID(hops)
+	if err != nil {
+		return nil, fmt.Errorf("dataplane: encoding multicast tree: %w", err)
+	}
+	sets := make(map[string]uint64, len(portSets))
+	for k, v := range portSets {
+		sets[k] = v
+	}
+	return &Route{
+		Inject:   root,
+		PortSets: sets,
+		RouteID:  rid,
+		Mode:     Multicast,
+		ridBytes: polka.RouteIDBytes(rid),
+	}, nil
+}
+
+// checkMulticastAcyclic validates every port of the replication graph and
+// rejects cycles by depth-first search over the edges that stay inside the
+// tree's forwarding nodes.
+func (e *Engine) checkMulticastAcyclic(portSets map[string]uint64) error {
+	// successors resolves a node's replication ports to the tree nodes
+	// they lead to; ports leaving the tree (deliveries, or forwarding
+	// nodes without a port set) carry no replication and are ignored.
+	successors := make(map[string][]string, len(portSets))
+	for name, mask := range portSets {
+		n, err := e.topo.Node(name)
+		if err != nil {
+			return err
+		}
+		for _, port := range polka.PortsFromSet(mask) {
+			if port == 0 || int(port) > n.Degree() {
+				return fmt.Errorf("dataplane: multicast node %q replicates to port %d, but it has ports 1..%d",
+					name, port, n.Degree())
+			}
+			next := n.Neighbors()[port-1]
+			if _, inTree := portSets[next]; inTree {
+				successors[name] = append(successors[name], next)
+			}
+		}
+	}
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int, len(portSets))
+	var walk func(string) error
+	walk = func(name string) error {
+		switch state[name] {
+		case visiting:
+			return fmt.Errorf("dataplane: multicast port sets contain a replication cycle through %q", name)
+		case done:
+			return nil
+		}
+		state[name] = visiting
+		for _, next := range successors[name] {
+			if err := walk(next); err != nil {
+				return err
+			}
+		}
+		state[name] = done
+		return nil
+	}
+	for name := range portSets {
+		if err := walk(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyRoute checks a unicast or PoT route against the PolKA data plane:
+// forwarding with every hop's switch must reproduce exactly the encoded
+// ports (polka.Domain.VerifyPath). Multicast routes are instead checked
+// per node: the switch's output port set must equal the encoded mask.
+func (e *Engine) VerifyRoute(r *Route) error {
+	if r.Mode == Multicast {
+		for name, mask := range r.PortSets {
+			sw, err := e.domain.Switch(name)
+			if err != nil {
+				return err
+			}
+			if got := sw.OutputPort(r.RouteID); got != mask {
+				return fmt.Errorf("dataplane: node %s forwards multicast mask %#b, want %#b", name, got, mask)
+			}
+		}
+		return nil
+	}
+	return e.domain.VerifyPath(r.RouteID, r.Hops)
+}

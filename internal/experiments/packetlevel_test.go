@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/dataplane"
+)
+
+func TestRunPacketLevelSerial(t *testing.T) {
+	res, err := RunPacketLevel(PacketLevelConfig{PacketsPerRoute: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Routes) != 5 {
+		t.Fatalf("got %d routes, want 5 (three tunnels, multicast, pot)", len(res.Routes))
+	}
+	for _, r := range res.Routes {
+		want := r.Injected
+		if r.Mode == dataplane.Multicast {
+			want = 2 * r.Injected // two branches re-join at AMS
+		}
+		if r.Delivered != want {
+			t.Errorf("route %s: delivered %d, want %d", r.Label, r.Delivered, want)
+		}
+		if r.RouteIDBits <= 0 {
+			t.Errorf("route %s: routeID is empty", r.Label)
+		}
+	}
+	if res.Stats.Dropped() != 0 {
+		t.Fatalf("dropped %d packets", res.Stats.Dropped())
+	}
+	if res.Stats.PoTVerified != 100 {
+		t.Fatalf("potVerified %d, want 100", res.Stats.PoTVerified)
+	}
+}
+
+func TestRunPacketLevelParallelMatchesSerial(t *testing.T) {
+	cfg := PacketLevelConfig{PacketsPerRoute: 200}
+	serial, err := RunPacketLevel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = runtime.NumCPU()
+	parallel, err := RunPacketLevel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, p := serial.Stats, parallel.Stats
+	s.Rounds, p.Rounds = 0, 0 // identical too, but not part of the contract
+	if s != p {
+		t.Fatalf("stats diverge:\nserial   %+v\nparallel %+v", s, p)
+	}
+	for i := range serial.Routes {
+		if serial.Routes[i] != parallel.Routes[i] {
+			t.Fatalf("route %d diverges: %+v vs %+v", i, serial.Routes[i], parallel.Routes[i])
+		}
+	}
+}

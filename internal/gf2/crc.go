@@ -102,3 +102,23 @@ func bigEndianBytes(p Poly) []byte {
 	}
 	return out
 }
+
+// ToBigEndianBytes serializes p's coefficient string most-significant byte
+// first with no leading zero bytes (nil for the zero polynomial) — the wire
+// form of a PolKA routeID field.
+func ToBigEndianBytes(p Poly) []byte { return bigEndianBytes(p) }
+
+// FromBigEndianBytes parses a most-significant-first coefficient byte
+// string back into a polynomial; it inverts ToBigEndianBytes and accepts
+// leading zero bytes.
+func FromBigEndianBytes(b []byte) Poly {
+	if len(b) == 0 {
+		return Poly{}
+	}
+	words := make([]uint64, (len(b)+7)/8)
+	for i := 0; i < len(b); i++ {
+		v := b[len(b)-1-i] // i-th least significant byte
+		words[i/8] |= uint64(v) << (uint(i%8) * 8)
+	}
+	return Poly{w: trim(words)}
+}

@@ -1,0 +1,77 @@
+package gf2
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzModulus derives an irreducible modulus from the fuzzer's raw inputs:
+// degSeed selects a degree in 1..MaxReducerDegree and modBits seeds the low
+// coefficients; the candidate is then advanced (wrapping within the degree)
+// until Rabin's test accepts it. Irreducible polynomials of every degree
+// exist and have density ~1/deg, so the scan terminates quickly.
+func fuzzModulus(degSeed uint8, modBits uint64) Poly {
+	deg := 1 + int(degSeed)%MaxReducerDegree
+	if deg == 1 {
+		// t and t+1 are the only degree-1 irreducibles.
+		return FromUint64(0b10 | (modBits & 1))
+	}
+	base := uint64(1) << deg
+	span := base // number of polynomials with this leading term
+	// Only odd candidates (constant term 1) can be irreducible for deg ≥ 2.
+	v := (modBits & (span - 1)) | 1
+	for i := uint64(0); ; i += 2 {
+		p := FromUint64(base | ((v + i) & (span - 1)) | 1)
+		if IsIrreducible(p) {
+			return p
+		}
+	}
+}
+
+// polyFromBytes interprets a big-endian byte string as a polynomial, the
+// same reading ReduceBytes uses.
+func polyFromBytes(msb []byte) Poly {
+	p := Poly{}
+	for _, b := range msb {
+		p = p.Shl(8).Add(FromUint64(uint64(b)))
+	}
+	return p
+}
+
+// FuzzReducerMatchesPolyMod asserts that the table-driven byte-at-a-time
+// reduction agrees with polynomial long division for arbitrary byte strings
+// and random irreducible moduli across all supported degrees — both the
+// byte-wide register path (deg ≥ 8) and the bit-serial narrow-register path
+// (deg < 8).
+func FuzzReducerMatchesPolyMod(f *testing.F) {
+	// Seeds cover both register paths, degree extremes, empty and long
+	// inputs, and leading-zero bytes.
+	f.Add(uint8(0), uint64(0), []byte(nil))                     // deg 1, empty input
+	f.Add(uint8(2), uint64(0b101), []byte{0x01})                // deg 3, narrow register
+	f.Add(uint8(6), uint64(0x5a), []byte{0x00, 0xff, 0x80})     // deg 7, last narrow degree
+	f.Add(uint8(7), uint64(0x11b), []byte{0xde, 0xad, 0xbe})    // deg 8, first byte-wide degree
+	f.Add(uint8(15), uint64(0x8005), []byte("polka routeID"))   // CRC-16-ish
+	f.Add(uint8(55), uint64(0x42f0e1eba9ea3693), bytes.Repeat([]byte{0xa5}, 64)) // deg 56 ceiling
+	f.Fuzz(func(t *testing.T, degSeed uint8, modBits uint64, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("cap the quadratic reference computation")
+		}
+		m := fuzzModulus(degSeed, modBits)
+		if !IsIrreducible(m) {
+			t.Fatalf("fuzzModulus produced reducible %v", m)
+		}
+		r, err := NewReducer(m)
+		if err != nil {
+			t.Fatalf("NewReducer(%v): %v", m, err)
+		}
+		got := r.ReduceBytes(data)
+		want, ok := polyFromBytes(data).Mod(m).Uint64()
+		if !ok {
+			t.Fatalf("remainder mod %v does not fit a uint64", m)
+		}
+		if got != want {
+			t.Fatalf("mod %v (deg %d), input %x: ReduceBytes = %#x, Poly.Mod = %#x",
+				m, m.Degree(), data, got, want)
+		}
+	})
+}

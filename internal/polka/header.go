@@ -56,15 +56,8 @@ func UnmarshalHeader(b []byte) (Header, int, error) {
 	if len(b) < 5+l {
 		return Header{}, 0, fmt.Errorf("polka: header truncated: routeID needs %d bytes, have %d", l, len(b)-5)
 	}
-	rid := b[5 : 5+l]
-	// Rebuild the polynomial from the big-endian coefficient bytes.
-	words := make([]uint64, (l+7)/8)
-	for i := 0; i < l; i++ {
-		v := rid[l-1-i] // i-th least significant byte
-		words[i/8] |= uint64(v) << (uint(i%8) * 8)
-	}
 	return Header{
-		RouteID: gf2.FromWords(words),
+		RouteID: RouteIDFromBytes(b[5 : 5+l]),
 		ToS:     b[1],
 		Proto:   b[2],
 	}, 5 + l, nil

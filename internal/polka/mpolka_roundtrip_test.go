@@ -1,0 +1,141 @@
+package polka
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// TestPortSetRoundTrip drives PortSet and PortsFromSet through a
+// table of port lists, checking the encoding and its inverse.
+func TestPortSetRoundTrip(t *testing.T) {
+	cases := []struct {
+		name  string
+		ports []uint
+		mask  uint64
+	}{
+		{"empty", nil, 0},
+		{"single low", []uint{0}, 1},
+		{"single high", []uint{63}, 1 << 63},
+		{"pair", []uint{1, 3}, 0b1010},
+		{"dense run", []uint{0, 1, 2, 3}, 0b1111},
+		{"duplicates collapse", []uint{5, 5, 5}, 1 << 5},
+		{"unsorted input", []uint{9, 2, 7}, 1<<9 | 1<<2 | 1<<7},
+		{"full spread", []uint{0, 15, 31, 47, 62}, 1 | 1<<15 | 1<<31 | 1<<47 | 1<<62},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mask, err := PortSet(c.ports...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mask != c.mask {
+				t.Fatalf("PortSet(%v) = %#b, want %#b", c.ports, mask, c.mask)
+			}
+			back := PortsFromSet(mask)
+			// PortsFromSet returns sorted unique ports.
+			uniq := map[uint]bool{}
+			for _, p := range c.ports {
+				uniq[p] = true
+			}
+			if len(back) != len(uniq) {
+				t.Fatalf("PortsFromSet(%#b) = %v, want %d unique ports", mask, back, len(uniq))
+			}
+			for i, p := range back {
+				if !uniq[p] {
+					t.Fatalf("PortsFromSet(%#b) contains unexpected port %d", mask, p)
+				}
+				if i > 0 && back[i-1] >= p {
+					t.Fatalf("PortsFromSet(%#b) = %v not strictly increasing", mask, back)
+				}
+			}
+			// And the mask survives a full round trip.
+			again, err := PortSet(back...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != mask {
+				t.Fatalf("round trip %#b → %v → %#b", mask, back, again)
+			}
+		})
+	}
+	if _, err := PortSet(64); err == nil {
+		t.Fatal("PortSet(64) accepted, want out-of-range error")
+	}
+}
+
+// TestOutputPortSetMatchesEncodedSet is the mPolKA data-plane property:
+// for random multicast routeIDs over random domains, the port set each
+// switch computes from the routeID must equal exactly the set encoded for
+// that hop.
+func TestOutputPortSetMatchesEncodedSet(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nHops := 2 + rng.Intn(5)
+		maxPort := uint64(1 + rng.Intn(8))
+		names := make([]string, nHops)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		d, err := NewMultipathDomain(names, maxPort)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		hops := make([]MultipathHop, nHops)
+		want := make([]uint64, nHops)
+		for i, name := range names {
+			sw, err := d.Switch(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A non-empty random subset of ports 0..maxPort.
+			mask := (rng.Uint64() & ((1 << (maxPort + 1)) - 1)) | 1<<rng.Intn(int(maxPort)+1)
+			hops[i] = MultipathHop{NodeID: sw.NodeID(), Ports: mask}
+			want[i] = mask
+		}
+		rid, err := ComputeMultipathRouteID(hops)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for i, name := range names {
+			sw, _ := d.Switch(name)
+			got, err := PortSet(sw.OutputPortSet(rid)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want[i] {
+				t.Fatalf("seed %d hop %s: OutputPortSet gives %#b, encoded %#b", seed, name, got, want[i])
+			}
+			// The byte-level forwarding path must agree with the
+			// polynomial one.
+			if fromBytes := sw.OutputPortBytes(RouteIDBytes(rid)); fromBytes != sw.OutputPort(rid) {
+				t.Fatalf("seed %d hop %s: OutputPortBytes %#x != OutputPort %#x",
+					seed, name, fromBytes, sw.OutputPort(rid))
+			}
+		}
+	}
+}
+
+// TestRouteIDBytesRoundTrip pins the wire serialization of route
+// identifiers to its inverse.
+func TestRouteIDBytesRoundTrip(t *testing.T) {
+	polys := []gf2.Poly{
+		{},
+		gf2.One,
+		gf2.FromUint64(0xff),
+		gf2.FromUint64(0x100),
+		gf2.MustParseBits("10011"),
+		gf2.FromWords([]uint64{0xdeadbeefcafebabe, 0x1}),
+		gf2.FromWords([]uint64{1, 0, 1}), // 129-bit with interior zero word
+	}
+	for _, p := range polys {
+		b := RouteIDBytes(p)
+		if got := RouteIDFromBytes(b); !got.Equal(p) {
+			t.Fatalf("round trip %v → %x → %v", p, b, got)
+		}
+		if len(b) > 0 && b[0] == 0 {
+			t.Fatalf("RouteIDBytes(%v) has a leading zero byte: %x", p, b)
+		}
+	}
+}

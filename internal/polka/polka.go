@@ -146,6 +146,18 @@ func (s *Switch) OutputPortNaive(routeID gf2.Poly) uint64 {
 	return v
 }
 
+// OutputPortBytes forwards a packet directly from the big-endian routeID
+// field of its header, exactly as a switch CRC unit consumes it — no
+// polynomial value is materialized on the hot path. It is the forwarding
+// primitive the packet-level dataplane engine uses.
+func (s *Switch) OutputPortBytes(routeID []byte) uint64 {
+	if s.reducer != nil {
+		return s.reducer.ReduceBytes(routeID)
+	}
+	v, _ := RouteIDFromBytes(routeID).Mod(s.nodeID).Uint64()
+	return v
+}
+
 // Domain is a PolKA routing domain: a set of named core nodes with pairwise
 // coprime polynomial identifiers and the CRT machinery to encode routes
 // across them. A Domain is safe for concurrent use.
@@ -279,15 +291,13 @@ func (d *Domain) VerifyPath(routeID gf2.Poly, path []PathHop) error {
 
 // routeIDBytes renders the routeID as the big-endian byte string a packet
 // header would carry.
-func routeIDBytes(p gf2.Poly) []byte {
-	if p.IsZero() {
-		return nil
-	}
-	n := p.Degree()/8 + 1
-	out := make([]byte, n)
-	w := p.Words()
-	for i := 0; i < n; i++ {
-		out[n-1-i] = byte(w[i/8] >> (uint(i%8) * 8))
-	}
-	return out
-}
+func routeIDBytes(p gf2.Poly) []byte { return gf2.ToBigEndianBytes(p) }
+
+// RouteIDBytes renders a route identifier as the big-endian coefficient
+// byte string a packet header carries on the wire (nil for the zero
+// polynomial). It is the serialization Switch.OutputPortBytes consumes.
+func RouteIDBytes(p gf2.Poly) []byte { return gf2.ToBigEndianBytes(p) }
+
+// RouteIDFromBytes rebuilds the route polynomial from its big-endian wire
+// bytes; it inverts RouteIDBytes.
+func RouteIDFromBytes(b []byte) gf2.Poly { return gf2.FromBigEndianBytes(b) }
