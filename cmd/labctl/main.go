@@ -1,0 +1,327 @@
+// Command labctl is the one CLI over the unified scenario API
+// (internal/scenario): every experiment — the paper's figures, the
+// extension soaks, the packet-level data-plane runs — is a registered
+// scenario, and labctl lists, describes, and runs them with uniform
+// config and output handling. It replaces the former labdemo, mlcompare,
+// dataplanedemo, and rldemo binaries.
+//
+//	labctl list                                  all registered scenarios
+//	labctl describe mlcompare                    description + default config JSON
+//	labctl run packetlevel -o out.json           one scenario, Report as JSON
+//	labctl run -quick latencymigration failover  several scenarios, serially
+//	labctl suite -quick -o bench_results.json    every scenario (CI bench seed)
+//	labctl suite -parallel 4 -timeout 10m fct workload
+//
+// -config file.json overlays per-scenario settings onto the defaults:
+//
+//	{"packetlevel": {"PacketsPerRoute": 100000}, "workload": {"Base": {"Seed": 7}}}
+//
+// -o writes machine-readable results; a .csv extension selects long-form
+// CSV (scenario,metric,value), anything else stable JSON. An interrupt
+// (Ctrl-C) cancels the in-flight scenario promptly via its context.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	_ "repro/internal/experiments" // registers every lab scenario
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "labctl:", err)
+		os.Exit(1)
+	}
+}
+
+// runFlags are the options shared by the run and suite subcommands.
+type runFlags struct {
+	configPath string
+	outPath    string
+	quick      bool
+	verbose    bool
+	timeout    time.Duration
+	parallel   int
+	failFast   bool
+}
+
+// run dispatches one labctl invocation; stdout carries results, errOut
+// carries progress logs.
+func run(args []string, stdout, errOut io.Writer) error {
+	if len(args) == 0 {
+		usage(stdout)
+		return fmt.Errorf("missing command")
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "list":
+		return list(stdout)
+	case "describe":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: labctl describe <scenario>")
+		}
+		return describe(stdout, rest[0])
+	case "run", "suite":
+		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+		fs.SetOutput(errOut)
+		var rf runFlags
+		fs.StringVar(&rf.configPath, "config", "", "JSON file with per-scenario config overlays")
+		fs.StringVar(&rf.outPath, "o", "", "write results to this file (.csv for CSV, JSON otherwise)")
+		fs.BoolVar(&rf.quick, "quick", false, "use each scenario's quick (smoke) configuration")
+		fs.BoolVar(&rf.verbose, "v", false, "stream scenario progress to stderr")
+		fs.DurationVar(&rf.timeout, "timeout", 0, "per-scenario timeout (0 = none)")
+		if cmd == "suite" {
+			fs.IntVar(&rf.parallel, "parallel", 1, "scenarios run concurrently")
+			fs.BoolVar(&rf.failFast, "failfast", false, "stop the suite at the first failure")
+		}
+		names, err := parseInterleaved(fs, rest)
+		if err != nil {
+			return err
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		if cmd == "run" {
+			if len(names) == 0 {
+				return fmt.Errorf("usage: labctl run [flags] <scenario...>")
+			}
+			return runScenarios(ctx, stdout, errOut, names, rf)
+		}
+		return runSuiteCmd(ctx, stdout, errOut, names, rf)
+	case "help", "-h", "--help":
+		usage(stdout)
+		return nil
+	default:
+		usage(stdout)
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// parseInterleaved parses args allowing flags and positionals in any
+// order (`labctl run packetlevel -o out.json`), which the flag package's
+// stop-at-first-positional rule would otherwise reject. It returns the
+// positional arguments in order.
+func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
+	var positional []string
+	for {
+		if err := fs.Parse(args); err != nil {
+			return nil, err
+		}
+		args = fs.Args()
+		if len(args) == 0 {
+			return positional, nil
+		}
+		positional = append(positional, args[0])
+		args = args[1:]
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `labctl — unified scenario runner
+
+  labctl list                          list registered scenarios
+  labctl describe <scenario>           description and default config JSON
+  labctl run [flags] <scenario...>     run scenarios serially, fail fast
+  labctl suite [flags] [scenario...]   run a suite (default: all scenarios)
+
+run/suite flags: -config file.json -o results.json|.csv -quick -timeout 10m -v
+suite flags:     -parallel N -failfast
+`)
+}
+
+func list(w io.Writer) error {
+	scenarios := scenario.List()
+	if len(scenarios) == 0 {
+		return fmt.Errorf("no scenarios registered")
+	}
+	for _, s := range scenarios {
+		fmt.Fprintf(w, "%-18s %s\n", s.Name(), s.Describe())
+	}
+	return nil
+}
+
+func describe(w io.Writer, name string) error {
+	s, err := scenario.Lookup(name)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s — %s\n\ndefault config:\n", s.Name(), s.Describe())
+	if err := printConfigJSON(w, s.DefaultConfig()); err != nil {
+		return err
+	}
+	if q, ok := s.(scenario.QuickConfiger); ok {
+		fmt.Fprintf(w, "\nquick config (-quick):\n")
+		return printConfigJSON(w, q.QuickConfig())
+	}
+	return nil
+}
+
+func printConfigJSON(w io.Writer, cfg any) error {
+	data, err := json.MarshalIndent(cfg, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "%s\n", data)
+	return err
+}
+
+// loadConfigs reads the per-scenario overlay file.
+func loadConfigs(path string) (map[string]json.RawMessage, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	configs := make(map[string]json.RawMessage)
+	if err := json.Unmarshal(data, &configs); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	for name := range configs {
+		if _, err := scenario.Lookup(name); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return configs, nil
+}
+
+func env(errOut io.Writer, rf runFlags) *scenario.Env {
+	e := &scenario.Env{Quick: rf.quick}
+	if rf.verbose {
+		e.Log = errOut
+	}
+	return e
+}
+
+// runScenarios executes the named scenarios serially and fail-fast — the
+// interactive workflow. With one scenario and -o, the output file is the
+// bare Report (the machine-readable contract of `labctl run X -o out`).
+func runScenarios(ctx context.Context, stdout, errOut io.Writer, names []string, rf runFlags) error {
+	configs, err := loadConfigs(rf.configPath)
+	if err != nil {
+		return err
+	}
+	var reports []*scenario.Report
+	for _, name := range names {
+		s, err := scenario.Lookup(name)
+		if err != nil {
+			return err
+		}
+		cfg, err := scenario.DecodeConfig(scenario.BaseConfig(s, rf.quick), configs[name])
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		// One function per scenario so the timeout context is released as
+		// soon as its scenario finishes, not at command exit.
+		rep, err := func() (*scenario.Report, error) {
+			sctx := ctx
+			if rf.timeout > 0 {
+				var stop context.CancelFunc
+				sctx, stop = context.WithTimeout(ctx, rf.timeout)
+				defer stop()
+			}
+			return scenario.Execute(sctx, env(errOut, rf), s, cfg)
+		}()
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", name, err)
+		}
+		renderReport(stdout, rep)
+		reports = append(reports, rep)
+	}
+	if rf.outPath == "" {
+		return nil
+	}
+	if len(reports) == 1 {
+		return writeOut(rf.outPath, reports[0], reports)
+	}
+	return writeOut(rf.outPath, reports, reports)
+}
+
+// runSuiteCmd executes the suite (all scenarios when names is empty) and
+// always reports every outcome.
+func runSuiteCmd(ctx context.Context, stdout, errOut io.Writer, names []string, rf runFlags) error {
+	configs, err := loadConfigs(rf.configPath)
+	if err != nil {
+		return err
+	}
+	res, err := scenario.RunSuite(ctx, names, scenario.SuiteOptions{
+		Parallel: rf.parallel,
+		Timeout:  rf.timeout,
+		FailFast: rf.failFast,
+		Quick:    rf.quick,
+		Configs:  configs,
+		Env:      env(errOut, rf),
+	})
+	if err != nil {
+		return err
+	}
+	for _, o := range res.Outcomes {
+		switch {
+		case o.Skipped:
+			fmt.Fprintf(stdout, "=== %s: SKIPPED\n", o.Scenario)
+		case o.Error != "":
+			fmt.Fprintf(stdout, "=== %s: FAILED: %s\n", o.Scenario, o.Error)
+		default:
+			renderReport(stdout, o.Report)
+		}
+	}
+	fmt.Fprintf(stdout, "suite: %d scenarios, %d failed, %d skipped\n",
+		len(res.Outcomes), res.Failed, res.Skipped)
+	if rf.outPath != "" {
+		if err := writeOut(rf.outPath, res, res.Reports()); err != nil {
+			return err
+		}
+	}
+	return res.Err()
+}
+
+// writeOut persists results: jsonValue for JSON output, the report list
+// for CSV.
+func writeOut(path string, jsonValue any, reports []*scenario.Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		if err := scenario.WriteCSV(f, reports...); err != nil {
+			return err
+		}
+	} else {
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonValue); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// renderReport prints one report's human summary: envelope line, then the
+// metrics in sorted order.
+func renderReport(w io.Writer, rep *scenario.Report) {
+	fmt.Fprintf(w, "=== %s (%.2fs wall", rep.Scenario, rep.WallSeconds)
+	if rep.EmulatedSeconds > 0 {
+		fmt.Fprintf(w, ", %.0fs emulated", rep.EmulatedSeconds)
+	}
+	fmt.Fprintln(w, ")")
+	names := rep.MetricNames()
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(w, "  %-*s %g\n", width, n, rep.Metrics[n])
+	}
+}

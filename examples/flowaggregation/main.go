@@ -1,42 +1,48 @@
-// Flow aggregation: the Fig. 12 scenario through the public experiment
+// Flow aggregation: the Fig. 12 scenario through the unified scenario
 // API, with a compact textual throughput plot.
 //
 // Three ToS-tagged TCP flows start on the same 20 Mbps tunnel; the
 // optimizer then spreads them over tunnels 1-3 (bottlenecks 20/10/5 Mbps)
 // and the aggregate throughput rises accordingly.
 //
+// The scenario comes out of the registry and the smoke settings out of
+// its QuickConfig — no hand-built configuration — and the full artifact
+// rides in the report's payload.
+//
 // Run with: go run ./examples/flowaggregation
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
-	cfg := experiments.DefaultTestbedConfig()
-	cfg.Model = "LR"
-	cfg.Phase1Sec = 30
-	cfg.Phase2Sec = 30
-
-	res, err := experiments.RunFlowAggregation(cfg)
+	s, err := scenario.Lookup("flowaggregation")
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := scenario.Execute(context.Background(), nil, s, scenario.BaseConfig(s, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rep.Payload.(*experiments.FlowAggregationResult)
 
 	fmt.Println("aggregate throughput (each █ ≈ 1 Mbps):")
-	for i, s := range res.Samples {
+	for i, smp := range res.Samples {
 		if i%3 != 0 { // thin the plot
 			continue
 		}
 		marker := " "
-		if s.Time > res.ReallocationTime && res.Samples[maxInt(0, i-3)].Time <= res.ReallocationTime {
+		if smp.Time > res.ReallocationTime && res.Samples[maxInt(0, i-3)].Time <= res.ReallocationTime {
 			marker = "<- reallocation"
 		}
-		fmt.Printf("t=%3.0fs %6.1f Mbps %s %s\n", s.Time, s.Total, strings.Repeat("█", int(s.Total)), marker)
+		fmt.Printf("t=%3.0fs %6.1f Mbps %s %s\n", smp.Time, smp.Total, strings.Repeat("█", int(smp.Total)), marker)
 	}
 	fmt.Printf("\nmean total: %.1f Mbps -> %.1f Mbps\n", res.Phase1MeanTotal, res.Phase2MeanTotal)
 	fmt.Println("final placement:")

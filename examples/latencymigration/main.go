@@ -1,36 +1,42 @@
-// Latency migration: the Fig. 11 scenario through the public experiment
+// Latency migration: the Fig. 11 scenario through the unified scenario
 // API, with a compact textual RTT plot.
 //
 // A flow is pinned to the 20 ms MIA-SAO-AMS tunnel; after one phase the
 // Hecate optimizer is consulted with the min-latency objective and the
 // flow migrates — one PBR retarget at the MIA edge — to MIA-CHI-AMS.
 //
+// The scenario comes out of the registry and the smoke settings out of
+// its QuickConfig — no hand-built configuration — and the full artifact
+// rides in the report's payload.
+//
 // Run with: go run ./examples/latencymigration
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/scenario"
 )
 
 func main() {
-	cfg := experiments.DefaultTestbedConfig()
-	cfg.Model = "LR" // linear model keeps the example snappy
-	cfg.Phase1Sec = 30
-	cfg.Phase2Sec = 30
-
-	res, err := experiments.RunLatencyMigration(cfg)
+	s, err := scenario.Lookup("latencymigration")
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := scenario.Execute(context.Background(), nil, s, scenario.BaseConfig(s, true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rep.Payload.(*experiments.LatencyMigrationResult)
 
 	fmt.Println("RTT of the probed flow (each █ ≈ 2 ms):")
-	for _, s := range res.Samples {
-		bar := strings.Repeat("█", int(s.RTTms/2))
-		fmt.Printf("t=%3.0fs tunnel%d %6.1f ms %s\n", s.Time, s.Tunnel, s.RTTms, bar)
+	for _, smp := range res.Samples {
+		bar := strings.Repeat("█", int(smp.RTTms/2))
+		fmt.Printf("t=%3.0fs tunnel%d %6.1f ms %s\n", smp.Time, smp.Tunnel, smp.RTTms, bar)
 	}
 	fmt.Printf("\nmigrated at t=%.0f s: tunnel %d -> tunnel %d\n",
 		res.MigrationTime, res.FromTunnel, res.ToTunnel)

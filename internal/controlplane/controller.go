@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -178,8 +179,19 @@ func tunnelIDFromName(name string) (int, error) {
 // service for model fitting. It is called once the telemetry store has
 // accumulated enough history (the paper trains offline on the UQ trace).
 func (c *Controller) TrainHecate(objective string, historyLen int) error {
+	return c.TrainHecateContext(context.Background(), objective, historyLen)
+}
+
+// TrainHecateContext is TrainHecate under a context: training is a fan of
+// bus round trips (one telemetry fetch per tunnel, one fit request), and
+// the context is consulted before each so cancellation cuts the fan
+// short.
+func (c *Controller) TrainHecateContext(ctx context.Context, objective string, historyLen int) error {
 	histories := make(map[string][]float64, len(c.tunnelIDs))
 	for _, id := range c.tunnelIDs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		key, err := qosKeyFor(objective, id)
 		if err != nil {
 			return err

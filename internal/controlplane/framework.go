@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -163,6 +164,23 @@ func NewFramework(cfg FrameworkConfig) (*Framework, error) {
 // TunnelPath returns a provisioned tunnel's path.
 func (f *Framework) TunnelPath(id int) (topo.Path, error) {
 	return pathByID(f.Tunnels, id)
+}
+
+// RunFor advances the emulated clock by d seconds, aborting early with
+// ctx's error when the context is canceled. Experiment harnesses drive
+// their phases through this so long runs stay cancellable end to end.
+func (f *Framework) RunFor(ctx context.Context, d float64) error {
+	return f.Emu.RunForContext(ctx, d)
+}
+
+// Warmup accumulates d seconds of telemetry and then trains the Hecate
+// models for the objective — the common preamble of every testbed
+// experiment, under one context.
+func (f *Framework) Warmup(ctx context.Context, objective string, d float64) error {
+	if err := f.RunFor(ctx, d); err != nil {
+		return err
+	}
+	return f.Control.TrainHecateContext(ctx, objective, int(d))
 }
 
 // Stop shuts every started service down, then the bus if the framework

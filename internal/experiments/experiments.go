@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -46,9 +47,18 @@ type MLComparisonResult struct {
 
 // RunMLComparison regenerates Fig. 6: all eighteen regressors on both
 // paths of the trace.
+//
+// Deprecated: use RunMLComparisonContext (or the "mlcompare" entry in the
+// scenario registry); this wrapper runs under context.Background.
 func RunMLComparison(cfg MLConfig) (*MLComparisonResult, error) {
+	return RunMLComparisonContext(context.Background(), cfg)
+}
+
+// RunMLComparisonContext is RunMLComparison under a context, checked
+// between the eighteen model fits.
+func RunMLComparisonContext(ctx context.Context, cfg MLConfig) (*MLComparisonResult, error) {
 	tr := dataset.Generate(cfg.Dataset)
-	rows, err := ml.CompareAll(tr.WiFi.Values(), tr.LTE.Values(), cfg.Pipeline)
+	rows, err := ml.CompareAllContext(ctx, tr.WiFi.Values(), tr.LTE.Values(), cfg.Pipeline)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: fig 6 sweep: %w", err)
 	}
@@ -61,19 +71,57 @@ type ObservedVsPredicted struct {
 	Model string
 	// WiFi and LTE carry observed/predicted pairs and scores per path.
 	WiFi, LTE ml.EvalResult
+	// WiFiImportance and LTEImportance are per-lag permutation
+	// importances (RMSE increase when that lag is shuffled), oldest lag
+	// first. Filled only on request (the mlpredict scenario's Importance
+	// flag, formerly `mlcompare -importance`).
+	WiFiImportance, LTEImportance []float64 `json:",omitempty"`
+}
+
+// lagImportance fits a fresh instance of the model on the series' lag
+// windows and measures how much shuffling each lag column degrades RMSE.
+func lagImportance(model string, series []float64, cfg ml.PipelineConfig) ([]float64, error) {
+	spec, err := ml.ModelByName(model)
+	if err != nil {
+		return nil, err
+	}
+	X, y, err := ml.MakeWindows(series, cfg.Lag)
+	if err != nil {
+		return nil, err
+	}
+	r := spec.New()
+	if err := r.Fit(X, y); err != nil {
+		return nil, err
+	}
+	return ml.PermutationImportance(r, X, y, 5, 1)
 }
 
 // RunObservedVsPredicted regenerates Fig. 7 (model = "RFR") or Fig. 8
 // (model = "GPR"): the named model's test-split predictions on both paths.
+//
+// Deprecated: use RunObservedVsPredictedContext (or the "mlpredict" entry
+// in the scenario registry); this wrapper runs under context.Background.
 func RunObservedVsPredicted(model string, cfg MLConfig) (*ObservedVsPredicted, error) {
+	return RunObservedVsPredictedContext(context.Background(), model, cfg)
+}
+
+// RunObservedVsPredictedContext is RunObservedVsPredicted under a
+// context, checked between the two per-path fits.
+func RunObservedVsPredictedContext(ctx context.Context, model string, cfg MLConfig) (*ObservedVsPredicted, error) {
 	spec, err := ml.ModelByName(model)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	tr := dataset.Generate(cfg.Dataset)
 	wifi, err := ml.EvaluateOnSeries(spec.New(), tr.WiFi.Values(), cfg.Pipeline)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s on wifi: %w", model, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	lte, err := ml.EvaluateOnSeries(spec.New(), tr.LTE.Values(), cfg.Pipeline)
 	if err != nil {

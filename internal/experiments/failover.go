@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/controlplane"
@@ -30,7 +31,15 @@ type FailoverResult struct {
 // RunFailureRecovery reproduces the failure-recovery scenario implied by
 // the paper's PolKA claims (Section I/VII): stateless cores make rerouting
 // around a dead link a pure edge operation.
+//
+// Deprecated: use RunFailureRecoveryContext (or the "failover" entry in
+// the scenario registry); this wrapper runs under context.Background.
 func RunFailureRecovery(cfg TestbedConfig) (*FailoverResult, error) {
+	return RunFailureRecoveryContext(context.Background(), cfg)
+}
+
+// RunFailureRecoveryContext is RunFailureRecovery under a context.
+func RunFailureRecoveryContext(ctx context.Context, cfg TestbedConfig) (*FailoverResult, error) {
 	cfg = cfg.withDefaults()
 	f, err := newFramework(cfg)
 	if err != nil {
@@ -38,8 +47,7 @@ func RunFailureRecovery(cfg TestbedConfig) (*FailoverResult, error) {
 	}
 	defer f.Stop()
 
-	f.Emu.RunFor(cfg.WarmupSec)
-	if err := f.Control.TrainHecate("max-bandwidth", int(cfg.WarmupSec)); err != nil {
+	if err := f.Warmup(ctx, "max-bandwidth", cfg.WarmupSec); err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
 
@@ -69,7 +77,9 @@ func RunFailureRecovery(cfg TestbedConfig) (*FailoverResult, error) {
 
 	// Steady phase on tunnel 1.
 	for i := 0; i < int(cfg.Phase1Sec); i++ {
-		f.Emu.RunFor(cfg.SampleIntervalSec)
+		if err := f.RunFor(ctx, cfg.SampleIntervalSec); err != nil {
+			return nil, err
+		}
 		if err := sample(); err != nil {
 			return nil, err
 		}
@@ -86,11 +96,13 @@ func RunFailureRecovery(cfg TestbedConfig) (*FailoverResult, error) {
 	}
 	res.FailureTime = f.Emu.Now()
 	// Let telemetry observe the collapse, then retrain and re-ask.
-	f.Emu.RunFor(12)
+	if err := f.RunFor(ctx, 12); err != nil {
+		return nil, err
+	}
 	if err := sample(); err != nil {
 		return nil, err
 	}
-	if err := f.Control.TrainHecate("max-bandwidth", int(f.Emu.Now())); err != nil {
+	if err := f.Control.TrainHecateContext(ctx, "max-bandwidth", int(f.Emu.Now())); err != nil {
 		return nil, err
 	}
 	resp, err := f.Dash.InsertNewFlow(controlplane.FlowRequest{
@@ -105,7 +117,9 @@ func RunFailureRecovery(cfg TestbedConfig) (*FailoverResult, error) {
 	// Post-recovery phase.
 	firstAlive := -1.0
 	for i := 0; i < int(cfg.Phase2Sec); i++ {
-		f.Emu.RunFor(cfg.SampleIntervalSec)
+		if err := f.RunFor(ctx, cfg.SampleIntervalSec); err != nil {
+			return nil, err
+		}
 		if err := sample(); err != nil {
 			return nil, err
 		}

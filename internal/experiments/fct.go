@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -57,7 +58,16 @@ type FCTResult struct {
 }
 
 // RunFCT plays the completion-time experiment under one policy.
+//
+// Deprecated: use RunFCTContext (or the "fct" entry in the scenario
+// registry); this wrapper runs under context.Background.
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
+	return RunFCTContext(context.Background(), cfg)
+}
+
+// RunFCTContext is RunFCT under a context, checked across arrivals and
+// the drain loop.
+func RunFCTContext(ctx context.Context, cfg FCTConfig) (*FCTResult, error) {
 	if cfg.Transfers < 1 || len(cfg.SizesMB) == 0 || cfg.MeanInterarrivalSec <= 0 {
 		return nil, fmt.Errorf("experiments: invalid FCT config %+v", cfg)
 	}
@@ -106,7 +116,9 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	var transfers []transfer
 	next := 0.0
 	for i := 0; i < cfg.Transfers; i++ {
-		emu.RunUntil(next)
+		if err := emu.RunUntilContext(ctx, next); err != nil {
+			return nil, err
+		}
 		tunnel, err := choose()
 		if err != nil {
 			return nil, err
@@ -128,7 +140,9 @@ func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	// Drain: run until everything completes (bounded horizon).
 	horizon := emu.Now() + 2000
 	for emu.Now() < horizon {
-		emu.RunFor(1)
+		if err := emu.RunForContext(ctx, 1); err != nil {
+			return nil, err
+		}
 		done := true
 		for _, tr := range transfers {
 			fl, err := emu.Flow(tr.id)

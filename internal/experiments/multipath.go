@@ -1,12 +1,25 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/netem"
 	"repro/internal/polka"
 	"repro/internal/topo"
 )
+
+// MultipathConfig tunes the M-PolKA aggregation run.
+type MultipathConfig struct {
+	// SettleSec is how long the multipath flow ramps before the branch
+	// rates are read (default 15 s).
+	SettleSec float64
+}
+
+// DefaultMultipathConfig returns the canonical settings.
+func DefaultMultipathConfig() MultipathConfig {
+	return MultipathConfig{SettleSec: 15}
+}
 
 // The multipath experiment exercises the M-PolKA extension (reference
 // [31]) end to end: a single route identifier encodes an *aggregation
@@ -31,7 +44,20 @@ type MultipathResult struct {
 // 3 (MIA→{CHI,CAL}, CAL→CHI, CHI→AMS, AMS→host2), verifies the
 // data-plane port sets, then drives a multipath flow over both branches
 // in the emulator.
+//
+// Deprecated: use RunMultipathAggregationContext (or the "multipath"
+// entry in the scenario registry); this wrapper runs under
+// context.Background with default settings.
 func RunMultipathAggregation() (*MultipathResult, error) {
+	return RunMultipathAggregationContext(context.Background(), DefaultMultipathConfig())
+}
+
+// RunMultipathAggregationContext is RunMultipathAggregation under a
+// context and explicit configuration.
+func RunMultipathAggregationContext(ctx context.Context, cfg MultipathConfig) (*MultipathResult, error) {
+	if cfg.SettleSec <= 0 {
+		cfg.SettleSec = 15
+	}
 	lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
 	if err != nil {
 		return nil, err
@@ -102,7 +128,9 @@ func RunMultipathAggregation() (*MultipathResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	emu.RunFor(15)
+	if err := emu.RunForContext(ctx, cfg.SettleSec); err != nil {
+		return nil, err
+	}
 	fl, err := emu.Flow(id)
 	if err != nil {
 		return nil, err

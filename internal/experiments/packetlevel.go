@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/dataplane"
@@ -27,7 +28,9 @@ type PacketLevelConfig struct {
 	PacketsPerRoute int
 	// PacketSize is the simulated payload size in bytes (default 1500).
 	PacketSize int
-	// Workers selects the engine execution mode (≤ 1 serial).
+	// Workers selects the engine execution mode: 0 auto-sizes to the
+	// machine's CPU count (what the retired dataplanedemo binary did), 1
+	// forces serial, > 1 fixes the worker count.
 	Workers int
 	// PoTSeed seeds the proof-of-transit key material.
 	PoTSeed int64
@@ -75,8 +78,23 @@ type PacketLevelResult struct {
 
 // RunPacketLevel runs the packet-level forwarding scenario on the Global P4
 // Lab.
+//
+// Deprecated: use RunPacketLevelContext (or the "packetlevel" entry in
+// the scenario registry); this wrapper runs under context.Background.
 func RunPacketLevel(cfg PacketLevelConfig) (*PacketLevelResult, error) {
+	return RunPacketLevelContext(context.Background(), cfg)
+}
+
+// RunPacketLevelContext is RunPacketLevel under a context: the engine's
+// forwarding rounds poll ctx, so even large batches abort promptly.
+func RunPacketLevelContext(ctx context.Context, cfg PacketLevelConfig) (*PacketLevelResult, error) {
 	cfg = cfg.withDefaults()
+	// Workers stays 0 ("auto") in serialized configs so defaults are
+	// machine-independent; the resolution to the actual CPU count happens
+	// here at run time.
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
 	lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
 	if err != nil {
 		return nil, err
@@ -121,6 +139,9 @@ func RunPacketLevel(cfg PacketLevelConfig) (*PacketLevelResult, error) {
 	ranges := make([]idRange, len(specs))
 	var nextLo uint64 = 1
 	for i, s := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := engine.VerifyRoute(s.route); err != nil {
 			return nil, fmt.Errorf("experiments: route %s fails data-plane verification: %w", s.label, err)
 		}
@@ -132,7 +153,7 @@ func RunPacketLevel(cfg PacketLevelConfig) (*PacketLevelResult, error) {
 	}
 
 	start := time.Now()
-	stats, err := engine.Run(context.Background())
+	stats, err := engine.Run(ctx)
 	if err != nil {
 		return nil, err
 	}

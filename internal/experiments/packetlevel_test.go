@@ -8,7 +8,8 @@ import (
 )
 
 func TestRunPacketLevelSerial(t *testing.T) {
-	res, err := RunPacketLevel(PacketLevelConfig{PacketsPerRoute: 100})
+	// Workers 1 forces serial; 0 auto-sizes to the CPU count.
+	res, err := RunPacketLevel(PacketLevelConfig{PacketsPerRoute: 100, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,6 +33,18 @@ func DefaultTestbedConfig() TestbedConfig {
 		SampleIntervalSec: 1,
 		WarmupSec:         30,
 	}
+}
+
+// QuickTestbedConfig derives the smoke-run variant from the canonical
+// defaults: the linear model and halved phases, the settings the examples
+// and CI use. Deriving (instead of restating) keeps the quick and paper
+// configurations from drifting apart.
+func QuickTestbedConfig() TestbedConfig {
+	cfg := DefaultTestbedConfig()
+	cfg.Model = "LR"
+	cfg.Phase1Sec = 30
+	cfg.Phase2Sec = 30
+	return cfg
 }
 
 func (c TestbedConfig) withDefaults() TestbedConfig {
@@ -91,7 +104,18 @@ type LatencyMigrationResult struct {
 // ICMP-like probes measure its RTT; the optimizer is then consulted with
 // the min-latency objective and the flow migrates — one PBR retarget — to
 // MIA-CHI-AMS, where probing continues.
+//
+// Deprecated: use RunLatencyMigrationContext (or the "latencymigration"
+// entry in the scenario registry); this wrapper runs under
+// context.Background.
 func RunLatencyMigration(cfg TestbedConfig) (*LatencyMigrationResult, error) {
+	return RunLatencyMigrationContext(context.Background(), cfg)
+}
+
+// RunLatencyMigrationContext is RunLatencyMigration under a context: the
+// warmup, both measurement phases, and Hecate training all abort promptly
+// when ctx is canceled.
+func RunLatencyMigrationContext(ctx context.Context, cfg TestbedConfig) (*LatencyMigrationResult, error) {
 	cfg = cfg.withDefaults()
 	f, err := newFramework(cfg)
 	if err != nil {
@@ -100,8 +124,7 @@ func RunLatencyMigration(cfg TestbedConfig) (*LatencyMigrationResult, error) {
 	defer f.Stop()
 
 	// Warm telemetry up and train the per-tunnel RTT models.
-	f.Emu.RunFor(cfg.WarmupSec)
-	if err := f.Control.TrainHecate("min-latency", int(cfg.WarmupSec)); err != nil {
+	if err := f.Warmup(ctx, "min-latency", cfg.WarmupSec); err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
 
@@ -131,7 +154,9 @@ func RunLatencyMigration(cfg TestbedConfig) (*LatencyMigrationResult, error) {
 
 	phase1End := f.Emu.Now() + cfg.Phase1Sec
 	for f.Emu.Now() < phase1End {
-		f.Emu.RunFor(cfg.SampleIntervalSec)
+		if err := f.RunFor(ctx, cfg.SampleIntervalSec); err != nil {
+			return nil, err
+		}
 		if err := probe(); err != nil {
 			return nil, err
 		}
@@ -151,7 +176,9 @@ func RunLatencyMigration(cfg TestbedConfig) (*LatencyMigrationResult, error) {
 
 	phase2End := f.Emu.Now() + cfg.Phase2Sec
 	for f.Emu.Now() < phase2End {
-		f.Emu.RunFor(cfg.SampleIntervalSec)
+		if err := f.RunFor(ctx, cfg.SampleIntervalSec); err != nil {
+			return nil, err
+		}
 		if err := probe(); err != nil {
 			return nil, err
 		}
@@ -209,7 +236,16 @@ type FlowAggregationResult struct {
 // Mbps bottleneck; the optimizer is then consulted per flow with the
 // bandwidth objective, moving one flow to tunnel 2 and another to tunnel
 // 3, raising the aggregate throughput.
+//
+// Deprecated: use RunFlowAggregationContext (or the "flowaggregation"
+// entry in the scenario registry); this wrapper runs under
+// context.Background.
 func RunFlowAggregation(cfg TestbedConfig) (*FlowAggregationResult, error) {
+	return RunFlowAggregationContext(context.Background(), cfg)
+}
+
+// RunFlowAggregationContext is RunFlowAggregation under a context.
+func RunFlowAggregationContext(ctx context.Context, cfg TestbedConfig) (*FlowAggregationResult, error) {
 	cfg = cfg.withDefaults()
 	f, err := newFramework(cfg)
 	if err != nil {
@@ -217,8 +253,7 @@ func RunFlowAggregation(cfg TestbedConfig) (*FlowAggregationResult, error) {
 	}
 	defer f.Stop()
 
-	f.Emu.RunFor(cfg.WarmupSec)
-	if err := f.Control.TrainHecate("max-bandwidth", int(cfg.WarmupSec)); err != nil {
+	if err := f.Warmup(ctx, "max-bandwidth", cfg.WarmupSec); err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
 
@@ -255,7 +290,9 @@ func RunFlowAggregation(cfg TestbedConfig) (*FlowAggregationResult, error) {
 
 	phase1End := f.Emu.Now() + cfg.Phase1Sec
 	for f.Emu.Now() < phase1End {
-		f.Emu.RunFor(cfg.SampleIntervalSec)
+		if err := f.RunFor(ctx, cfg.SampleIntervalSec); err != nil {
+			return nil, err
+		}
 		if err := sample(); err != nil {
 			return nil, err
 		}
@@ -264,7 +301,7 @@ func RunFlowAggregation(cfg TestbedConfig) (*FlowAggregationResult, error) {
 
 	// Retrain on the telemetry accumulated through phase 1, which now
 	// contains the saturation signal on tunnel 1.
-	if err := f.Control.TrainHecate("max-bandwidth", int(cfg.WarmupSec+cfg.Phase1Sec)); err != nil {
+	if err := f.Control.TrainHecateContext(ctx, "max-bandwidth", int(cfg.WarmupSec+cfg.Phase1Sec)); err != nil {
 		return nil, fmt.Errorf("experiments: retraining: %w", err)
 	}
 
@@ -279,7 +316,9 @@ func RunFlowAggregation(cfg TestbedConfig) (*FlowAggregationResult, error) {
 			return nil, err
 		}
 		res.Placements[name] = resp.TunnelID
-		f.Emu.RunFor(5)
+		if err := f.RunFor(ctx, 5); err != nil {
+			return nil, err
+		}
 		if err := sample(); err != nil {
 			return nil, err
 		}
@@ -287,7 +326,9 @@ func RunFlowAggregation(cfg TestbedConfig) (*FlowAggregationResult, error) {
 
 	phase2End := f.Emu.Now() + cfg.Phase2Sec
 	for f.Emu.Now() < phase2End {
-		f.Emu.RunFor(cfg.SampleIntervalSec)
+		if err := f.RunFor(ctx, cfg.SampleIntervalSec); err != nil {
+			return nil, err
+		}
 		if err := sample(); err != nil {
 			return nil, err
 		}

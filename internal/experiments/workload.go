@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -94,7 +95,16 @@ type WorkloadResult struct {
 }
 
 // RunWorkload plays the soak under one policy.
+//
+// Deprecated: use RunWorkloadContext (or the "workload" entry in the
+// scenario registry); this wrapper runs under context.Background.
 func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
+	return RunWorkloadContext(context.Background(), cfg)
+}
+
+// RunWorkloadContext is RunWorkload under a context, checked every
+// emulated second of the soak.
+func RunWorkloadContext(ctx context.Context, cfg WorkloadConfig) (*WorkloadResult, error) {
 	if cfg.DurationSec <= 0 {
 		cfg.DurationSec = 600
 	}
@@ -212,7 +222,9 @@ func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	lastRecorded := -1.0
 
 	for emu.Now() < cfg.DurationSec {
-		emu.RunFor(1)
+		if err := emu.RunForContext(ctx, 1); err != nil {
+			return nil, err
+		}
 		now := emu.Now()
 		if now > lastRecorded {
 			if err := record(); err != nil {

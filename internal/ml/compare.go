@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -118,8 +119,19 @@ type ComparisonRow struct {
 // CompareAll evaluates every registered model on both paths and returns
 // the rows in R1…R18 order — the data behind Fig. 6 and its legend.
 func CompareAll(path1, path2 []float64, cfg PipelineConfig) ([]ComparisonRow, error) {
+	return CompareAllContext(context.Background(), path1, path2, cfg)
+}
+
+// CompareAllContext is CompareAll under a context, checked between model
+// fits (a single fit is the indivisible unit of work here; the expensive
+// ensembles take the longest, so the check keeps the 18-model sweep
+// responsive to cancellation).
+func CompareAllContext(ctx context.Context, path1, path2 []float64, cfg PipelineConfig) ([]ComparisonRow, error) {
 	rows := make([]ComparisonRow, 0, 18)
 	for _, spec := range AllModels() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r1, err := EvaluateOnSeries(spec.New(), path1, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("%s on path1: %w", spec.Name, err)

@@ -19,6 +19,7 @@
 package netem
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -333,14 +334,32 @@ func (e *Emulator) dueEventsLocked() []event {
 
 // RunUntil advances the simulation until the clock reaches t.
 func (e *Emulator) RunUntil(t float64) {
-	for e.Now()+1e-9 < t {
-		e.Step()
-	}
+	// Background never cancels, so the error is structurally nil.
+	_ = e.RunUntilContext(context.Background(), t)
 }
 
 // RunFor advances the simulation by d seconds.
 func (e *Emulator) RunFor(d float64) {
 	e.RunUntil(e.Now() + d)
+}
+
+// RunUntilContext advances the simulation until the clock reaches t,
+// checking ctx between ticks so arbitrarily long runs abort promptly on
+// cancellation. The clock stops at a tick boundary; the emulator stays
+// usable after an aborted run.
+func (e *Emulator) RunUntilContext(ctx context.Context, t float64) error {
+	for e.Now()+1e-9 < t {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e.Step()
+	}
+	return nil
+}
+
+// RunForContext advances the simulation by d seconds under ctx.
+func (e *Emulator) RunForContext(ctx context.Context, d float64) error {
+	return e.RunUntilContext(ctx, e.Now()+d)
 }
 
 // stepLocked performs one allocation tick. Caller holds e.mu.

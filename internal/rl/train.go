@@ -1,6 +1,7 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -95,6 +96,13 @@ type Chooser func(availMbps map[int]float64) (int, error)
 // itself still gets a share — the shaping that makes the agent learn to
 // spread load, mirroring DeepRoute's congestion-aware reward.
 func (e *Env) Train(agent *Agent, episodes int) error {
+	return e.TrainContext(context.Background(), agent, episodes)
+}
+
+// TrainContext is Train under a context, checked between episodes so long
+// training runs abort promptly on cancellation. The agent keeps whatever
+// it learned before the abort.
+func (e *Env) TrainContext(ctx context.Context, agent *Agent, episodes int) error {
 	if episodes < 1 {
 		return fmt.Errorf("rl: need ≥ 1 episode")
 	}
@@ -102,6 +110,9 @@ func (e *Env) Train(agent *Agent, episodes int) error {
 	eps0 := agent.Epsilon()
 	defer agent.SetEpsilon(eps0)
 	for ep := 0; ep < episodes; ep++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Decay exploration from eps0 toward 0.02 across training.
 		frac := float64(ep) / float64(episodes)
 		agent.SetEpsilon(eps0*(1-frac) + 0.02*frac)

@@ -1,0 +1,67 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the global registry. It panics on an empty
+// name or a duplicate registration: both are programming errors that must
+// fail loudly at init time, not at lookup time.
+func Register(s Scenario) {
+	name := s.Name()
+	if name == "" {
+		panic("scenario: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate registration of %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the scenario registered under name.
+func Lookup(name string) (Scenario, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %v)", name, namesLocked())
+	}
+	return s, nil
+}
+
+// List returns every registered scenario, sorted by name.
+func List() []Scenario {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, name := range namesLocked() {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Names returns the sorted registered names.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+// namesLocked returns the sorted names; caller holds regMu.
+func namesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,86 @@
+package scenario
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Report is the uniform result envelope every scenario emits. The typed
+// metric map is the machine-readable trajectory (what CI benches graph
+// over time); Payload carries the scenario's full artifact for callers
+// that know the concrete type.
+//
+// JSON marshaling is stable: encoding/json sorts the metric keys, so two
+// runs with identical measurements produce byte-identical documents.
+type Report struct {
+	// Scenario is the registered name; Execute stamps it.
+	Scenario string `json:"scenario"`
+	// WallSeconds is the wall-clock run time; Execute stamps it.
+	WallSeconds float64 `json:"wall_seconds"`
+	// EmulatedSeconds is time elapsed on the emulated clock, when the
+	// scenario drives an emulator (0 otherwise).
+	EmulatedSeconds float64 `json:"emulated_seconds,omitempty"`
+	// Metrics is the scenario's scalar summary (mean RTT, carried Mbps,
+	// forwarding decisions/sec, ...).
+	Metrics map[string]float64 `json:"metrics"`
+	// Payload is the scenario-specific artifact (the full sample series,
+	// placements, per-route accounting, ...). May be nil.
+	Payload any `json:"payload,omitempty"`
+}
+
+// Metric records one scalar, creating the map on first use.
+func (r *Report) Metric(name string, value float64) {
+	if r.Metrics == nil {
+		r.Metrics = make(map[string]float64)
+	}
+	r.Metrics[name] = value
+}
+
+// MetricNames returns the metric keys in sorted (JSON) order.
+func (r *Report) MetricNames() []string {
+	names := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteCSV renders reports as long-form CSV (scenario,metric,value) — the
+// shape spreadsheet pivots and plotting scripts want. Envelope durations
+// are emitted as pseudo-metrics so a row set is self-contained.
+func WriteCSV(w io.Writer, reports ...*Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "metric", "value"}); err != nil {
+		return err
+	}
+	row := func(scenario, metric string, value float64) error {
+		return cw.Write([]string{scenario, metric, strconv.FormatFloat(value, 'g', -1, 64)})
+	}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if err := row(r.Scenario, "wall_seconds", r.WallSeconds); err != nil {
+			return err
+		}
+		if r.EmulatedSeconds != 0 {
+			if err := row(r.Scenario, "emulated_seconds", r.EmulatedSeconds); err != nil {
+				return err
+			}
+		}
+		for _, name := range r.MetricNames() {
+			if err := row(r.Scenario, name, r.Metrics[name]); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("scenario: writing CSV: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Scenario:        "demo",
+		WallSeconds:     0.25,
+		EmulatedSeconds: 120,
+		Payload:         map[string]any{"tunnel": "MIA-CHI-AMS", "samples": []any{1.0, 2.0}},
+	}
+	rep.Metric("mean_rtt_ms", 11.5)
+	rep.Metric("post_rtt_ms", 1.2)
+
+	first, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(first, &back); err != nil {
+		t.Fatal(err)
+	}
+	second, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("JSON not stable across a round trip:\n%s\n%s", first, second)
+	}
+	if back.Metrics["mean_rtt_ms"] != 11.5 || back.Scenario != "demo" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	a := &Report{Scenario: "a", WallSeconds: 1, EmulatedSeconds: 60}
+	a.Metric("z_metric", 2.5)
+	a.Metric("a_metric", -1)
+	b := &Report{Scenario: "b", WallSeconds: 0.5}
+	b.Metric("count", 42)
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, a, nil, b); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"scenario,metric,value",
+		"a,wall_seconds,1",
+		"a,emulated_seconds,60",
+		"a,a_metric,-1",
+		"a,z_metric,2.5",
+		"b,wall_seconds,0.5",
+		"b,count,42",
+		"",
+	}, "\n")
+	if buf.String() != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}

@@ -1,0 +1,109 @@
+// Package scenario is the unified experiment API: every runnable
+// evaluation of the repo — the paper's figures, the extension soaks, the
+// packet-level data-plane runs — implements one small interface and
+// registers itself under a stable name. On top of the registry sit a
+// uniform Report envelope (stable JSON/CSV) and a Suite runner with
+// per-scenario timeouts, context cancellation, and serial or parallel
+// execution. cmd/labctl is a thin shell over this package; adding a new
+// scenario anywhere in the tree is one Register call, after which the
+// CLI, the suite, and the CI bench artifacts pick it up automatically.
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"time"
+)
+
+// Scenario is one runnable experiment.
+//
+// DefaultConfig returns the canonical configuration value (a plain
+// struct, not a pointer) — the single source every caller derives from.
+// Run receives a configuration of that same dynamic type; implementations
+// must honor ctx promptly (return ctx.Err() once canceled) so suite runs
+// and CLI interrupts stay responsive.
+type Scenario interface {
+	Name() string
+	Describe() string
+	DefaultConfig() any
+	Run(ctx context.Context, env *Env, cfg any) (*Report, error)
+}
+
+// QuickConfiger is optionally implemented by scenarios that have a
+// reduced configuration for smoke runs (labctl -quick, CI).
+type QuickConfiger interface {
+	QuickConfig() any
+}
+
+// BaseConfig returns the scenario's quick configuration when quick is set
+// and the scenario provides one, and the default configuration otherwise.
+func BaseConfig(s Scenario, quick bool) any {
+	if quick {
+		if q, ok := s.(QuickConfiger); ok {
+			return q.QuickConfig()
+		}
+	}
+	return s.DefaultConfig()
+}
+
+// Env carries the run-time surroundings a scenario may use. The zero
+// value is valid: logging is discarded.
+type Env struct {
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+	// Quick marks a smoke run; scenarios may shed optional work.
+	Quick bool
+}
+
+// Logf writes one progress line to the environment's log, if any.
+func (e *Env) Logf(format string, args ...any) {
+	if e == nil || e.Log == nil {
+		return
+	}
+	fmt.Fprintf(e.Log, format+"\n", args...)
+}
+
+// DecodeConfig overlays raw JSON onto a copy of base and returns the
+// merged configuration with base's dynamic type. Unknown fields are
+// rejected so config-file typos surface instead of silently running the
+// defaults.
+func DecodeConfig(base any, raw json.RawMessage) (any, error) {
+	if len(bytes.TrimSpace(raw)) == 0 {
+		return base, nil
+	}
+	if base == nil {
+		return nil, fmt.Errorf("scenario: config given for a scenario that takes none")
+	}
+	v := reflect.New(reflect.TypeOf(base))
+	v.Elem().Set(reflect.ValueOf(base))
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v.Interface()); err != nil {
+		return nil, fmt.Errorf("scenario: decoding config: %w", err)
+	}
+	return v.Elem().Interface(), nil
+}
+
+// Execute runs one scenario and stamps the envelope fields the scenario
+// itself does not know (its registered name, the wall-clock duration).
+// It is the single entry point labctl and the suite runner share.
+func Execute(ctx context.Context, env *Env, s Scenario, cfg any) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := s.Run(ctx, env, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("scenario %s: Run returned neither report nor error", s.Name())
+	}
+	rep.Scenario = s.Name()
+	rep.WallSeconds = time.Since(start).Seconds()
+	return rep, nil
+}

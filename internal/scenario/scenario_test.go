@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeConfig is a round-trippable config for the fake scenario.
+type fakeConfig struct {
+	Reps  int     `json:"reps"`
+	Label string  `json:"label"`
+	Gain  float64 `json:"gain"`
+}
+
+// fake is a registry/suite test double. run may be nil (instant success).
+type fake struct {
+	name string
+	run  func(ctx context.Context, env *Env, cfg any) (*Report, error)
+}
+
+func (f *fake) Name() string        { return f.name }
+func (f *fake) Describe() string    { return "fake scenario " + f.name }
+func (f *fake) DefaultConfig() any  { return fakeConfig{Reps: 3, Label: "dflt", Gain: 1.5} }
+func (f *fake) QuickConfig() any    { return fakeConfig{Reps: 1, Label: "quick", Gain: 1.5} }
+func (f *fake) Run(ctx context.Context, env *Env, cfg any) (*Report, error) {
+	if f.run != nil {
+		return f.run(ctx, env, cfg)
+	}
+	c := cfg.(fakeConfig)
+	r := &Report{}
+	r.Metric("reps", float64(c.Reps))
+	return r, nil
+}
+
+// register adds a uniquely named fake and returns it. The global registry
+// has no Unregister by design, so tests namespace by test name.
+func register(t *testing.T, suffix string, run func(context.Context, *Env, any) (*Report, error)) *fake {
+	t.Helper()
+	f := &fake{name: strings.ToLower(t.Name()) + "-" + suffix, run: run}
+	Register(f)
+	return f
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	f := register(t, "dup", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(&fake{name: f.name})
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty-name Register did not panic")
+		}
+	}()
+	Register(&fake{name: ""})
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("no-such-scenario"); err == nil {
+		t.Fatal("Lookup of unknown scenario succeeded")
+	} else if !strings.Contains(err.Error(), "no-such-scenario") {
+		t.Fatalf("error %q does not name the missing scenario", err)
+	}
+}
+
+func TestLookupAndListSeeRegistered(t *testing.T) {
+	f := register(t, "listed", nil)
+	got, err := Lookup(f.name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != f {
+		t.Fatalf("Lookup returned %v, want the registered instance", got)
+	}
+	found := false
+	for _, s := range List() {
+		if s.Name() == f.name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("List() does not contain %s", f.name)
+	}
+}
+
+func TestDecodeConfigOverlaysDefaults(t *testing.T) {
+	f := &fake{name: "decode"}
+	cfg, err := DecodeConfig(f.DefaultConfig(), json.RawMessage(`{"reps": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg.(fakeConfig)
+	if c.Reps != 7 {
+		t.Errorf("Reps = %d, want overlay 7", c.Reps)
+	}
+	if c.Label != "dflt" || c.Gain != 1.5 {
+		t.Errorf("non-overlaid fields lost defaults: %+v", c)
+	}
+	if _, err := DecodeConfig(f.DefaultConfig(), json.RawMessage(`{"repz": 7}`)); err == nil {
+		t.Error("unknown config field accepted")
+	}
+	same, err := DecodeConfig(f.DefaultConfig(), nil)
+	if err != nil || same.(fakeConfig) != f.DefaultConfig().(fakeConfig) {
+		t.Errorf("empty raw should return base unchanged: %v, %v", same, err)
+	}
+}
+
+func TestExecuteStampsEnvelope(t *testing.T) {
+	f := register(t, "stamp", nil)
+	rep, err := Execute(context.Background(), nil, f, f.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenario != f.name {
+		t.Errorf("Scenario = %q, want %q", rep.Scenario, f.name)
+	}
+	if rep.WallSeconds < 0 {
+		t.Errorf("WallSeconds = %v", rep.WallSeconds)
+	}
+	if rep.Metrics["reps"] != 3 {
+		t.Errorf("metrics = %v, want reps=3 from the default config", rep.Metrics)
+	}
+}
+
+func TestSuiteSerialAndQuick(t *testing.T) {
+	a := register(t, "a", nil)
+	b := register(t, "b", nil)
+	res, err := RunSuite(context.Background(), []string{a.name, b.name}, SuiteOptions{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 0 || res.Skipped != 0 {
+		t.Fatalf("unexpected failures: %+v", res)
+	}
+	for _, o := range res.Outcomes {
+		if o.Report.Metrics["reps"] != 1 {
+			t.Errorf("%s: reps = %v, want quick config's 1", o.Scenario, o.Report.Metrics["reps"])
+		}
+	}
+	if err := res.Err(); err != nil {
+		t.Errorf("Err() = %v on all-green suite", err)
+	}
+}
+
+func TestSuiteUnknownScenarioFailsPreflight(t *testing.T) {
+	if _, err := RunSuite(context.Background(), []string{"nope-" + t.Name()}, SuiteOptions{}); err == nil {
+		t.Fatal("suite accepted an unknown scenario name")
+	}
+}
+
+func TestSuiteParallelPreservesOrder(t *testing.T) {
+	var names []string
+	for i := 0; i < 6; i++ {
+		f := register(t, fmt.Sprintf("p%d", i), nil)
+		names = append(names, f.name)
+	}
+	res, err := RunSuite(context.Background(), names, SuiteOptions{Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		if o.Scenario != names[i] {
+			t.Errorf("outcome %d is %s, want %s", i, o.Scenario, names[i])
+		}
+		if o.Report == nil {
+			t.Errorf("%s missing report", names[i])
+		}
+	}
+}
+
+func TestSuiteFailFastSkipsRemaining(t *testing.T) {
+	boom := register(t, "boom", func(context.Context, *Env, any) (*Report, error) {
+		return nil, errors.New("exploded")
+	})
+	var ran atomic.Bool
+	after := register(t, "after", func(context.Context, *Env, any) (*Report, error) {
+		ran.Store(true)
+		return &Report{}, nil
+	})
+	res, err := RunSuite(context.Background(), []string{boom.name, after.name}, SuiteOptions{FailFast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Skipped != 1 {
+		t.Fatalf("failed=%d skipped=%d, want 1/1", res.Failed, res.Skipped)
+	}
+	if ran.Load() {
+		t.Error("fail-fast still ran the scenario after the failure")
+	}
+	if res.Err() == nil {
+		t.Error("Err() = nil on failing suite")
+	}
+}
+
+func TestSuiteTimeoutAndCancellation(t *testing.T) {
+	blocker := func(ctx context.Context, _ *Env, _ any) (*Report, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	slow := register(t, "slow", blocker)
+
+	// Per-scenario timeout.
+	start := time.Now()
+	res, err := RunSuite(context.Background(), []string{slow.name}, SuiteOptions{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || !strings.Contains(res.Outcomes[0].Error, "context deadline exceeded") {
+		t.Fatalf("timeout outcome: %+v", res.Outcomes[0])
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("timeout not enforced promptly (%v)", time.Since(start))
+	}
+
+	// Whole-suite cancellation returns promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan *SuiteResult, 1)
+	go func() {
+		r, _ := RunSuite(ctx, []string{slow.name}, SuiteOptions{})
+		done <- r
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case r := <-done:
+		if r.Failed != 1 {
+			t.Fatalf("canceled suite: %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("suite did not return promptly after cancel")
+	}
+}

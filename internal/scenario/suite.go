@@ -1,0 +1,175 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SuiteOptions tunes a suite run. The zero value runs serially with no
+// per-scenario timeout, default configs, and collect-all error policy.
+type SuiteOptions struct {
+	// Parallel is the number of scenarios in flight (≤ 1 serial).
+	Parallel int
+	// Timeout bounds each scenario's wall-clock run (0 = none).
+	Timeout time.Duration
+	// FailFast stops launching new scenarios after the first failure and
+	// cancels the ones in flight; the default collects every outcome.
+	FailFast bool
+	// Quick selects each scenario's QuickConfig when it has one.
+	Quick bool
+	// Configs overlays per-scenario JSON onto the base configuration,
+	// keyed by scenario name.
+	Configs map[string]json.RawMessage
+	// Env is handed to every scenario (nil = silent).
+	Env *Env
+}
+
+// Outcome is one scenario's slot in a suite result: exactly one of
+// Report and Error is meaningful, unless the scenario never started
+// (Skipped, under fail-fast).
+type Outcome struct {
+	Scenario string  `json:"scenario"`
+	Report   *Report `json:"report,omitempty"`
+	Error    string  `json:"error,omitempty"`
+	Skipped  bool    `json:"skipped,omitempty"`
+}
+
+// SuiteResult aggregates a suite run. Outcomes preserve the requested
+// scenario order regardless of execution interleaving.
+type SuiteResult struct {
+	Outcomes []Outcome `json:"outcomes"`
+	Failed   int       `json:"failed"`
+	Skipped  int       `json:"skipped"`
+}
+
+// Reports returns the successful reports, in order.
+func (r *SuiteResult) Reports() []*Report {
+	out := make([]*Report, 0, len(r.Outcomes))
+	for _, o := range r.Outcomes {
+		if o.Report != nil {
+			out = append(out, o.Report)
+		}
+	}
+	return out
+}
+
+// Err folds the result into a single error: nil only when every scenario
+// actually ran and succeeded. Skipped scenarios (fail-fast, or a
+// cancellation that landed before work started) are a failure signal too
+// — a canceled suite that did no work must not read as a green pass.
+func (r *SuiteResult) Err() error {
+	if r.Failed == 0 && r.Skipped == 0 {
+		return nil
+	}
+	for _, o := range r.Outcomes {
+		if o.Error != "" {
+			return fmt.Errorf("scenario %s: %s (%d of %d failed, %d skipped)",
+				o.Scenario, o.Error, r.Failed, len(r.Outcomes), r.Skipped)
+		}
+	}
+	return fmt.Errorf("%d of %d scenarios skipped before running", r.Skipped, len(r.Outcomes))
+}
+
+// RunSuite executes the named scenarios (nil or empty = every registered
+// scenario, sorted). Name resolution and config decoding happen up front,
+// so a typo fails before any scenario burns time. The returned error is
+// non-nil only for such pre-flight problems or a canceled ctx before any
+// work ran; per-scenario failures live in the result.
+func RunSuite(ctx context.Context, names []string, opts SuiteOptions) (*SuiteResult, error) {
+	if len(names) == 0 {
+		names = Names()
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("scenario: no scenarios registered")
+	}
+	type job struct {
+		s   Scenario
+		cfg any
+	}
+	jobs := make([]job, len(names))
+	for i, name := range names {
+		s, err := Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := DecodeConfig(BaseConfig(s, opts.Quick), opts.Configs[name])
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: %w", name, err)
+		}
+		jobs[i] = job{s: s, cfg: cfg}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// A fail-fast failure cancels runCtx, which both aborts scenarios in
+	// flight and stops workers from picking up queued jobs.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	res := &SuiteResult{Outcomes: make([]Outcome, len(jobs))}
+	var mu sync.Mutex
+	runOne := func(i int) {
+		j := jobs[i]
+		sctx := runCtx
+		var stop context.CancelFunc
+		if opts.Timeout > 0 {
+			sctx, stop = context.WithTimeout(runCtx, opts.Timeout)
+			defer stop()
+		}
+		out := Outcome{Scenario: j.s.Name()}
+		if err := runCtx.Err(); err != nil {
+			out.Skipped = true
+		} else if rep, err := Execute(sctx, opts.Env, j.s, j.cfg); err != nil {
+			out.Error = err.Error()
+		} else {
+			out.Report = rep
+		}
+		mu.Lock()
+		res.Outcomes[i] = out
+		switch {
+		case out.Skipped:
+			res.Skipped++
+		case out.Error != "":
+			res.Failed++
+			if opts.FailFast {
+				cancel()
+			}
+		}
+		mu.Unlock()
+	}
+
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers == 1 {
+		for i := range jobs {
+			runOne(i)
+		}
+		return res, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runOne(i)
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return res, nil
+}

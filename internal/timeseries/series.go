@@ -5,6 +5,7 @@
 package timeseries
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -51,6 +52,31 @@ func (s *Series) MustAppend(t, v float64) {
 	if err := s.Append(t, v); err != nil {
 		panic(err)
 	}
+}
+
+// MarshalJSON renders the series as its point array, so result payloads
+// embedding a series carry the actual samples instead of an empty object.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	if s.pts == nil {
+		return []byte("[]"), nil
+	}
+	return json.Marshal(s.pts)
+}
+
+// UnmarshalJSON restores a series from its point array, enforcing the
+// same monotonic-time invariant Append maintains.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var pts []Point
+	if err := json.Unmarshal(data, &pts); err != nil {
+		return err
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Time <= pts[i-1].Time {
+			return fmt.Errorf("timeseries: non-monotonic point at index %d (t=%v after %v)", i, pts[i].Time, pts[i-1].Time)
+		}
+	}
+	s.pts = pts
+	return nil
 }
 
 // Len returns the number of samples.

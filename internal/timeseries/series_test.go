@@ -1,6 +1,7 @@
 package timeseries
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"reflect"
@@ -150,5 +151,27 @@ func TestWindowPropertyOrderedAndBounded(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := FromValues([]float64{3, 1, 4, 1.5})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Series
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != s.Len() || back.At(2) != s.At(2) {
+		t.Fatalf("round trip mangled the series: %+v", back)
+	}
+	var empty Series
+	if data, err := json.Marshal(&empty); err != nil || string(data) != "[]" {
+		t.Fatalf("empty series = %s, %v", data, err)
+	}
+	if err := json.Unmarshal([]byte(`[{"Time":2,"Value":1},{"Time":1,"Value":1}]`), &back); err == nil {
+		t.Fatal("non-monotonic JSON accepted")
 	}
 }
