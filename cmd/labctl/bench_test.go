@@ -1,0 +1,248 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchstore"
+	"repro/internal/scenario"
+)
+
+// TestSuiteShardUnionCoversAllExactlyOnce is the acceptance check:
+// `labctl suite -quick -shard 0/2` ∪ `-shard 1/2` runs every registered
+// scenario exactly once.
+func TestSuiteShardUnionCoversAllExactlyOnce(t *testing.T) {
+	dir := t.TempDir()
+	ran := make(map[string]int)
+	for _, shard := range []string{"0/2", "1/2"} {
+		outPath := filepath.Join(dir, "shard_"+strings.ReplaceAll(shard, "/", "_")+".json")
+		var out bytes.Buffer
+		if err := run([]string{"suite", "-quick", "-shard", shard, "-o", outPath}, &out, &out); err != nil {
+			t.Fatalf("shard %s: %v\n%s", shard, err, out.String())
+		}
+		data, err := os.ReadFile(outPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res scenario.SuiteResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range res.Outcomes {
+			ran[o.Scenario]++
+		}
+	}
+	for _, name := range scenario.Names() {
+		if ran[name] != 1 {
+			t.Errorf("scenario %q ran %d times across the two shards, want exactly 1", name, ran[name])
+		}
+	}
+	if len(ran) != len(scenario.Names()) {
+		t.Errorf("shards ran %d scenarios, registry has %d", len(ran), len(scenario.Names()))
+	}
+
+	// Malformed shard specs fail before running anything.
+	var out bytes.Buffer
+	for _, bad := range []string{"2", "2/2", "-1/2", "a/b"} {
+		if err := run([]string{"suite", "-quick", "-shard", bad}, &out, &out); err == nil {
+			t.Errorf("shard spec %q accepted", bad)
+		}
+	}
+}
+
+func TestBenchAppendsTrajectoryPoints(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	// Two cheap scenarios keep the test fast; the suite path is identical.
+	// -failfast rides along: bench accepts every suite scheduling flag.
+	args := []string{"bench", "-quick", "-failfast", "-dir", dir, "multipath", "packetlevel"}
+	if err := run(args, &out, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if err := run(args, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	for i, wantLabel := range []string{"BENCH_0", "BENCH_1"} {
+		snap, err := benchstore.Load(filepath.Join(dir, wantLabel+".json"))
+		if err != nil {
+			t.Fatalf("point %d: %v", i, err)
+		}
+		if !snap.Quick || snap.Label != wantLabel || snap.CreatedAt == "" {
+			t.Errorf("point %d envelope: %+v", i, snap)
+		}
+		if len(snap.Scenarios) != 2 || snap.Scenarios["multipath"]["aggregate_mbps"] == 0 {
+			t.Errorf("point %d scenarios: %+v", i, snap.Scenarios)
+		}
+	}
+	// Appending twice must not have rewritten point 0.
+	if !strings.Contains(out.String(), "BENCH_1.json") {
+		t.Errorf("second bench did not report the new point:\n%s", out.String())
+	}
+}
+
+func TestBenchShardWithoutOutputRefused(t *testing.T) {
+	// A shard is not a full trajectory point, so appending it to the
+	// trajectory (-dir mode) must be refused up front.
+	var out bytes.Buffer
+	err := run([]string{"bench", "-quick", "-shard", "0/2", "-dir", t.TempDir()}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "-o") {
+		t.Fatalf("sharded bench append accepted: %v", err)
+	}
+}
+
+func TestCompareAcceptsBareReportAgainstQuickBaseline(t *testing.T) {
+	// A bare `labctl run -o` report carries no quick marker; comparing it
+	// against a quick snapshot must not fail as a quick/full mismatch.
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "BENCH_0.json")
+	var out bytes.Buffer
+	if err := run([]string{"bench", "-quick", "-dir", dir, "multipath"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	repPath := filepath.Join(dir, "rep.json")
+	if err := run([]string{"run", "-quick", "-o", repPath, "multipath"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"compare", basePath, repPath}, &out, &out); err != nil {
+		t.Fatalf("bare-report compare failed: %v\n%s", err, out.String())
+	}
+}
+
+func TestBenchShardedAndMerged(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	shardPaths := []string{filepath.Join(dir, "s0.json"), filepath.Join(dir, "s1.json")}
+	for i, p := range shardPaths {
+		shard := []string{"0/2", "1/2"}[i]
+		if err := run([]string{"bench", "-quick", "-shard", shard, "-o", p}, &out, &out); err != nil {
+			t.Fatalf("bench shard %s: %v\n%s", shard, err, out.String())
+		}
+	}
+	merged := filepath.Join(dir, "merged.json")
+	if err := run(append([]string{"bench", "-merge", "-o", merged}, shardPaths...), &out, &out); err != nil {
+		t.Fatalf("merge: %v\n%s", err, out.String())
+	}
+	snap, err := benchstore.Load(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(snap.Scenarios), len(scenario.Names()); got != want {
+		t.Fatalf("merged snapshot has %d scenarios, registry has %d: %v", got, want, snap.ScenarioNames())
+	}
+	// Merging overlapping inputs fails loudly.
+	if err := run([]string{"bench", "-merge", "-o", merged, shardPaths[0], shardPaths[0]}, &out, &out); err == nil {
+		t.Fatal("overlapping merge accepted")
+	}
+}
+
+func TestCompareGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s *benchstore.Snapshot) string {
+		p := filepath.Join(dir, name)
+		if err := s.Save(p); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := benchstore.New("base")
+	base.Add("x", "aggregate_mbps", 100)
+	cur := benchstore.New("cur")
+	cur.Add("x", "aggregate_mbps", 50)
+	basePath, curPath := write("BENCH_0.json", base), write("cur.json", cur)
+
+	var out bytes.Buffer
+	err := run([]string{"compare", basePath, curPath}, &out, &out)
+	if err == nil {
+		t.Fatalf("50%% throughput drop passed the gate:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("comparison output missing the regression:\n%s", out.String())
+	}
+
+	// The same diff passes with a forgiving threshold, and the CSV report
+	// is written either way.
+	csvPath := filepath.Join(dir, "cmp.csv")
+	out.Reset()
+	if err := run([]string{"compare", "-threshold", "0.6", "-o", csvPath, basePath, curPath}, &out, &out); err != nil {
+		t.Fatalf("compare with loose threshold: %v\n%s", err, out.String())
+	}
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(csvData), "x,aggregate_mbps,100,50") {
+		t.Errorf("comparison CSV missing the row:\n%s", csvData)
+	}
+
+	// Single-argument form: baseline is the newest BENCH_<n>.json in -dir.
+	out.Reset()
+	if err := run([]string{"compare", "-dir", dir, curPath}, &out, &out); err == nil {
+		t.Fatal("implicit-baseline compare missed the regression")
+	}
+	if !strings.Contains(out.String(), "base ->") && !strings.Contains(out.String(), "BENCH_0") {
+		t.Errorf("implicit baseline not used:\n%s", out.String())
+	}
+}
+
+// TestBenchCompareEndToEnd exercises the acceptance pipeline for real:
+// a committed baseline, a fresh suite artifact, and the gate between
+// them — both the green path and a doctored regression.
+func TestBenchCompareEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	names := []string{"multipath", "packetlevel"}
+	if err := run(append([]string{"bench", "-quick", "-dir", dir}, names...), &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "BENCH_0.json")
+
+	// The suite's own -o artifact (a SuiteResult, not a snapshot) is
+	// accepted directly — the `labctl compare BENCH_0.json
+	// bench_results.json` acceptance form.
+	results := filepath.Join(dir, "bench_results.json")
+	if err := run(append([]string{"suite", "-quick", "-o", results}, names...), &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run([]string{"compare", baseline, results}, &out, &out); err != nil {
+		t.Fatalf("identical re-run failed the gate: %v\n%s", err, out.String())
+	}
+
+	// Doctor a regression into the baseline (raise the bar 10x) and the
+	// same comparison must exit nonzero.
+	snap, err := benchstore.Load(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Scenarios["multipath"]["aggregate_mbps"] *= 10
+	if err := snap.Save(baseline); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"compare", baseline, results}, &out, &out); err == nil {
+		t.Fatal("doctored 10x throughput regression passed the gate")
+	}
+}
+
+func TestListMarkdownTable(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list", "-md"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if lines[0] != "| Scenario | What it runs |" || lines[1] != "| --- | --- |" {
+		t.Fatalf("markdown header:\n%s", out.String())
+	}
+	if want := len(scenario.Names()) + 2; len(lines) != want {
+		t.Fatalf("markdown table has %d lines, want %d", len(lines), want)
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out.String(), "| `"+name+"` |") {
+			t.Errorf("table missing scenario %q", name)
+		}
+	}
+}

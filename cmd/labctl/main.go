@@ -10,7 +10,16 @@
 //	labctl run packetlevel -o out.json           one scenario, Report as JSON
 //	labctl run -quick latencymigration failover  several scenarios, serially
 //	labctl suite -quick -o bench_results.json    every scenario (CI bench seed)
+//	labctl suite -quick -shard 0/2               deterministic half of the suite
 //	labctl suite -parallel 4 -timeout 10m fct workload
+//	labctl bench -quick                          run suite, append BENCH_<n>.json
+//	labctl bench -merge -o merged.json s0.json s1.json
+//	labctl compare BENCH_0.json merged.json      perf gate: nonzero on regression
+//
+// bench and compare maintain the benchmark trajectory (internal/
+// benchstore): numbered BENCH_<n>.json snapshots diffed per
+// scenario/metric with direction-aware regression thresholds — see
+// docs/report-schema.md for the schemas and the CI wiring.
 //
 // -config file.json overlays per-scenario settings onto the defaults:
 //
@@ -43,7 +52,8 @@ func main() {
 	}
 }
 
-// runFlags are the options shared by the run and suite subcommands.
+// runFlags are the options shared by the run, suite, and bench
+// subcommands.
 type runFlags struct {
 	configPath string
 	outPath    string
@@ -52,6 +62,30 @@ type runFlags struct {
 	timeout    time.Duration
 	parallel   int
 	failFast   bool
+	shard      string
+}
+
+// newFlagSet returns a continue-on-error flag set writing to errOut.
+func newFlagSet(name string, errOut io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	return fs
+}
+
+// registerRunFlags registers the options shared by run, suite, and bench
+// in one place so the subcommands cannot drift apart; suiteMode adds the
+// multi-scenario scheduling flags. -o is registered by each caller: its
+// meaning differs per subcommand.
+func registerRunFlags(fs *flag.FlagSet, rf *runFlags, suiteMode bool) {
+	fs.StringVar(&rf.configPath, "config", "", "JSON file with per-scenario config overlays")
+	fs.BoolVar(&rf.quick, "quick", false, "use each scenario's quick (smoke) configuration")
+	fs.BoolVar(&rf.verbose, "v", false, "stream scenario progress to stderr")
+	fs.DurationVar(&rf.timeout, "timeout", 0, "per-scenario timeout (0 = none)")
+	if suiteMode {
+		fs.IntVar(&rf.parallel, "parallel", 1, "scenarios run concurrently")
+		fs.BoolVar(&rf.failFast, "failfast", false, "stop the suite at the first failure")
+		fs.StringVar(&rf.shard, "shard", "", "run only slice i of n (i/n) of the suite")
+	}
 }
 
 // run dispatches one labctl invocation; stdout carries results, errOut
@@ -64,25 +98,23 @@ func run(args []string, stdout, errOut io.Writer) error {
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "list":
-		return list(stdout)
+		return list(stdout, errOut, rest)
+	case "bench":
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		return benchCmd(ctx, stdout, errOut, rest)
+	case "compare":
+		return compareCmd(stdout, errOut, rest)
 	case "describe":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: labctl describe <scenario>")
 		}
 		return describe(stdout, rest[0])
 	case "run", "suite":
-		fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
-		fs.SetOutput(errOut)
+		fs := newFlagSet(cmd, errOut)
 		var rf runFlags
-		fs.StringVar(&rf.configPath, "config", "", "JSON file with per-scenario config overlays")
+		registerRunFlags(fs, &rf, cmd == "suite")
 		fs.StringVar(&rf.outPath, "o", "", "write results to this file (.csv for CSV, JSON otherwise)")
-		fs.BoolVar(&rf.quick, "quick", false, "use each scenario's quick (smoke) configuration")
-		fs.BoolVar(&rf.verbose, "v", false, "stream scenario progress to stderr")
-		fs.DurationVar(&rf.timeout, "timeout", 0, "per-scenario timeout (0 = none)")
-		if cmd == "suite" {
-			fs.IntVar(&rf.parallel, "parallel", 1, "scenarios run concurrently")
-			fs.BoolVar(&rf.failFast, "failfast", false, "stop the suite at the first failure")
-		}
 		names, err := parseInterleaved(fs, rest)
 		if err != nil {
 			return err
@@ -127,20 +159,40 @@ func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `labctl — unified scenario runner
 
-  labctl list                          list registered scenarios
+  labctl list [-md]                    list registered scenarios
   labctl describe <scenario>           description and default config JSON
   labctl run [flags] <scenario...>     run scenarios serially, fail fast
   labctl suite [flags] [scenario...]   run a suite (default: all scenarios)
+  labctl bench [flags] [scenario...]   run suite, append BENCH_<n>.json snapshot
+  labctl bench -merge -o out.json <shard.json...>   union shard results
+  labctl compare [flags] [base.json] <current.json> diff snapshots, fail on regression
 
 run/suite flags: -config file.json -o results.json|.csv -quick -timeout 10m -v
-suite flags:     -parallel N -failfast
+suite flags:     -parallel N -failfast -shard i/n
+bench flags:     suite flags plus -dir DIR -label L -gobench bench.txt
+compare flags:   -threshold 0.1 -abs-eps X -ignore-missing -dir DIR -o out.json|.csv
 `)
 }
 
-func list(w io.Writer) error {
+// list prints the registry, one scenario per line, or as a markdown
+// table (-md) — the form README.md's scenario table is generated from.
+func list(w, errOut io.Writer, args []string) error {
+	fs := newFlagSet("list", errOut)
+	md := fs.Bool("md", false, "emit a markdown table (the README scenario table)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	scenarios := scenario.List()
 	if len(scenarios) == 0 {
 		return fmt.Errorf("no scenarios registered")
+	}
+	if *md {
+		fmt.Fprintln(w, "| Scenario | What it runs |")
+		fmt.Fprintln(w, "| --- | --- |")
+		for _, s := range scenarios {
+			fmt.Fprintf(w, "| `%s` | %s |\n", s.Name(), s.Describe())
+		}
+		return nil
 	}
 	for _, s := range scenarios {
 		fmt.Fprintf(w, "%-18s %s\n", s.Name(), s.Describe())
@@ -246,21 +298,33 @@ func runScenarios(ctx context.Context, stdout, errOut io.Writer, names []string,
 	return writeOut(rf.outPath, reports, reports)
 }
 
-// runSuiteCmd executes the suite (all scenarios when names is empty) and
-// always reports every outcome.
-func runSuiteCmd(ctx context.Context, stdout, errOut io.Writer, names []string, rf runFlags) error {
+// runSuite resolves the shared flags into SuiteOptions and executes the
+// suite — the single flag-to-option wiring the suite and bench
+// subcommands both go through.
+func runSuite(ctx context.Context, names []string, rf runFlags, errOut io.Writer) (*scenario.SuiteResult, error) {
 	configs, err := loadConfigs(rf.configPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	res, err := scenario.RunSuite(ctx, names, scenario.SuiteOptions{
+	shard, err := parseShard(rf.shard)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.RunSuite(ctx, names, scenario.SuiteOptions{
 		Parallel: rf.parallel,
 		Timeout:  rf.timeout,
 		FailFast: rf.failFast,
 		Quick:    rf.quick,
 		Configs:  configs,
+		Shard:    shard,
 		Env:      env(errOut, rf),
 	})
+}
+
+// runSuiteCmd executes the suite (all scenarios when names is empty) and
+// always reports every outcome.
+func runSuiteCmd(ctx context.Context, stdout, errOut io.Writer, names []string, rf runFlags) error {
+	res, err := runSuite(ctx, names, rf, errOut)
 	if err != nil {
 		return err
 	}

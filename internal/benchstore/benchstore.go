@@ -1,0 +1,335 @@
+// Package benchstore is the benchmark-trajectory store behind CI perf
+// tracking: it turns scenario.Report envelopes (and `go test -bench`
+// output) into versioned Snapshot documents, persists them as numbered
+// BENCH_<n>.json files — the points of the trajectory — and diffs any two
+// points per scenario/metric with direction-aware relative-regression
+// thresholds. cmd/labctl's bench and compare subcommands are thin shells
+// over this package: bench appends the next snapshot, compare renders a
+// human/machine-readable report and signals regressions for CI gates.
+package benchstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/scenario"
+)
+
+// SchemaVersion identifies the snapshot document layout. Bump it only on
+// incompatible changes; Load rejects documents from a newer schema so an
+// old binary fails loudly instead of misreading the trajectory.
+const SchemaVersion = 1
+
+// Snapshot is one point of the benchmark trajectory: every metric of
+// every scenario observed in one suite run, keyed scenario → metric →
+// value. Marshaling is stable (encoding/json sorts both map levels), so
+// identical measurements produce byte-identical documents and BENCH_*.json
+// diffs cleanly under git.
+type Snapshot struct {
+	// Version is the snapshot schema version (SchemaVersion at write time).
+	Version int `json:"version"`
+	// Label identifies the run (a git SHA, "seed", a machine tag, ...).
+	Label string `json:"label,omitempty"`
+	// CreatedAt is the RFC 3339 creation time, if the writer stamped one.
+	CreatedAt string `json:"created_at,omitempty"`
+	// Quick marks a smoke-configuration run; quick and full snapshots are
+	// not comparable, and Diff flags a mismatch.
+	Quick bool `json:"quick,omitempty"`
+	// QuickUnknown marks a snapshot whose source did not record its
+	// configuration class (a bare Report has no quick field), so Diff
+	// must not treat Quick=false as a declared full run. In-process only.
+	QuickUnknown bool `json:"-"`
+	// Scenarios holds the measurements: scenario name → metric → value.
+	Scenarios map[string]map[string]float64 `json:"scenarios"`
+}
+
+// New returns an empty snapshot carrying the current schema version.
+func New(label string) *Snapshot {
+	return &Snapshot{
+		Version:   SchemaVersion,
+		Label:     label,
+		Scenarios: make(map[string]map[string]float64),
+	}
+}
+
+// Add records one measurement, creating the scenario's map on first use.
+func (s *Snapshot) Add(scenarioName, metric string, value float64) {
+	if s.Scenarios == nil {
+		s.Scenarios = make(map[string]map[string]float64)
+	}
+	m, ok := s.Scenarios[scenarioName]
+	if !ok {
+		m = make(map[string]float64)
+		s.Scenarios[scenarioName] = m
+	}
+	m[metric] = value
+}
+
+// ScenarioNames returns the recorded scenario names, sorted.
+func (s *Snapshot) ScenarioNames() []string {
+	names := make([]string, 0, len(s.Scenarios))
+	for name := range s.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// AddReport folds one scenario report into the snapshot: every metric,
+// plus the envelope durations as the same wall_seconds/emulated_seconds
+// pseudo-metrics the CSV writer emits.
+func (s *Snapshot) AddReport(rep *scenario.Report) {
+	if rep == nil {
+		return
+	}
+	s.Add(rep.Scenario, "wall_seconds", rep.WallSeconds)
+	if rep.EmulatedSeconds != 0 {
+		s.Add(rep.Scenario, "emulated_seconds", rep.EmulatedSeconds)
+	}
+	for name, v := range rep.Metrics {
+		s.Add(rep.Scenario, name, v)
+	}
+}
+
+// FromReports builds a snapshot from a report set (one suite run).
+func FromReports(label string, reports ...*scenario.Report) *Snapshot {
+	s := New(label)
+	for _, rep := range reports {
+		s.AddReport(rep)
+	}
+	return s
+}
+
+// Merge unions shard snapshots back into one trajectory point. Each
+// scenario must come from exactly one input: a duplicate means two shards
+// (or two runs) measured the same scenario, which would make the merged
+// point depend on argument order, so it is an error. Label, CreatedAt,
+// and Quick are taken from the first non-empty input (an oversharded CI
+// slot legitimately contributes an empty snapshot); nil inputs are
+// skipped. A quick/full mix among non-empty inputs is rejected for the
+// same reason quick and full snapshots do not diff.
+func Merge(snaps ...*Snapshot) (*Snapshot, error) {
+	var first *Snapshot
+	for _, in := range snaps {
+		if in == nil {
+			continue
+		}
+		if first == nil || (len(first.Scenarios) == 0 && len(in.Scenarios) > 0) {
+			first = in
+		}
+		if len(first.Scenarios) > 0 {
+			break
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("benchstore: merge of zero snapshots")
+	}
+	out := New(first.Label)
+	out.CreatedAt = first.CreatedAt
+	out.Quick = first.Quick
+	out.QuickUnknown = first.QuickUnknown
+	for _, in := range snaps {
+		if in == nil || len(in.Scenarios) == 0 {
+			continue
+		}
+		if in.Quick != out.Quick && !in.QuickUnknown && !out.QuickUnknown {
+			return nil, fmt.Errorf("benchstore: merging quick and full snapshots")
+		}
+		for name, metrics := range in.Scenarios {
+			if _, dup := out.Scenarios[name]; dup {
+				return nil, fmt.Errorf("benchstore: scenario %q present in more than one shard", name)
+			}
+			merged := make(map[string]float64, len(metrics))
+			for k, v := range metrics {
+				merged[k] = v
+			}
+			out.Scenarios[name] = merged
+		}
+	}
+	return out, nil
+}
+
+// Save writes the snapshot as indented, stable JSON.
+func (s *Snapshot) Save(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads a strict snapshot document (see LoadAny for sniffing other
+// result shapes).
+func Load(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return loadBytes(path, data)
+}
+
+// loadBytes parses already-read snapshot bytes; path is for messages.
+func loadBytes(path string, data []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("benchstore: parsing %s: %w", path, err)
+	}
+	if s.Version > SchemaVersion {
+		return nil, fmt.Errorf("benchstore: %s is schema v%d, this binary reads ≤ v%d", path, s.Version, SchemaVersion)
+	}
+	if s.Scenarios == nil {
+		return nil, fmt.Errorf("benchstore: %s has no scenarios — not a snapshot", path)
+	}
+	return &s, nil
+}
+
+// LoadAny reads any of the machine-readable result documents the lab
+// emits and normalizes it to a snapshot:
+//
+//   - a BENCH_*.json snapshot (has "scenarios"),
+//   - a `labctl suite -o` SuiteResult (has "outcomes"; failed or skipped
+//     outcomes are an error — a partial run must not masquerade as a
+//     trajectory point),
+//   - a single `labctl run -o` Report, or a JSON array of Reports.
+//
+// The label of a converted document is the file's base name. Report
+// documents do not record their configuration class, so their snapshots
+// carry QuickUnknown and Diff waives the quick/full comparability check
+// for them.
+func LoadAny(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var probe struct {
+		Scenarios json.RawMessage `json:"scenarios"`
+		Outcomes  json.RawMessage `json:"outcomes"`
+		Scenario  string          `json:"scenario"`
+	}
+	trimmed := firstJSONByte(data)
+	switch {
+	case trimmed == '[':
+		var reps []*scenario.Report
+		if err := json.Unmarshal(data, &reps); err != nil {
+			return nil, fmt.Errorf("benchstore: %s: not a report array: %w", path, err)
+		}
+		s := FromReports(filepath.Base(path), reps...)
+		s.QuickUnknown = true
+		return s, nil
+	case trimmed != '{':
+		return nil, fmt.Errorf("benchstore: %s: not a JSON document", path)
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("benchstore: parsing %s: %w", path, err)
+	}
+	switch {
+	case probe.Scenarios != nil:
+		return loadBytes(path, data)
+	case probe.Outcomes != nil:
+		var res scenario.SuiteResult
+		if err := json.Unmarshal(data, &res); err != nil {
+			return nil, fmt.Errorf("benchstore: %s: not a suite result: %w", path, err)
+		}
+		if res.Failed > 0 || res.Skipped > 0 {
+			return nil, fmt.Errorf("benchstore: %s records a partial run (%d failed, %d skipped) — not a trajectory point",
+				path, res.Failed, res.Skipped)
+		}
+		s := FromReports(filepath.Base(path), res.Reports()...)
+		s.Quick = res.Quick
+		return s, nil
+	case probe.Scenario != "":
+		var rep scenario.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return nil, fmt.Errorf("benchstore: %s: not a report: %w", path, err)
+		}
+		s := FromReports(filepath.Base(path), &rep)
+		s.QuickUnknown = true
+		return s, nil
+	}
+	return nil, fmt.Errorf("benchstore: %s: unrecognized result document (want snapshot, suite result, or report)", path)
+}
+
+// firstJSONByte returns the first non-whitespace byte, or 0.
+func firstJSONByte(data []byte) byte {
+	for _, b := range data {
+		switch b {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return b
+	}
+	return 0
+}
+
+// benchFileRE matches trajectory file names; the capture is the point's
+// sequence number.
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// Entry is one trajectory file found on disk.
+type Entry struct {
+	N    int
+	Path string
+}
+
+// ScanDir lists the BENCH_<n>.json files under dir in trajectory order.
+func ScanDir(dir string) ([]Entry, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		m := benchFileRE.FindStringSubmatch(f.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		entries = append(entries, Entry{N: n, Path: filepath.Join(dir, f.Name())})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].N < entries[j].N })
+	return entries, nil
+}
+
+// LatestPath returns the newest trajectory file under dir, or "" when the
+// trajectory is empty.
+func LatestPath(dir string) (string, error) {
+	entries, err := ScanDir(dir)
+	if err != nil || len(entries) == 0 {
+		return "", err
+	}
+	return entries[len(entries)-1].Path, nil
+}
+
+// AppendDir persists the snapshot as the next point of dir's trajectory
+// (BENCH_<max+1>.json, BENCH_0.json for an empty trajectory) and returns
+// the path written. An unlabeled snapshot is labeled with its point name
+// so comparisons read "BENCH_0 -> BENCH_3" out of the box.
+func AppendDir(dir string, s *Snapshot) (string, error) {
+	entries, err := ScanDir(dir)
+	if err != nil {
+		return "", err
+	}
+	next := 0
+	if len(entries) > 0 {
+		next = entries[len(entries)-1].N + 1
+	}
+	if s.Label == "" {
+		s.Label = fmt.Sprintf("BENCH_%d", next)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", next))
+	if err := s.Save(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,383 @@
+package benchstore
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Direction says which way a metric is allowed to move before the change
+// counts as a regression.
+type Direction int
+
+const (
+	// Neutral metrics are recorded and diffed but never gate: either the
+	// sign of "better" is unknown, or the value is machine-dependent
+	// (wall-clock rates) and would make CI flaky across runner classes.
+	Neutral Direction = iota
+	// HigherIsBetter flags drops past the threshold (throughput, R²).
+	HigherIsBetter
+	// LowerIsBetter flags rises past the threshold (latency, RMSE, drops).
+	LowerIsBetter
+)
+
+// String returns the compact direction tag used in reports.
+func (d Direction) String() string {
+	switch d {
+	case HigherIsBetter:
+		return "higher"
+	case LowerIsBetter:
+		return "lower"
+	default:
+		return "neutral"
+	}
+}
+
+// neutralNames are exact metric names that never gate: envelope durations
+// and anything else whose value is wall-clock (machine) dependent.
+var neutralNames = map[string]bool{
+	"wall_seconds":     true,
+	"emulated_seconds": true,
+	"ns_per_op":        true, // go-bench time: machine-dependent
+	"iterations":       true, // go-bench iteration count: benchtime-dependent
+}
+
+// neutralSuffixes mark machine-dependent rates: meaningful on one box,
+// noise across CI runner generations. Override per metric (Options.
+// Directions) to gate them on a pinned machine. "_per_s" and "_per_ms"
+// catch custom go-bench rate units ("ops/s", "items/ms") before the
+// lower-is-better "_s"/"_ms" suffixes would invert them.
+var neutralSuffixes = []string{"_per_sec", "_per_s", "_per_ms", "_mpps"}
+
+// higherSuffixes mark throughput/quality metrics (more is better).
+var higherSuffixes = []string{
+	"_mbps", "_r2", "_flows", "_completed", "_verified", "_episodes",
+	"delivered", "completed", "verified", "episodes",
+}
+
+// lowerSuffixes mark cost metrics (less is better). Checked after the
+// higher/neutral lists so e.g. "_mbps" is not caught by the bare "_s";
+// bytes/allocs per op are deterministic for a Go version, so they gate.
+var lowerSuffixes = []string{
+	"_rmse", "_mse", "_loss", "_ms", "_s", "drops", "rmse",
+	"bytes_per_op", "allocs_per_op",
+}
+
+// DirectionFor classifies a metric by naming convention. Unknown names
+// are Neutral: an unrecognized metric must never fail a CI gate by
+// accident — give it a conventional suffix or an explicit override to
+// put it under the gate.
+func DirectionFor(metric string) Direction {
+	if neutralNames[metric] {
+		return Neutral
+	}
+	for _, suf := range neutralSuffixes {
+		if strings.HasSuffix(metric, suf) {
+			return Neutral
+		}
+	}
+	for _, suf := range higherSuffixes {
+		if strings.HasSuffix(metric, suf) {
+			return HigherIsBetter
+		}
+	}
+	for _, suf := range lowerSuffixes {
+		if strings.HasSuffix(metric, suf) {
+			return LowerIsBetter
+		}
+	}
+	return Neutral
+}
+
+// Options tunes a Diff. The zero value uses DefaultThreshold, no absolute
+// epsilon, and the DirectionFor heuristic for every metric.
+type Options struct {
+	// Threshold is the relative worsening that counts as a regression: a
+	// change regresses only when |cur-base|/|base| is strictly greater
+	// than Threshold AND moves in the metric's bad direction. Exactly at
+	// the threshold is still ok (the boundary belongs to the pass side).
+	// 0 means DefaultThreshold; negative means zero tolerance.
+	Threshold float64
+	// AbsEps ignores changes whose absolute magnitude is ≤ AbsEps. It is
+	// the zero-baseline guard: against a zero-valued baseline metric every
+	// relative threshold is infinitely exceeded, so only a move beyond
+	// AbsEps (default: any nonzero move) flags.
+	AbsEps float64
+	// Directions overrides DirectionFor per metric, keyed by metric name
+	// or by the more specific "scenario/metric".
+	Directions map[string]Direction
+	// IgnoreMissing drops scenarios/metrics present in the baseline but
+	// absent from the current snapshot from the failure signal (they are
+	// still listed). Without it a vanished scenario fails the gate — a
+	// shrunk suite must not read as a green pass.
+	IgnoreMissing bool
+}
+
+// DefaultThreshold is the relative regression tolerance when Options.
+// Threshold is zero: 10%, loose enough for deterministic simulation
+// metrics to never trip on noise, tight enough to catch real movement.
+const DefaultThreshold = 0.10
+
+func (o Options) threshold() float64 {
+	switch {
+	case o.Threshold == 0:
+		return DefaultThreshold
+	case o.Threshold < 0:
+		return 0
+	}
+	return o.Threshold
+}
+
+func (o Options) directionFor(scenarioName, metric string) Direction {
+	if d, ok := o.Directions[scenarioName+"/"+metric]; ok {
+		return d
+	}
+	if d, ok := o.Directions[metric]; ok {
+		return d
+	}
+	return DirectionFor(metric)
+}
+
+// Status classifies one metric's movement between two snapshots.
+type Status string
+
+const (
+	StatusOK           Status = "ok"               // within threshold, or neutral
+	StatusImproved     Status = "improved"         // moved past threshold in the good direction
+	StatusRegressed    Status = "regressed"        // moved past threshold in the bad direction
+	StatusMissing      Status = "missing"          // in baseline, absent from current
+	StatusNew          Status = "new"              // in current, absent from baseline
+	StatusScenarioGone Status = "scenario-missing" // whole scenario absent from current
+	StatusScenarioNew  Status = "scenario-new"     // whole scenario absent from baseline
+)
+
+// Delta is one scenario/metric comparison row.
+type Delta struct {
+	Scenario string  `json:"scenario"`
+	Metric   string  `json:"metric"`
+	Base     float64 `json:"base"`
+	Current  float64 `json:"current"`
+	// Rel is the signed relative change (cur-base)/|base|; ±Inf is
+	// serialized as ±1e308 to stay inside JSON. Zero-to-zero is 0.
+	Rel       float64 `json:"rel"`
+	Direction string  `json:"direction"`
+	Status    Status  `json:"status"`
+}
+
+// Comparison is the full diff of two snapshots.
+type Comparison struct {
+	BaseLabel    string  `json:"base_label,omitempty"`
+	CurrentLabel string  `json:"current_label,omitempty"`
+	Threshold    float64 `json:"threshold"`
+	// QuickMismatch is set when one snapshot is a quick run and the other
+	// is not; the numbers are not comparable and the comparison fails.
+	QuickMismatch bool    `json:"quick_mismatch,omitempty"`
+	Deltas        []Delta `json:"deltas"`
+	Regressions   int     `json:"regressions"`
+	Improvements  int     `json:"improvements"`
+	// Missing counts baseline scenarios/metrics the current run lost
+	// (0 under Options.IgnoreMissing).
+	Missing int `json:"missing"`
+}
+
+// Err folds the comparison into a single gate signal: non-nil when any
+// metric regressed, when baseline coverage was lost, or when the
+// snapshots are not comparable (quick vs full).
+func (c *Comparison) Err() error {
+	switch {
+	case c.QuickMismatch:
+		return fmt.Errorf("benchstore: quick and full snapshots are not comparable")
+	case c.Regressions > 0 && c.Missing > 0:
+		return fmt.Errorf("benchstore: %d metric(s) regressed past %.0f%% and %d baseline entr(ies) missing",
+			c.Regressions, c.Threshold*100, c.Missing)
+	case c.Regressions > 0:
+		return fmt.Errorf("benchstore: %d metric(s) regressed past %.0f%%", c.Regressions, c.Threshold*100)
+	case c.Missing > 0:
+		return fmt.Errorf("benchstore: %d baseline entr(ies) missing from current run", c.Missing)
+	}
+	return nil
+}
+
+// relChange returns the signed relative change, with zero-baseline
+// mapped to ±Inf (and 0 for no change).
+func relChange(base, cur float64) float64 {
+	if cur == base {
+		return 0
+	}
+	if base == 0 {
+		if cur > 0 {
+			return math.Inf(1)
+		}
+		return math.Inf(-1)
+	}
+	return (cur - base) / math.Abs(base)
+}
+
+// Diff compares two trajectory points metric by metric. Baseline order
+// (sorted scenario, then sorted metric) drives the row order; current-only
+// scenarios/metrics are appended as informational "new" rows.
+func Diff(base, cur *Snapshot, opts Options) *Comparison {
+	c := &Comparison{
+		BaseLabel:    base.Label,
+		CurrentLabel: cur.Label,
+		Threshold:    opts.threshold(),
+		// The comparability check needs both sides to declare their
+		// configuration class; a report-derived snapshot (QuickUnknown)
+		// cannot mismatch.
+		QuickMismatch: base.Quick != cur.Quick && !base.QuickUnknown && !cur.QuickUnknown,
+	}
+	for _, scen := range base.ScenarioNames() {
+		baseMetrics := base.Scenarios[scen]
+		curMetrics, ok := cur.Scenarios[scen]
+		if !ok {
+			c.Deltas = append(c.Deltas, Delta{Scenario: scen, Status: StatusScenarioGone})
+			if !opts.IgnoreMissing {
+				c.Missing++
+			}
+			continue
+		}
+		for _, metric := range sortedKeys(baseMetrics) {
+			bv := baseMetrics[metric]
+			dir := opts.directionFor(scen, metric)
+			d := Delta{Scenario: scen, Metric: metric, Base: bv, Direction: dir.String()}
+			cv, ok := curMetrics[metric]
+			if !ok {
+				d.Status = StatusMissing
+				if !opts.IgnoreMissing {
+					c.Missing++
+				}
+				c.Deltas = append(c.Deltas, d)
+				continue
+			}
+			d.Current = cv
+			d.Rel = clampRel(relChange(bv, cv))
+			d.Status = classify(bv, cv, dir, c.Threshold, opts.AbsEps)
+			switch d.Status {
+			case StatusRegressed:
+				c.Regressions++
+			case StatusImproved:
+				c.Improvements++
+			}
+			c.Deltas = append(c.Deltas, d)
+		}
+		// Current-only metrics of a shared scenario: informational.
+		for _, metric := range sortedKeys(curMetrics) {
+			if _, shared := baseMetrics[metric]; shared {
+				continue
+			}
+			c.Deltas = append(c.Deltas, Delta{
+				Scenario: scen, Metric: metric, Current: curMetrics[metric],
+				Direction: opts.directionFor(scen, metric).String(), Status: StatusNew,
+			})
+		}
+	}
+	for _, scen := range cur.ScenarioNames() {
+		if _, shared := base.Scenarios[scen]; !shared {
+			c.Deltas = append(c.Deltas, Delta{Scenario: scen, Status: StatusScenarioNew})
+		}
+	}
+	return c
+}
+
+// classify applies the regression rule: a bad-direction move strictly
+// past the relative threshold, unless the absolute move is within eps.
+// The relative test on a zero baseline is always "past threshold", which
+// is exactly why AbsEps exists (see Options.AbsEps).
+func classify(base, cur float64, dir Direction, threshold, eps float64) Status {
+	if dir == Neutral || cur == base {
+		return StatusOK
+	}
+	if math.Abs(cur-base) <= eps {
+		return StatusOK
+	}
+	rel := relChange(base, cur)
+	worse := (dir == HigherIsBetter && rel < 0) || (dir == LowerIsBetter && rel > 0)
+	past := math.Abs(rel) > threshold
+	switch {
+	case worse && past:
+		return StatusRegressed
+	case !worse && past:
+		return StatusImproved
+	}
+	return StatusOK
+}
+
+// clampRel keeps ±Inf representable in JSON.
+func clampRel(rel float64) float64 {
+	switch {
+	case math.IsInf(rel, 1):
+		return math.MaxFloat64
+	case math.IsInf(rel, -1):
+		return -math.MaxFloat64
+	}
+	return rel
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteText renders the human-readable comparison: flagged rows first
+// (regressions, missing entries), then a one-line summary; -v style full
+// listings belong to the CSV/JSON forms.
+func (c *Comparison) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "compare: %s -> %s (threshold %.0f%%)\n",
+		orUnlabeled(c.BaseLabel), orUnlabeled(c.CurrentLabel), c.Threshold*100)
+	if c.QuickMismatch {
+		fmt.Fprintln(w, "  QUICK/FULL MISMATCH: snapshots are not comparable")
+	}
+	for _, d := range c.Deltas {
+		switch d.Status {
+		case StatusRegressed, StatusImproved:
+			fmt.Fprintf(w, "  %-10s %s/%s: %g -> %g (%+.1f%%, %s is better)\n",
+				strings.ToUpper(string(d.Status)), d.Scenario, d.Metric, d.Base, d.Current, 100*d.Rel, d.Direction)
+		case StatusMissing:
+			fmt.Fprintf(w, "  MISSING    %s/%s: %g in baseline, absent now\n", d.Scenario, d.Metric, d.Base)
+		case StatusScenarioGone:
+			fmt.Fprintf(w, "  MISSING    scenario %s: in baseline, absent now\n", d.Scenario)
+		case StatusScenarioNew:
+			fmt.Fprintf(w, "  NEW        scenario %s: not in baseline\n", d.Scenario)
+		}
+	}
+	ok := 0
+	for _, d := range c.Deltas {
+		if d.Status == StatusOK {
+			ok++
+		}
+	}
+	fmt.Fprintf(w, "compare: %d ok, %d improved, %d regressed, %d missing\n",
+		ok, c.Improvements, c.Regressions, c.Missing)
+}
+
+func orUnlabeled(label string) string {
+	if label == "" {
+		return "(unlabeled)"
+	}
+	return label
+}
+
+// WriteCSV renders every row machine-readably:
+// scenario,metric,base,current,rel,direction,status.
+func (c *Comparison) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "metric", "base", "current", "rel", "direction", "status"}); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, d := range c.Deltas {
+		if err := cw.Write([]string{d.Scenario, d.Metric, f(d.Base), f(d.Current), f(d.Rel), d.Direction, string(d.Status)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

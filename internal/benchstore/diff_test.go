@@ -1,0 +1,241 @@
+package benchstore
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func snap(label string, add func(s *Snapshot)) *Snapshot {
+	s := New(label)
+	add(s)
+	return s
+}
+
+func TestDirectionHeuristic(t *testing.T) {
+	cases := map[string]Direction{
+		"aggregate_mbps":        HigherIsBetter,
+		"wifi_r2":               HigherIsBetter,
+		"delivered":             HigherIsBetter,
+		"polka_flows":           HigherIsBetter,
+		"ecmp_completed":        HigherIsBetter,
+		"pot_verified":          HigherIsBetter,
+		"best_wifi_rmse":        LowerIsBetter,
+		"pre_mean_rtt_ms":       LowerIsBetter,
+		"outage_s":              LowerIsBetter,
+		"ecmp_p95_fct_s":        LowerIsBetter,
+		"drops":                 LowerIsBetter,
+		"bytes_per_op":          LowerIsBetter,
+		"allocs_per_op":         LowerIsBetter,
+		"wall_seconds":          Neutral,
+		"emulated_seconds":      Neutral,
+		"pkts_per_sec":          Neutral,
+		"ops_per_s":             Neutral, // custom go-bench "ops/s" rate: not lower-is-better "_s"
+		"items_per_ms":          Neutral, // custom "items/ms" rate: not lower-is-better "_ms"
+		"ns_per_op":             Neutral,
+		"iterations":            Neutral,
+		"hops":                  Neutral,
+		"samples":               Neutral,
+		"some_unknown_quantity": Neutral,
+	}
+	for metric, want := range cases {
+		if got := DirectionFor(metric); got != want {
+			t.Errorf("DirectionFor(%q) = %v, want %v", metric, got, want)
+		}
+	}
+}
+
+func TestDiffFlagsRegressionPerDirection(t *testing.T) {
+	base := snap("base", func(s *Snapshot) {
+		s.Add("x", "aggregate_mbps", 100) // higher is better
+		s.Add("x", "mean_rtt_ms", 10)     // lower is better
+	})
+	cur := snap("cur", func(s *Snapshot) {
+		s.Add("x", "aggregate_mbps", 80) // -20%: regression at 10%
+		s.Add("x", "mean_rtt_ms", 8)     // -20%: improvement
+	})
+	c := Diff(base, cur, Options{})
+	if c.Regressions != 1 || c.Improvements != 1 {
+		t.Fatalf("regressions=%d improvements=%d, want 1/1\n%+v", c.Regressions, c.Improvements, c.Deltas)
+	}
+	if err := c.Err(); err == nil {
+		t.Fatal("Err() = nil despite a regression")
+	}
+	// The same movement in the good direction must not flag.
+	c = Diff(cur, base, Options{})
+	if c.Regressions != 1 { // rtt 8→10 is +25%: the lower-is-better metric regresses
+		t.Fatalf("reverse diff regressions=%d, want 1\n%+v", c.Regressions, c.Deltas)
+	}
+}
+
+func TestDiffThresholdBoundary(t *testing.T) {
+	base := snap("b", func(s *Snapshot) { s.Add("x", "aggregate_mbps", 100) })
+
+	// Exactly at the threshold: the boundary belongs to the pass side.
+	at := snap("c", func(s *Snapshot) { s.Add("x", "aggregate_mbps", 90) }) // rel = -0.10
+	c := Diff(base, at, Options{Threshold: 0.10})
+	if c.Regressions != 0 {
+		t.Fatalf("drop exactly at threshold flagged: %+v", c.Deltas)
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("Err() = %v at boundary", err)
+	}
+
+	// Just past it: flagged.
+	past := snap("c", func(s *Snapshot) { s.Add("x", "aggregate_mbps", 89.9) })
+	c = Diff(base, past, Options{Threshold: 0.10})
+	if c.Regressions != 1 {
+		t.Fatalf("drop past threshold not flagged: %+v", c.Deltas)
+	}
+
+	// Negative threshold means zero tolerance; zero means the default.
+	c = Diff(base, at, Options{Threshold: -1})
+	if c.Regressions != 1 {
+		t.Fatalf("zero-tolerance threshold did not flag a 10%% drop: %+v", c.Deltas)
+	}
+	if got := Diff(base, at, Options{}).Threshold; got != DefaultThreshold {
+		t.Fatalf("zero Threshold resolved to %v, want DefaultThreshold", got)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	base := snap("b", func(s *Snapshot) {
+		s.Add("x", "drops", 0)          // lower is better, baseline zero
+		s.Add("x", "aggregate_mbps", 0) // higher is better, baseline zero
+	})
+
+	// Unchanged zeros are ok, whatever the threshold.
+	c := Diff(base, base, Options{})
+	if c.Regressions != 0 || c.Improvements != 0 {
+		t.Fatalf("zero->zero flagged: %+v", c.Deltas)
+	}
+
+	// Any rise from a zero drop count is a regression (rel is infinite)…
+	cur := snap("c", func(s *Snapshot) {
+		s.Add("x", "drops", 3)
+		s.Add("x", "aggregate_mbps", 5)
+	})
+	c = Diff(base, cur, Options{Threshold: 0.5})
+	if c.Regressions != 1 || c.Improvements != 1 {
+		t.Fatalf("zero-baseline: regressions=%d improvements=%d, want 1/1\n%+v",
+			c.Regressions, c.Improvements, c.Deltas)
+	}
+	for _, d := range c.Deltas {
+		if math.IsInf(d.Rel, 0) || math.IsNaN(d.Rel) {
+			t.Fatalf("Rel not JSON-safe: %+v", d)
+		}
+	}
+
+	// …unless the move stays within the absolute epsilon.
+	c = Diff(base, cur, Options{Threshold: 0.5, AbsEps: 5})
+	if c.Regressions != 0 {
+		t.Fatalf("AbsEps did not absorb the zero-baseline move: %+v", c.Deltas)
+	}
+}
+
+func TestDiffMissingScenarioAndMetric(t *testing.T) {
+	base := snap("b", func(s *Snapshot) {
+		s.Add("kept", "aggregate_mbps", 10)
+		s.Add("kept", "vanishing_metric_ms", 5)
+		s.Add("gone", "aggregate_mbps", 10)
+	})
+	cur := snap("c", func(s *Snapshot) {
+		s.Add("kept", "aggregate_mbps", 10)
+		s.Add("brandnew", "aggregate_mbps", 1)
+	})
+
+	c := Diff(base, cur, Options{})
+	if c.Missing != 2 { // the "gone" scenario + the vanished metric
+		t.Fatalf("Missing = %d, want 2\n%+v", c.Missing, c.Deltas)
+	}
+	if err := c.Err(); err == nil {
+		t.Fatal("Err() = nil despite missing baseline coverage")
+	}
+	var sawNewScenario bool
+	for _, d := range c.Deltas {
+		if d.Status == StatusScenarioNew && d.Scenario == "brandnew" {
+			sawNewScenario = true
+		}
+	}
+	if !sawNewScenario {
+		t.Fatalf("current-only scenario not reported: %+v", c.Deltas)
+	}
+
+	// A scenario missing from the *baseline* (the new scenario) must never
+	// fail the gate, and IgnoreMissing waives lost coverage entirely.
+	c = Diff(base, cur, Options{IgnoreMissing: true})
+	if c.Missing != 0 || c.Err() != nil {
+		t.Fatalf("IgnoreMissing: Missing=%d err=%v", c.Missing, c.Err())
+	}
+}
+
+func TestDiffDirectionOverrides(t *testing.T) {
+	base := snap("b", func(s *Snapshot) {
+		s.Add("x", "pkts_per_sec", 100)
+		s.Add("y", "pkts_per_sec", 100)
+	})
+	cur := snap("c", func(s *Snapshot) {
+		s.Add("x", "pkts_per_sec", 10)
+		s.Add("y", "pkts_per_sec", 10)
+	})
+	// Heuristic: machine-dependent rate, neutral, never flags.
+	if c := Diff(base, cur, Options{}); c.Regressions != 0 {
+		t.Fatalf("neutral rate flagged: %+v", c.Deltas)
+	}
+	// Scenario-scoped override beats the heuristic for that scenario only.
+	c := Diff(base, cur, Options{Directions: map[string]Direction{"x/pkts_per_sec": HigherIsBetter}})
+	if c.Regressions != 1 {
+		t.Fatalf("scenario-scoped override: regressions=%d, want 1\n%+v", c.Regressions, c.Deltas)
+	}
+	// Metric-wide override catches both scenarios.
+	c = Diff(base, cur, Options{Directions: map[string]Direction{"pkts_per_sec": HigherIsBetter}})
+	if c.Regressions != 2 {
+		t.Fatalf("metric-wide override: regressions=%d, want 2\n%+v", c.Regressions, c.Deltas)
+	}
+}
+
+func TestDiffQuickMismatch(t *testing.T) {
+	base := snap("b", func(s *Snapshot) { s.Add("x", "aggregate_mbps", 1) })
+	cur := snap("c", func(s *Snapshot) { s.Add("x", "aggregate_mbps", 1) })
+	cur.Quick = true
+	c := Diff(base, cur, Options{})
+	if !c.QuickMismatch || c.Err() == nil {
+		t.Fatalf("quick/full mismatch not fatal: mismatch=%v err=%v", c.QuickMismatch, c.Err())
+	}
+}
+
+func TestComparisonRenderers(t *testing.T) {
+	base := snap("BENCH_0", func(s *Snapshot) {
+		s.Add("x", "aggregate_mbps", 100)
+		s.Add("x", "hops", 4)
+	})
+	cur := snap("current", func(s *Snapshot) {
+		s.Add("x", "aggregate_mbps", 50)
+		s.Add("x", "hops", 4)
+	})
+	c := Diff(base, cur, Options{})
+
+	var text bytes.Buffer
+	c.WriteText(&text)
+	for _, want := range []string{"REGRESSED", "aggregate_mbps", "1 regressed", "BENCH_0 -> current"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+
+	var csvOut bytes.Buffer
+	if err := c.WriteCSV(&csvOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvOut.String()), "\n")
+	if lines[0] != "scenario,metric,base,current,rel,direction,status" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) != 3 { // header + 2 metrics
+		t.Errorf("CSV rows = %d, want 3:\n%s", len(lines), csvOut.String())
+	}
+	if !strings.Contains(csvOut.String(), "x,aggregate_mbps,100,50,-0.5,higher,regressed") {
+		t.Errorf("CSV missing the regression row:\n%s", csvOut.String())
+	}
+}

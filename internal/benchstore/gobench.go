@@ -1,0 +1,107 @@
+package benchstore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// GoBenchPrefix namespaces `go test -bench` results inside a snapshot so
+// they can never collide with registered scenario names.
+const GoBenchPrefix = "gobench:"
+
+// ParseGoBench folds standard `go test -bench` output into the snapshot:
+// one pseudo-scenario per benchmark (GoBenchPrefix + name, with the
+// "Benchmark" prefix and "-GOMAXPROCS" suffix stripped), one metric per
+// reported unit ("ns/op" → "ns_per_op", "B/op" → "bytes_per_op", custom
+// units likewise). Non-benchmark lines (the goos/pkg header, PASS/ok,
+// test logs) are skipped, so piping a whole `go test -bench` run in is
+// fine. The iteration count is recorded as "iterations". Returns the
+// number of benchmark lines parsed.
+func ParseGoBench(s *Snapshot, r io.Reader) (int, error) {
+	type benchLine struct {
+		orig, stripped string
+		metrics        map[string]float64
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var lines []benchLine
+	strippedCount := make(map[string]int)
+	for sc.Scan() {
+		orig, stripped, metrics, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		lines = append(lines, benchLine{orig: orig, stripped: stripped, metrics: metrics})
+		strippedCount[stripped]++
+	}
+	if err := sc.Err(); err != nil {
+		return len(lines), fmt.Errorf("benchstore: reading bench output: %w", err)
+	}
+	// Second pass: use the stripped name unless stripping collided two
+	// distinct benchmarks (a name that legitimately ends in "-<digits>"
+	// next to a sibling, under GOMAXPROCS=1 where go test appends no tag)
+	// — those keep their original names rather than silently overwriting
+	// each other.
+	for _, l := range lines {
+		name := l.stripped
+		if strippedCount[l.stripped] > 1 && l.orig != l.stripped {
+			name = l.orig
+		}
+		for metric, v := range l.metrics {
+			s.Add(GoBenchPrefix+name, metric, v)
+		}
+	}
+	return len(lines), nil
+}
+
+// parseBenchLine parses one `Benchmark<Name>[-P] <iters> <value> <unit>
+// [<value> <unit>...]` line, returning the name both as written and with
+// the trailing -GOMAXPROCS tag go test appends ("-8") stripped.
+func parseBenchLine(line string) (orig, stripped string, metrics map[string]float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", "", nil, false
+	}
+	orig = strings.TrimPrefix(fields[0], "Benchmark")
+	stripped = orig
+	if i := strings.LastIndex(stripped, "-"); i > 0 {
+		if _, err := strconv.Atoi(stripped[i+1:]); err == nil {
+			stripped = stripped[:i]
+		}
+	}
+	iters, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil {
+		return "", "", nil, false
+	}
+	metrics = map[string]float64{"iterations": iters}
+	// Remaining fields are value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", "", nil, false
+		}
+		metrics[unitToMetric(fields[i+1])] = v
+	}
+	if len(metrics) < 2 {
+		return "", "", nil, false
+	}
+	return orig, stripped, metrics, true
+}
+
+// unitToMetric maps a go test unit to a snapshot metric name.
+func unitToMetric(unit string) string {
+	switch unit {
+	case "ns/op":
+		return "ns_per_op"
+	case "B/op":
+		return "bytes_per_op"
+	case "allocs/op":
+		return "allocs_per_op"
+	case "MB/s":
+		return "mb_per_sec"
+	}
+	return strings.NewReplacer("/", "_per_", "-", "_").Replace(unit)
+}

@@ -46,11 +46,11 @@ func polyFromBytes(msb []byte) Poly {
 func FuzzReducerMatchesPolyMod(f *testing.F) {
 	// Seeds cover both register paths, degree extremes, empty and long
 	// inputs, and leading-zero bytes.
-	f.Add(uint8(0), uint64(0), []byte(nil))                     // deg 1, empty input
-	f.Add(uint8(2), uint64(0b101), []byte{0x01})                // deg 3, narrow register
-	f.Add(uint8(6), uint64(0x5a), []byte{0x00, 0xff, 0x80})     // deg 7, last narrow degree
-	f.Add(uint8(7), uint64(0x11b), []byte{0xde, 0xad, 0xbe})    // deg 8, first byte-wide degree
-	f.Add(uint8(15), uint64(0x8005), []byte("polka routeID"))   // CRC-16-ish
+	f.Add(uint8(0), uint64(0), []byte(nil))                                      // deg 1, empty input
+	f.Add(uint8(2), uint64(0b101), []byte{0x01})                                 // deg 3, narrow register
+	f.Add(uint8(6), uint64(0x5a), []byte{0x00, 0xff, 0x80})                      // deg 7, last narrow degree
+	f.Add(uint8(7), uint64(0x11b), []byte{0xde, 0xad, 0xbe})                     // deg 8, first byte-wide degree
+	f.Add(uint8(15), uint64(0x8005), []byte("polka routeID"))                    // CRC-16-ish
 	f.Add(uint8(55), uint64(0x42f0e1eba9ea3693), bytes.Repeat([]byte{0xa5}, 64)) // deg 56 ceiling
 	f.Fuzz(func(t *testing.T, degSeed uint8, modBits uint64, data []byte) {
 		if len(data) > 4096 {

@@ -3,10 +3,14 @@
 // packet-level data-plane runs — implements one small interface and
 // registers itself under a stable name. On top of the registry sit a
 // uniform Report envelope (stable JSON/CSV) and a Suite runner with
-// per-scenario timeouts, context cancellation, and serial or parallel
-// execution. cmd/labctl is a thin shell over this package; adding a new
-// scenario anywhere in the tree is one Register call, after which the
-// CLI, the suite, and the CI bench artifacts pick it up automatically.
+// per-scenario timeouts, context cancellation, serial or parallel
+// execution, and deterministic sharding (Shard) that splits one logical
+// suite across processes or CI matrix jobs with every scenario landing
+// in exactly one shard. cmd/labctl is a thin shell over this package,
+// and internal/benchstore turns Report metric envelopes into the
+// BENCH_<n>.json benchmark trajectory; adding a new scenario anywhere in
+// the tree is one Register call, after which the CLI, the suite, and the
+// CI bench artifacts pick it up automatically.
 package scenario
 
 import (

@@ -24,10 +24,10 @@ type fake struct {
 	run  func(ctx context.Context, env *Env, cfg any) (*Report, error)
 }
 
-func (f *fake) Name() string        { return f.name }
-func (f *fake) Describe() string    { return "fake scenario " + f.name }
-func (f *fake) DefaultConfig() any  { return fakeConfig{Reps: 3, Label: "dflt", Gain: 1.5} }
-func (f *fake) QuickConfig() any    { return fakeConfig{Reps: 1, Label: "quick", Gain: 1.5} }
+func (f *fake) Name() string       { return f.name }
+func (f *fake) Describe() string   { return "fake scenario " + f.name }
+func (f *fake) DefaultConfig() any { return fakeConfig{Reps: 3, Label: "dflt", Gain: 1.5} }
+func (f *fake) QuickConfig() any   { return fakeConfig{Reps: 1, Label: "quick", Gain: 1.5} }
 func (f *fake) Run(ctx context.Context, env *Env, cfg any) (*Report, error) {
 	if f.run != nil {
 		return f.run(ctx, env, cfg)

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+)
+
+func TestShardNamesPartitionExactlyOnce(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for count := 1; count <= len(names)+2; count++ {
+		seen := make(map[string]int)
+		for index := 0; index < count; index++ {
+			for _, n := range ShardNames(names, Shard{Index: index, Count: count}) {
+				seen[n]++
+			}
+		}
+		if len(seen) != len(names) {
+			t.Fatalf("count=%d: union has %d names, want %d", count, len(seen), len(names))
+		}
+		for n, hits := range seen {
+			if hits != 1 {
+				t.Fatalf("count=%d: %q assigned %d times", count, n, hits)
+			}
+		}
+	}
+	// Disabled sharding is the identity.
+	if got := ShardNames(names, Shard{}); len(got) != len(names) {
+		t.Fatalf("disabled shard filtered names: %v", got)
+	}
+}
+
+func TestShardUnionIndependentOfShardCount(t *testing.T) {
+	// The merged scenario set must be the same whatever the shard count —
+	// the shard-merge determinism the CI matrix relies on.
+	names := []string{"a", "b", "c", "d", "e"}
+	full := append([]string(nil), names...)
+	sort.Strings(full)
+	for count := 1; count <= 4; count++ {
+		var union []string
+		for index := 0; index < count; index++ {
+			union = append(union, ShardNames(names, Shard{Index: index, Count: count})...)
+		}
+		sort.Strings(union)
+		if fmt.Sprint(union) != fmt.Sprint(full) {
+			t.Fatalf("count=%d: union %v != full %v", count, union, full)
+		}
+	}
+}
+
+func TestRunSuiteSharded(t *testing.T) {
+	var names []string
+	for i := 0; i < 5; i++ {
+		f := register(t, fmt.Sprintf("s%d", i), nil)
+		names = append(names, f.name)
+	}
+
+	// Each shard runs its slice; the union covers every scenario once.
+	ran := make(map[string]int)
+	for index := 0; index < 2; index++ {
+		res, err := RunSuite(context.Background(), names, SuiteOptions{
+			Shard: Shard{Index: index, Count: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range res.Outcomes {
+			ran[o.Scenario]++
+		}
+	}
+	if len(ran) != len(names) {
+		t.Fatalf("shard union ran %d scenarios, want %d: %v", len(ran), len(names), ran)
+	}
+	for n, hits := range ran {
+		if hits != 1 {
+			t.Fatalf("scenario %q ran %d times across shards", n, hits)
+		}
+	}
+
+	// A shard beyond the suite size is an empty green run, not an error.
+	res, err := RunSuite(context.Background(), names, SuiteOptions{
+		Shard: Shard{Index: 9, Count: 10},
+	})
+	if err != nil || res.Err() != nil || len(res.Outcomes) != 0 {
+		t.Fatalf("oversharded slot: res=%+v err=%v", res, err)
+	}
+
+	// Out-of-range shard specs fail pre-flight.
+	for _, sh := range []Shard{{Index: 2, Count: 2}, {Index: -1, Count: 2}} {
+		if _, err := RunSuite(context.Background(), names, SuiteOptions{Shard: sh}); err == nil {
+			t.Fatalf("invalid shard %+v accepted", sh)
+		}
+	}
+}

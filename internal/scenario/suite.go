@@ -8,6 +8,47 @@ import (
 	"time"
 )
 
+// Shard selects a deterministic 1/Count slice of a suite so one logical
+// run can split across processes or CI matrix jobs. Assignment is
+// round-robin over the requested scenario order (the sorted registry
+// order when no names are given): scenario i goes to shard i mod Count.
+// That makes the partition a function of the scenario set alone — every
+// scenario lands in exactly one shard, the union over shards 0..Count-1
+// is the full suite for any Count, and re-running a shard is
+// reproducible. The zero value (Count ≤ 1) disables sharding.
+type Shard struct {
+	// Index is this process's slot, in [0, Count).
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// enabled reports whether the shard actually splits the suite.
+func (sh Shard) enabled() bool { return sh.Count > 1 }
+
+// validate rejects out-of-range shard specs.
+func (sh Shard) validate() error {
+	if sh.Count > 1 && (sh.Index < 0 || sh.Index >= sh.Count) {
+		return fmt.Errorf("scenario: shard index %d out of range [0,%d)", sh.Index, sh.Count)
+	}
+	return nil
+}
+
+// ShardNames returns the slice of names assigned to the shard,
+// preserving order. With sharding disabled it returns names unchanged.
+func ShardNames(names []string, sh Shard) []string {
+	if !sh.enabled() {
+		return names
+	}
+	var out []string
+	for i, name := range names {
+		if i%sh.Count == sh.Index {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 // SuiteOptions tunes a suite run. The zero value runs serially with no
 // per-scenario timeout, default configs, and collect-all error policy.
 type SuiteOptions struct {
@@ -23,6 +64,10 @@ type SuiteOptions struct {
 	// Configs overlays per-scenario JSON onto the base configuration,
 	// keyed by scenario name.
 	Configs map[string]json.RawMessage
+	// Shard restricts the run to a deterministic slice of the suite (see
+	// Shard); the slice is taken after name resolution, so an explicit
+	// name list shards the same way the full registry does.
+	Shard Shard
 	// Env is handed to every scenario (nil = silent).
 	Env *Env
 }
@@ -43,6 +88,10 @@ type SuiteResult struct {
 	Outcomes []Outcome `json:"outcomes"`
 	Failed   int       `json:"failed"`
 	Skipped  int       `json:"skipped"`
+	// Quick records whether the run used quick (smoke) configurations, so
+	// downstream consumers (the benchmark trajectory) never compare quick
+	// numbers against full ones.
+	Quick bool `json:"quick,omitempty"`
 }
 
 // Reports returns the successful reports, in order.
@@ -85,6 +134,16 @@ func RunSuite(ctx context.Context, names []string, opts SuiteOptions) (*SuiteRes
 	if len(names) == 0 {
 		return nil, fmt.Errorf("scenario: no scenarios registered")
 	}
+	if err := opts.Shard.validate(); err != nil {
+		return nil, err
+	}
+	names = ShardNames(names, opts.Shard)
+	if len(names) == 0 {
+		// A shard count above the suite size leaves this slot legitimately
+		// empty: an empty green result, not an error, so wide CI matrices
+		// keep working as the suite grows and shrinks.
+		return &SuiteResult{Quick: opts.Quick}, nil
+	}
 	type job struct {
 		s   Scenario
 		cfg any
@@ -110,7 +169,7 @@ func RunSuite(ctx context.Context, names []string, opts SuiteOptions) (*SuiteRes
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	res := &SuiteResult{Outcomes: make([]Outcome, len(jobs))}
+	res := &SuiteResult{Outcomes: make([]Outcome, len(jobs)), Quick: opts.Quick}
 	var mu sync.Mutex
 	runOne := func(i int) {
 		j := jobs[i]
