@@ -50,14 +50,14 @@ func run(model string, useBroker bool, nFlows int) error {
 		cfg.Bus = client
 		fmt.Printf("message broker listening on %s\n", br.Addr())
 	}
+	// Broker subscriptions are synchronous (the broker acks each one
+	// before Subscribe returns), so the framework is ready to serve the
+	// moment NewFramework returns — no settling sleep needed.
 	f, err := controlplane.NewFramework(cfg)
 	if err != nil {
 		return err
 	}
 	defer f.Stop()
-	if useBroker {
-		time.Sleep(100 * time.Millisecond) // let subscriptions register
-	}
 
 	fmt.Printf("framework up: model=%s tunnels=1..3 (Global P4 Lab subset)\n", model)
 	fmt.Println("warming telemetry up (30 s emulated) and training Hecate ...")

@@ -63,6 +63,7 @@ type runFlags struct {
 	parallel   int
 	failFast   bool
 	shard      string
+	addr       string
 }
 
 // newFlagSet returns a continue-on-error flag set writing to errOut.
@@ -81,6 +82,7 @@ func registerRunFlags(fs *flag.FlagSet, rf *runFlags, suiteMode bool) {
 	fs.BoolVar(&rf.quick, "quick", false, "use each scenario's quick (smoke) configuration")
 	fs.BoolVar(&rf.verbose, "v", false, "stream scenario progress to stderr")
 	fs.DurationVar(&rf.timeout, "timeout", 0, "per-scenario timeout (0 = none)")
+	fs.StringVar(&rf.addr, "addr", "", "submit to the labd daemon at this address instead of running in-process")
 	if suiteMode {
 		fs.IntVar(&rf.parallel, "parallel", 1, "scenarios run concurrently")
 		fs.BoolVar(&rf.failFast, "failfast", false, "stop the suite at the first failure")
@@ -171,6 +173,8 @@ run/suite flags: -config file.json -o results.json|.csv -quick -timeout 10m -v
 suite flags:     -parallel N -failfast -shard i/n
 bench flags:     suite flags plus -dir DIR -label L -gobench bench.txt
 compare flags:   -threshold 0.1 -abs-eps X -ignore-missing -dir DIR -o out.json|.csv
+remote mode:     -addr host:port submits run/suite/bench to a labd daemon
+                 (same flags, artifacts, and exit codes; see docs/labd-api.md)
 `)
 }
 
@@ -246,18 +250,42 @@ func loadConfigs(path string) (map[string]json.RawMessage, error) {
 	return configs, nil
 }
 
+// env builds the scenario environment. -v wires the Progress hook (not
+// Log — Logf forwards to Progress, so both would double-print), which
+// also carries the suite runner's start/done/failed/skipped markers;
+// local and remote -v therefore render the same event stream.
 func env(errOut io.Writer, rf runFlags) *scenario.Env {
 	e := &scenario.Env{Quick: rf.quick}
 	if rf.verbose {
-		e.Log = errOut
+		e.Progress = func(p scenario.Progress) {
+			renderProgress(errOut, p.Scenario, p.Phase, p.Message)
+		}
 	}
 	return e
+}
+
+// renderProgress prints one progress event; the shared form local -v
+// and remote event streaming both use.
+func renderProgress(w io.Writer, scenarioName, phase, message string) {
+	switch {
+	case scenarioName == "" && message == "":
+		fmt.Fprintf(w, "job: %s\n", phase)
+	case scenarioName == "":
+		fmt.Fprintf(w, "job: %s: %s\n", phase, message)
+	case message == "":
+		fmt.Fprintf(w, "[%s] %s\n", scenarioName, phase)
+	default:
+		fmt.Fprintf(w, "[%s] %s: %s\n", scenarioName, phase, message)
+	}
 }
 
 // runScenarios executes the named scenarios serially and fail-fast — the
 // interactive workflow. With one scenario and -o, the output file is the
 // bare Report (the machine-readable contract of `labctl run X -o out`).
 func runScenarios(ctx context.Context, stdout, errOut io.Writer, names []string, rf runFlags) error {
+	if rf.addr != "" {
+		return remoteRun(ctx, stdout, errOut, names, rf)
+	}
 	configs, err := loadConfigs(rf.configPath)
 	if err != nil {
 		return err
@@ -300,8 +328,13 @@ func runScenarios(ctx context.Context, stdout, errOut io.Writer, names []string,
 
 // runSuite resolves the shared flags into SuiteOptions and executes the
 // suite — the single flag-to-option wiring the suite and bench
-// subcommands both go through.
+// subcommands both go through. With -addr the suite runs as a job on the
+// labd daemon instead; results and exit behavior are identical.
 func runSuite(ctx context.Context, names []string, rf runFlags, errOut io.Writer) (*scenario.SuiteResult, error) {
+	if rf.addr != "" {
+		res, _, err := remoteSuite(ctx, names, rf, errOut)
+		return res, err
+	}
 	configs, err := loadConfigs(rf.configPath)
 	if err != nil {
 		return nil, err
@@ -322,9 +355,18 @@ func runSuite(ctx context.Context, names []string, rf runFlags, errOut io.Writer
 }
 
 // runSuiteCmd executes the suite (all scenarios when names is empty) and
-// always reports every outcome.
+// always reports every outcome. In remote mode the -o artifact is
+// spliced from the daemon's exact result bytes so it matches a local
+// run's byte for byte.
 func runSuiteCmd(ctx context.Context, stdout, errOut io.Writer, names []string, rf runFlags) error {
-	res, err := runSuite(ctx, names, rf, errOut)
+	var res *scenario.SuiteResult
+	var raw json.RawMessage
+	var err error
+	if rf.addr != "" {
+		res, raw, err = remoteSuite(ctx, names, rf, errOut)
+	} else {
+		res, err = runSuite(ctx, names, rf, errOut)
+	}
 	if err != nil {
 		return err
 	}
@@ -341,7 +383,11 @@ func runSuiteCmd(ctx context.Context, stdout, errOut io.Writer, names []string, 
 	fmt.Fprintf(stdout, "suite: %d scenarios, %d failed, %d skipped\n",
 		len(res.Outcomes), res.Failed, res.Skipped)
 	if rf.outPath != "" {
-		if err := writeOut(rf.outPath, res, res.Reports()); err != nil {
+		var jsonVal any = res
+		if raw != nil {
+			jsonVal = raw // daemon's exact bytes, re-indented, never decoded
+		}
+		if err := writeOut(rf.outPath, jsonVal, res.Reports()); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/labd"
+	"repro/internal/scenario"
+)
+
+// remoteFixtureName is a deterministic test scenario registered once for
+// this binary: fixed metrics and a typed payload, so local and remote
+// artifacts differ only in measured wall time.
+const remoteFixtureName = "remotetest-fixture"
+
+type remoteFixtureConfig struct {
+	Gain float64
+}
+
+type remoteFixturePayload struct {
+	Series []float64 `json:"series"`
+	Note   string    `json:"note"`
+}
+
+type remoteFixture struct{}
+
+func (remoteFixture) Name() string     { return remoteFixtureName }
+func (remoteFixture) Describe() string { return "deterministic fixture for remote-mode tests" }
+func (remoteFixture) DefaultConfig() any {
+	return remoteFixtureConfig{Gain: 2}
+}
+func (remoteFixture) Run(ctx context.Context, env *scenario.Env, cfg any) (*scenario.Report, error) {
+	c := cfg.(remoteFixtureConfig)
+	env.Phasef("compute", "gain %g", c.Gain)
+	rep := &scenario.Report{
+		EmulatedSeconds: 42,
+		Payload:         remoteFixturePayload{Series: []float64{1 * c.Gain, 2 * c.Gain}, Note: "fixed"},
+	}
+	rep.Metric("gain", c.Gain)
+	rep.Metric("sum", 3*c.Gain)
+	return rep, nil
+}
+
+func init() { scenario.Register(remoteFixture{}) }
+
+// startDaemon boots a labd server over httptest and returns its address.
+func startDaemon(t *testing.T, cfg labd.Config) string {
+	t.Helper()
+	s := labd.New(cfg)
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// wallRE erases the one legitimately nondeterministic field.
+var wallRE = regexp.MustCompile(`"wall_seconds": [0-9eE.+-]+`)
+
+func normalizeWall(data []byte) string {
+	return wallRE.ReplaceAllString(string(data), `"wall_seconds": X`)
+}
+
+// TestRemoteRunMatchesLocal is the acceptance check: labctl run -addr
+// writes a byte-identical Report artifact to the in-process path, modulo
+// wall time.
+func TestRemoteRunMatchesLocal(t *testing.T) {
+	addr := startDaemon(t, labd.Config{Workers: 2})
+	dir := t.TempDir()
+	localPath := filepath.Join(dir, "local.json")
+	remotePath := filepath.Join(dir, "remote.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"run", "-o", localPath, remoteFixtureName}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-addr", addr, "-o", remotePath, remoteFixtureName}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	local, err := os.ReadFile(localPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := os.ReadFile(remotePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if normalizeWall(local) != normalizeWall(remote) {
+		t.Errorf("remote artifact differs from local:\n--- local\n%s\n--- remote\n%s", local, remote)
+	}
+	// The payload must have survived as the typed struct's field order,
+	// not a re-encoded map's sorted keys.
+	if !strings.Contains(string(remote), `"series"`) {
+		t.Errorf("payload missing: %s", remote)
+	}
+	if !strings.Contains(string(remote), `"scenario": "`+remoteFixtureName+`"`) {
+		t.Errorf("scenario stamp missing: %s", remote)
+	}
+}
+
+// TestRemoteSuiteMatchesLocal does the same for the SuiteResult artifact
+// and checks the human summary + exit behavior.
+func TestRemoteSuiteMatchesLocal(t *testing.T) {
+	addr := startDaemon(t, labd.Config{Workers: 2})
+	dir := t.TempDir()
+	localPath := filepath.Join(dir, "local.json")
+	remotePath := filepath.Join(dir, "remote.json")
+
+	var localOut, remoteOut bytes.Buffer
+	if err := run([]string{"suite", "-o", localPath, remoteFixtureName}, &localOut, &localOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"suite", "-addr", addr, "-o", remotePath, remoteFixtureName}, &remoteOut, &remoteOut); err != nil {
+		t.Fatal(err)
+	}
+	local, _ := os.ReadFile(localPath)
+	remote, _ := os.ReadFile(remotePath)
+	if normalizeWall(local) != normalizeWall(remote) {
+		t.Errorf("remote suite artifact differs:\n--- local\n%s\n--- remote\n%s", local, remote)
+	}
+	for _, out := range []string{localOut.String(), remoteOut.String()} {
+		if !strings.Contains(out, "suite: 1 scenarios, 0 failed, 0 skipped") {
+			t.Errorf("summary missing:\n%s", out)
+		}
+	}
+}
+
+// TestRemoteRunCSV exercises the CSV artifact path remotely.
+func TestRemoteRunCSV(t *testing.T) {
+	addr := startDaemon(t, labd.Config{Workers: 1})
+	dir := t.TempDir()
+	localPath := filepath.Join(dir, "local.csv")
+	remotePath := filepath.Join(dir, "remote.csv")
+	var out bytes.Buffer
+	if err := run([]string{"run", "-o", localPath, remoteFixtureName}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"run", "-addr", addr, "-o", remotePath, remoteFixtureName}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	local, _ := os.ReadFile(localPath)
+	remote, _ := os.ReadFile(remotePath)
+	wallCSV := regexp.MustCompile(`wall_seconds,[0-9eE.+-]+`)
+	norm := func(b []byte) string { return wallCSV.ReplaceAllString(string(b), "wall_seconds,X") }
+	if norm(local) != norm(remote) {
+		t.Errorf("remote CSV differs:\n%s\n%s", local, remote)
+	}
+}
+
+// TestRemoteBench appends a trajectory point from a remote run and
+// requires the snapshot's deterministic metrics to match a local bench.
+func TestRemoteBench(t *testing.T) {
+	addr := startDaemon(t, labd.Config{Workers: 2})
+	dir := t.TempDir()
+	localSnap := filepath.Join(dir, "local_snap.json")
+	remoteSnap := filepath.Join(dir, "remote_snap.json")
+	var out bytes.Buffer
+	if err := run([]string{"bench", "-o", localSnap, "-label", "t", remoteFixtureName}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"bench", "-addr", addr, "-o", remoteSnap, "-label", "t", remoteFixtureName}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	// The snapshots differ only in created_at and wall_seconds.
+	re := regexp.MustCompile(`("created_at": "[^"]*"|"wall_seconds": [0-9eE.+-]+)`)
+	local, _ := os.ReadFile(localSnap)
+	remote, _ := os.ReadFile(remoteSnap)
+	norm := func(b []byte) string { return re.ReplaceAllString(string(b), "X") }
+	if norm(local) != norm(remote) {
+		t.Errorf("remote snapshot differs:\n%s\n%s", local, remote)
+	}
+}
+
+// TestRemoteErrors maps daemon-side failures onto the local error
+// contract: unknown scenarios fail with the 404 code, a failing
+// scenario makes run/suite exit nonzero.
+func TestRemoteErrors(t *testing.T) {
+	addr := startDaemon(t, labd.Config{Workers: 1})
+	var out bytes.Buffer
+	err := run([]string{"run", "-addr", addr, "definitely-not-registered"}, &out, &out)
+	if err == nil {
+		t.Fatal("remote run of unknown scenario succeeded")
+	}
+	if !strings.Contains(err.Error(), "unknown_scenario") && !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("err = %v, want unknown-scenario", err)
+	}
+
+	failing := &failingScenario{name: "remotetest-failing"}
+	scenario.Register(failing)
+	err = run([]string{"suite", "-addr", addr, failing.name}, &out, &out)
+	if err == nil {
+		t.Fatal("remote suite with failing scenario exited zero")
+	}
+	if !strings.Contains(out.String(), "FAILED") {
+		t.Errorf("outcome rendering missing FAILED:\n%s", out.String())
+	}
+}
+
+type failingScenario struct{ name string }
+
+func (s *failingScenario) Name() string       { return s.name }
+func (s *failingScenario) Describe() string   { return "always fails" }
+func (s *failingScenario) DefaultConfig() any { return struct{}{} }
+func (s *failingScenario) Run(ctx context.Context, env *scenario.Env, cfg any) (*scenario.Report, error) {
+	return nil, fmt.Errorf("deliberate failure")
+}

@@ -1,0 +1,105 @@
+// Command labd is the lab's job-execution daemon: a long-running service
+// exposing the scenario registry over the versioned /v1 HTTP API
+// (internal/labd, documented in docs/labd-api.md). Experiments are
+// submitted as jobs, run on a bounded worker pool, and report results
+// and ring-buffered progress events; cmd/labctl's -addr flag drives the
+// same run/suite/bench workflows against it that it runs in-process.
+//
+//	labd                                serve on 127.0.0.1:8080, 4 workers
+//	labd -addr :9000 -workers 8         bigger pool on all interfaces
+//	labd -bench-dir /var/lib/lab        where /v1/bench appends BENCH_<n>.json
+//
+// Shutdown is a graceful drain: the first SIGINT/SIGTERM stops accepting
+// new jobs and waits for queued and running ones to finish (bounded by
+// -drain-timeout); a second signal cancels everything still in flight
+// and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "repro/internal/experiments" // registers every lab scenario
+	"repro/internal/labd"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+		workers      = flag.Int("workers", 4, "bounded worker pool size (jobs running concurrently)")
+		queue        = flag.Int("queue", 128, "maximum queued jobs before submissions get 503")
+		events       = flag.Int("events", 512, "per-job progress event ring capacity")
+		benchDir     = flag.String("bench-dir", "", "trajectory directory for /v1/bench (empty disables it)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "maximum wait for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+	if err := run(*addr, *workers, *queue, *events, *benchDir, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "labd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, events int, benchDir string, drainTimeout time.Duration) error {
+	logger := log.New(os.Stderr, "labd: ", log.LstdFlags)
+	s := labd.New(labd.Config{
+		Workers:     workers,
+		QueueLimit:  queue,
+		EventBuffer: events,
+		BenchDir:    benchDir,
+		Log:         logger,
+	})
+	defer s.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		logger.Printf("serving /v1 on %s (%d workers, queue %d)", addr, workers, queue)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sig:
+	}
+
+	// First signal: drain. New submissions get 503, in-flight jobs keep
+	// running; the API stays up so clients can watch them finish.
+	logger.Printf("shutdown: draining (signal again to cancel in-flight jobs)")
+	s.Drain()
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancelDrain()
+	idle := make(chan error, 1)
+	go func() { idle <- s.WaitIdle(drainCtx) }()
+	select {
+	case err := <-idle:
+		if err != nil {
+			logger.Printf("drain timed out, canceling in-flight jobs")
+		}
+	case <-sig:
+		logger.Printf("second signal: canceling in-flight jobs")
+	}
+
+	// Close cancels whatever is still running and stops the pool; then
+	// shut the HTTP front down, giving event streams a beat to flush.
+	s.Close()
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelShutdown()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return httpSrv.Close()
+	}
+	logger.Printf("bye")
+	return nil
+}

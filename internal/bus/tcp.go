@@ -13,6 +13,7 @@ import (
 // frames:
 //
 //	{"op":"sub","topic":"controller"}
+//	{"op":"suback","topic":"controller"}
 //	{"op":"pub","msg":{"topic":"controller","type":"newFlow",...}}
 //
 // Every client connection may subscribe to any number of topics; the
@@ -20,10 +21,16 @@ import (
 // (including the publisher's, if subscribed). This is the multi-process
 // deployment shape of the framework — services on different hosts
 // connected to one queue — with the same Bus interface as InProc.
+//
+// Subscribing is synchronous: the broker acknowledges each "sub" frame
+// with a "suback", and TCPClient.Subscribe does not return until the ack
+// arrives. Once Subscribe returns, a message published by any client is
+// guaranteed to reach the subscription — startup needs no settling
+// sleeps.
 
 // frame is the wire envelope.
 type frame struct {
-	Op    string   `json:"op"` // "sub" or "pub"
+	Op    string   `json:"op"` // "sub", "suback", or "pub"
 	Topic string   `json:"topic,omitempty"`
 	Msg   *Message `json:"msg,omitempty"`
 }
@@ -120,6 +127,11 @@ func (b *Broker) serve(bc *brokerConn) {
 		case "sub":
 			if f.Topic != "" {
 				bc.subscribe(f.Topic)
+				// Readiness signal: the subscription is registered, so any
+				// publish the broker processes from here on reaches it. A
+				// send failure means the connection is dying; its serve
+				// loop reaps it.
+				_ = bc.send(frame{Op: "suback", Topic: f.Topic})
 			}
 		case "pub":
 			if f.Msg == nil || f.Msg.Topic == "" {
@@ -175,6 +187,7 @@ type TCPClient struct {
 	mu     sync.Mutex
 	encMu  sync.Mutex
 	subs   map[string]map[int]chan Message
+	acks   map[string][]chan struct{} // FIFO suback waiters per topic
 	nextID int
 	closed bool
 	done   chan struct{}
@@ -190,6 +203,7 @@ func DialBroker(addr string) (*TCPClient, error) {
 		conn: conn,
 		enc:  json.NewEncoder(conn),
 		subs: make(map[string]map[int]chan Message),
+		acks: make(map[string][]chan struct{}),
 		done: make(chan struct{}),
 	}
 	go c.readLoop()
@@ -205,17 +219,27 @@ func (c *TCPClient) readLoop() {
 		if err := json.Unmarshal(sc.Bytes(), &f); err != nil {
 			continue
 		}
-		if f.Op != "pub" || f.Msg == nil {
-			continue
-		}
-		c.mu.Lock()
-		for _, ch := range c.subs[f.Msg.Topic] {
-			select {
-			case ch <- *f.Msg:
-			default: // slow local subscriber: drop rather than stall the socket
+		switch {
+		case f.Op == "suback" && f.Topic != "":
+			// Wake the oldest Subscribe waiting on this topic. Subacks
+			// arrive in sub-frame order (one TCP stream, one broker serve
+			// loop), so FIFO pairing is exact.
+			c.mu.Lock()
+			if q := c.acks[f.Topic]; len(q) > 0 {
+				close(q[0])
+				c.acks[f.Topic] = q[1:]
 			}
+			c.mu.Unlock()
+		case f.Op == "pub" && f.Msg != nil:
+			c.mu.Lock()
+			for _, ch := range c.subs[f.Msg.Topic] {
+				select {
+				case ch <- *f.Msg:
+				default: // slow local subscriber: drop rather than stall the socket
+				}
+			}
+			c.mu.Unlock()
 		}
-		c.mu.Unlock()
 	}
 	// Connection gone: close local subscriptions so consumers unblock.
 	c.mu.Lock()
@@ -245,11 +269,14 @@ func (c *TCPClient) Publish(m Message) error {
 	return c.enc.Encode(frame{Op: "pub", Msg: &m})
 }
 
-// Subscribe implements Bus.
+// Subscribe implements Bus. It blocks until the broker acknowledges the
+// subscription, so once it returns, any subsequent publish — from this
+// client or any other — is guaranteed to reach the returned channel.
 func (c *TCPClient) Subscribe(topic string) (<-chan Message, func(), error) {
 	if topic == "" {
 		return nil, nil, errors.New("bus: empty topic")
 	}
+	ack := make(chan struct{})
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -262,6 +289,7 @@ func (c *TCPClient) Subscribe(topic string) (<-chan Message, func(), error) {
 	c.nextID++
 	id := c.nextID
 	c.subs[topic][id] = ch
+	c.acks[topic] = append(c.acks[topic], ack)
 	c.mu.Unlock()
 
 	c.encMu.Lock()
@@ -269,6 +297,14 @@ func (c *TCPClient) Subscribe(topic string) (<-chan Message, func(), error) {
 	c.encMu.Unlock()
 	if err != nil {
 		return nil, nil, fmt.Errorf("bus: subscribing to %q: %w", topic, err)
+	}
+	// Wait for the broker's readiness signal; a connection that dies
+	// first closes done, making an unacknowledged subscription an error
+	// rather than a silent race.
+	select {
+	case <-ack:
+	case <-c.done:
+		return nil, nil, fmt.Errorf("bus: subscribing to %q: %w", topic, ErrClosed)
 	}
 	cancel := func() {
 		c.mu.Lock()

@@ -49,27 +49,41 @@ func TestTCPPubSubAcrossClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cancel()
-	// Subscription registration races the publish; retry publishes until
-	// delivery, as a real service discovering the queue would.
-	done := make(chan Message, 1)
-	go func() {
-		done <- recvWithin(t, ch, 5*time.Second)
-	}()
-	deadline := time.After(5 * time.Second)
-	for {
-		if err := pub.Publish(Message{Topic: "ctrl", Type: "newFlow"}); err != nil {
+	// Subscribe blocks until the broker's suback, so a single publish —
+	// no retries, no settling sleep — must be delivered.
+	if err := pub.Publish(Message{Topic: "ctrl", Type: "newFlow"}); err != nil {
+		t.Fatal(err)
+	}
+	if m := recvWithin(t, ch, 5*time.Second); m.Type != "newFlow" {
+		t.Fatalf("got %+v", m)
+	}
+}
+
+// TestTCPSubscribeIsReady hammers the startup ordering the old
+// 100 ms-sleep hack papered over: subscribe on one client, publish
+// immediately from another, require delivery every time.
+func TestTCPSubscribeIsReady(t *testing.T) {
+	br, _ := newBrokerPair(t, 0)
+	for i := 0; i < 30; i++ {
+		sub, err := DialBroker(br.Addr())
+		if err != nil {
 			t.Fatal(err)
 		}
-		select {
-		case m := <-done:
-			if m.Type != "newFlow" {
-				t.Fatalf("got %+v", m)
-			}
-			return
-		case <-deadline:
-			t.Fatal("message never delivered")
-		case <-time.After(20 * time.Millisecond):
+		pub, err := DialBroker(br.Addr())
+		if err != nil {
+			t.Fatal(err)
 		}
+		topic := fmt.Sprintf("t%d", i)
+		ch, _, err := sub.Subscribe(topic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pub.Publish(Message{Topic: topic, Type: "x"}); err != nil {
+			t.Fatal(err)
+		}
+		recvWithin(t, ch, 5*time.Second)
+		_ = sub.Close()
+		_ = pub.Close()
 	}
 }
 
@@ -77,7 +91,6 @@ func TestTCPTopicIsolation(t *testing.T) {
 	_, clients := newBrokerPair(t, 2)
 	chA, cancelA, _ := clients[1].Subscribe("a")
 	defer cancelA()
-	time.Sleep(50 * time.Millisecond) // let the sub frame land
 	if err := clients[0].Publish(Message{Topic: "b", Type: "m"}); err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +118,6 @@ func TestTCPRequestReply(t *testing.T) {
 			_ = server.Publish(reply)
 		}
 	}()
-	time.Sleep(50 * time.Millisecond) // allow the server's sub to register
 	resp, err := Request(client, Message{Topic: "svc", Type: "ping"}, "svc.reply", 5*time.Second)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +174,6 @@ func TestTCPManyMessagesInOrder(t *testing.T) {
 	_, clients := newBrokerPair(t, 2)
 	ch, cancel, _ := clients[1].Subscribe("seq")
 	defer cancel()
-	time.Sleep(50 * time.Millisecond)
 	const n = 100
 	for i := 0; i < n; i++ {
 		p, _ := EncodePayload(i)

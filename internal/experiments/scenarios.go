@@ -232,6 +232,7 @@ func init() {
 			rep := &scenario.Report{}
 			results := make(map[WorkloadPolicy]*WorkloadResult, len(cfg.Policies))
 			for _, policy := range cfg.Policies {
+				env.Phasef("policy:"+string(policy), "soaking %.0f s", cfg.Base.DurationSec)
 				run := cfg.Base
 				run.Policy = policy
 				res, err := RunWorkloadContext(ctx, run)
@@ -271,6 +272,7 @@ func init() {
 			rep := &scenario.Report{}
 			results := make(map[WorkloadPolicy]*FCTResult, len(cfg.Policies))
 			for _, policy := range cfg.Policies {
+				env.Phasef("policy:"+string(policy), "%d transfers", cfg.Base.Transfers)
 				run := cfg.Base
 				run.Policy = policy
 				res, err := RunFCTContext(ctx, run)

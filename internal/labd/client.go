@@ -1,0 +1,235 @@
+package labd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the Go client for the labd /v1 API — what labctl's -addr
+// remote mode and the CI driver use. The zero HTTP client is fine for a
+// local daemon; long-lived event streams carry no client-side timeout.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080"; a bare
+	// host:port is accepted and normalized.
+	BaseURL string
+	// HTTPClient overrides the transport; nil uses http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient normalizes addr ("host:port" or a full URL) into a client.
+func NewClient(addr string) *Client {
+	if !strings.Contains(addr, "://") {
+		addr = "http://" + addr
+	}
+	return &Client{BaseURL: strings.TrimRight(addr, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx response decoded from the error envelope.
+type APIError struct {
+	Status  int    // HTTP status
+	Code    string // machine-readable code ("unknown_scenario", ...)
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("labd: %s (%s, HTTP %d)", e.Message, e.Code, e.Status)
+}
+
+// do issues one request and decodes the response body into out (unless
+// nil). Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeAPIError(resp.StatusCode, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// decodeAPIError turns an error response into *APIError, tolerating
+// non-envelope bodies (proxies, panics).
+func decodeAPIError(status int, data []byte) error {
+	var body errorBody
+	if err := json.Unmarshal(data, &body); err == nil && body.Error.Code != "" {
+		return &APIError{Status: status, Code: body.Error.Code, Message: body.Error.Message}
+	}
+	return &APIError{Status: status, Code: CodeInternal, Message: strings.TrimSpace(string(data))}
+}
+
+// Health fetches /v1/healthz.
+func (c *Client) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}
+
+// Scenarios lists the server's registry.
+func (c *Client) Scenarios(ctx context.Context) ([]ScenarioInfo, error) {
+	var out []ScenarioInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/scenarios", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Submit creates a job.
+func (c *Client) Submit(ctx context.Context, spec JobSpec) (*JobStatus, error) {
+	return c.jobCall(ctx, http.MethodPost, "/v1/jobs", spec)
+}
+
+// Job fetches one job's status; RawResult preserves the server's exact
+// result bytes.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	return c.jobCall(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+}
+
+// Cancel requests cancellation and returns the resulting status.
+func (c *Client) Cancel(ctx context.Context, id string) (*JobStatus, error) {
+	return c.jobCall(ctx, http.MethodDelete, "/v1/jobs/"+id, nil)
+}
+
+// jobCall decodes a JobStatus response, keeping the raw result bytes so
+// artifact writers can splice them without a re-encode (which would
+// reorder payload keys and break byte-identity with local runs).
+func (c *Client) jobCall(ctx context.Context, method, path string, in any) (*JobStatus, error) {
+	var wire struct {
+		JobStatus
+		Result json.RawMessage `json:"result"`
+	}
+	if err := c.do(ctx, method, path, in, &wire); err != nil {
+		return nil, err
+	}
+	st := wire.JobStatus
+	if len(wire.Result) > 0 {
+		st.RawResult = wire.Result
+		if err := json.Unmarshal(wire.Result, &st.Result); err != nil {
+			return nil, fmt.Errorf("labd: decoding job result: %w", err)
+		}
+	}
+	return &st, nil
+}
+
+// Bench appends a finished job as a trajectory point on the server.
+func (c *Client) Bench(ctx context.Context, req BenchRequest) (*BenchResponse, error) {
+	var out BenchResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/bench", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamEvents reads the job's event stream, calling fn for each event,
+// until the stream ends (follow=false: buffer drained; follow=true: job
+// terminal), ctx is canceled, or fn returns an error.
+func (c *Client) StreamEvents(ctx context.Context, id string, since int, follow bool, fn func(Event) error) error {
+	path := fmt.Sprintf("/v1/jobs/%s/events?since=%d", id, since)
+	if follow {
+		path += "&follow=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		data, _ := io.ReadAll(resp.Body)
+		return decodeAPIError(resp.StatusCode, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("labd: decoding event: %w", err)
+		}
+		if err := fn(ev); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Wait blocks until the job reaches a terminal state, streaming events
+// through onEvent (nil ok) along the way, and returns the final status.
+// If ctx is canceled, the job is left running server-side (callers that
+// want cancel-on-interrupt send Cancel explicitly).
+func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*JobStatus, error) {
+	since := -1
+	for {
+		err := c.StreamEvents(ctx, id, since, true, func(ev Event) error {
+			since = ev.Seq
+			if onEvent != nil {
+				onEvent(ev)
+			}
+			return nil
+		})
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		st, jerr := c.Job(ctx, id)
+		if jerr != nil {
+			return nil, jerr
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if err != nil {
+			// Stream broke mid-job (daemon restart, proxy): back off a
+			// beat and resume from the last seen event.
+			select {
+			case <-time.After(250 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package labd
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one entry of a job's progress log: job lifecycle transitions
+// (Scenario empty, Phase the state name) and scenario progress events
+// (Scenario set; Phase "start"/"done"/"failed"/"skipped" from the suite
+// runner, "log" for Logf lines, or a scenario-chosen phase name).
+// Sequence numbers are dense per job, starting at 0; a reader that
+// resumes from a sequence older than the ring retains sees the gap in
+// the numbering.
+type Event struct {
+	Seq      int    `json:"seq"`
+	Time     string `json:"time"` // RFC 3339, UTC, nanoseconds
+	Scenario string `json:"scenario,omitempty"`
+	Phase    string `json:"phase"`
+	Message  string `json:"message,omitempty"`
+}
+
+// ring is a bounded, append-only event buffer with broadcast
+// notification: the last cap events are retained, and every append (and
+// the final close) wakes all current waiters by swapping the notify
+// channel.
+type ring struct {
+	mu     sync.Mutex
+	cap    int
+	buf    []Event // the retained tail, buf[len-1] is newest
+	next   int     // next sequence number to assign
+	notify chan struct{}
+	closed bool
+}
+
+func newRing(capacity int) *ring {
+	return &ring{cap: capacity, notify: make(chan struct{})}
+}
+
+// append stamps and stores one event, waking waiters. Appending to a
+// closed ring is ignored (a terminal state has been recorded).
+func (r *ring) append(ev Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	ev.Seq = r.next
+	ev.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	r.next++
+	r.buf = append(r.buf, ev)
+	if len(r.buf) > r.cap {
+		r.buf = r.buf[len(r.buf)-r.cap:]
+	}
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// close marks the stream complete (no further events) and wakes waiters.
+func (r *ring) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	close(r.notify)
+	r.notify = make(chan struct{})
+}
+
+// after returns the retained events with Seq > after, a channel that is
+// closed when anything changes, and whether the stream is complete (the
+// ring is closed and everything retained has been returned).
+func (r *ring) after(after int) ([]Event, <-chan struct{}, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	for _, ev := range r.buf {
+		if ev.Seq > after {
+			out = append(out, ev)
+		}
+	}
+	return out, r.notify, r.closed
+}
+
+// nextSeq returns the next sequence number (the count of events ever
+// appended).
+func (r *ring) nextSeq() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}

@@ -1,0 +1,103 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// collectProgress returns an Env whose Progress hook appends events to a
+// shared slice, plus an accessor safe to call after the run.
+func collectProgress(log *bytes.Buffer) (*Env, func() []Progress) {
+	var mu sync.Mutex
+	var events []Progress
+	env := &Env{Log: log, Progress: func(ev Progress) {
+		mu.Lock()
+		defer mu.Unlock()
+		events = append(events, ev)
+	}}
+	return env, func() []Progress {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Progress(nil), events...)
+	}
+}
+
+func TestProgressStampedAndForwarded(t *testing.T) {
+	f := register(t, "p", func(ctx context.Context, env *Env, cfg any) (*Report, error) {
+		env.Phasef("warmup", "settling %d flows", 3)
+		env.Logf("halfway")
+		env.Phasef("heartbeat", "")
+		rep := &Report{}
+		rep.Metric("x", 1)
+		return rep, nil
+	})
+	var log bytes.Buffer
+	env, events := collectProgress(&log)
+	if _, err := Execute(context.Background(), env, f, f.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	got := events()
+	want := []Progress{
+		{Scenario: f.name, Phase: "warmup", Message: "settling 3 flows"},
+		{Scenario: f.name, Phase: "log", Message: "halfway"},
+		{Scenario: f.name, Phase: "heartbeat"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("events = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, line := range []string{"[warmup] settling 3 flows", "halfway", "[heartbeat]"} {
+		if !strings.Contains(log.String(), line) {
+			t.Errorf("log missing %q:\n%s", line, log.String())
+		}
+	}
+}
+
+func TestSuiteEmitsLifecycleEvents(t *testing.T) {
+	ok := register(t, "ok", nil)
+	bad := register(t, "bad", func(ctx context.Context, env *Env, cfg any) (*Report, error) {
+		return nil, context.DeadlineExceeded
+	})
+	env, events := collectProgress(nil)
+	res, err := RunSuite(context.Background(), []string{ok.name, bad.name}, SuiteOptions{Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", res.Failed)
+	}
+	phases := map[string]string{} // scenario -> terminal phase
+	starts := map[string]bool{}
+	for _, ev := range events() {
+		switch ev.Phase {
+		case "start":
+			starts[ev.Scenario] = true
+		case "done", "failed", "skipped":
+			phases[ev.Scenario] = ev.Phase
+		}
+	}
+	if !starts[ok.name] || !starts[bad.name] {
+		t.Errorf("missing start events: %v", starts)
+	}
+	if phases[ok.name] != "done" || phases[bad.name] != "failed" {
+		t.Errorf("terminal phases = %v", phases)
+	}
+}
+
+func TestNilEnvProgressIsSafe(t *testing.T) {
+	f := register(t, "nil", func(ctx context.Context, env *Env, cfg any) (*Report, error) {
+		env.Phasef("phase", "msg")
+		env.Logf("line")
+		return &Report{}, nil
+	})
+	if _, err := Execute(context.Background(), nil, f, f.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}

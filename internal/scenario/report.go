@@ -2,8 +2,10 @@ package scenario
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 )
@@ -29,14 +31,87 @@ type Report struct {
 	// Payload is the scenario-specific artifact (the full sample series,
 	// placements, per-route accounting, ...). May be nil.
 	Payload any `json:"payload,omitempty"`
+
+	// clamped tracks the metrics whose current value was recorded
+	// non-finite and had to be clamped. Execute fails the scenario when
+	// any remain: a NaN clamped to 0 would otherwise read as the best
+	// possible value on a lower-is-better CI gate and silently reward
+	// the breakage. A later finite overwrite of the same metric clears
+	// its record.
+	clamped map[string]bool
 }
 
-// Metric records one scalar, creating the map on first use.
+// Metric records one scalar, creating the map on first use. Non-finite
+// values are clamped to the nearest representable finite value (NaN → 0,
+// ±Inf → ±MaxFloat64) so the report stays JSON-encodable, and the clamp
+// is remembered: Execute turns it into an explicit scenario failure, so
+// a broken computation can neither crash encoding/json nor pose as a
+// legitimate (possibly gate-pleasing) measurement in a bench artifact.
+// Values written straight into the Metrics map bypass the clamp and are
+// rejected explicitly at marshal time instead.
 func (r *Report) Metric(name string, value float64) {
 	if r.Metrics == nil {
 		r.Metrics = make(map[string]float64)
 	}
-	r.Metrics[name] = value
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		if r.clamped == nil {
+			r.clamped = make(map[string]bool)
+		}
+		r.clamped[name] = true
+	} else {
+		delete(r.clamped, name)
+	}
+	r.Metrics[name] = clampFinite(value)
+}
+
+// ClampedMetrics returns the sorted names of metrics whose current
+// value was recorded non-finite.
+func (r *Report) ClampedMetrics() []string {
+	if len(r.clamped) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(r.clamped))
+	for name := range r.clamped {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// clampFinite maps non-finite values onto the finite line.
+func clampFinite(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// checkFinite returns a descriptive error when any metric holds a value
+// JSON cannot represent — naming the scenario and metric, unlike
+// encoding/json's opaque "unsupported value: NaN".
+func (r *Report) checkFinite() error {
+	for _, name := range r.MetricNames() {
+		if v := r.Metrics[name]; math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("scenario %s: metric %q is %v — not JSON-encodable (use Report.Metric, which clamps)", r.Scenario, name, v)
+		}
+	}
+	return nil
+}
+
+// MarshalJSON guards the marshal path against non-finite metric values
+// (possible only via direct Metrics map writes; Metric clamps). The
+// encoded form is exactly the plain struct encoding.
+func (r Report) MarshalJSON() ([]byte, error) {
+	if err := r.checkFinite(); err != nil {
+		return nil, err
+	}
+	type plain Report // drops the method set: no marshal recursion
+	return json.Marshal(plain(r))
 }
 
 // MetricNames returns the metric keys in sorted (JSON) order.
@@ -63,6 +138,9 @@ func WriteCSV(w io.Writer, reports ...*Report) error {
 	for _, r := range reports {
 		if r == nil {
 			continue
+		}
+		if err := r.checkFinite(); err != nil {
+			return err
 		}
 		if err := row(r.Scenario, "wall_seconds", r.WallSeconds); err != nil {
 			return err

@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -34,6 +36,83 @@ func TestReportJSONRoundTrip(t *testing.T) {
 	}
 	if back.Metrics["mean_rtt_ms"] != 11.5 || back.Scenario != "demo" {
 		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+func TestMetricClampsNonFinite(t *testing.T) {
+	rep := &Report{Scenario: "demo"}
+	rep.Metric("nan", math.NaN())
+	rep.Metric("posinf", math.Inf(1))
+	rep.Metric("neginf", math.Inf(-1))
+	rep.Metric("plain", 1.5)
+	if got := rep.Metrics["nan"]; got != 0 {
+		t.Errorf("NaN clamped to %v, want 0", got)
+	}
+	if got := rep.Metrics["posinf"]; got != math.MaxFloat64 {
+		t.Errorf("+Inf clamped to %v, want MaxFloat64", got)
+	}
+	if got := rep.Metrics["neginf"]; got != -math.MaxFloat64 {
+		t.Errorf("-Inf clamped to %v, want -MaxFloat64", got)
+	}
+	if got := rep.Metrics["plain"]; got != 1.5 {
+		t.Errorf("finite value disturbed: %v", got)
+	}
+	// A clamped report marshals cleanly...
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("marshal after clamp: %v", err)
+	}
+	// ...but the clamps are remembered, so Execute can refuse it.
+	if got := rep.ClampedMetrics(); len(got) != 3 {
+		t.Errorf("ClampedMetrics = %v, want the 3 non-finite names", got)
+	}
+	// A finite overwrite clears the record: the final report really is
+	// finite, so it must not be condemned for a corrected write.
+	rep.Metric("nan", 7)
+	rep.Metric("posinf", 8)
+	rep.Metric("neginf", 9)
+	if got := rep.ClampedMetrics(); got != nil {
+		t.Errorf("ClampedMetrics after finite overwrites = %v, want none", got)
+	}
+}
+
+// TestExecuteRejectsClampedMetrics: a clamped NaN must not flow into
+// results, where 0 would read as the best value on a lower-is-better CI
+// gate — the scenario fails explicitly instead.
+func TestExecuteRejectsClampedMetrics(t *testing.T) {
+	f := register(t, "nan", func(ctx context.Context, env *Env, cfg any) (*Report, error) {
+		rep := &Report{}
+		rep.Metric("poisoned_rmse", math.NaN())
+		return rep, nil
+	})
+	_, err := Execute(context.Background(), nil, f, f.DefaultConfig())
+	if err == nil {
+		t.Fatal("Execute accepted a non-finite metric")
+	}
+	for _, want := range []string{f.name, "poisoned_rmse"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+}
+
+func TestMarshalRejectsNonFiniteExplicitly(t *testing.T) {
+	rep := &Report{
+		Scenario: "demo",
+		// Written straight into the map, bypassing Metric's clamp.
+		Metrics: map[string]float64{"poisoned_rmse": math.NaN(), "fine": 1},
+	}
+	_, err := json.Marshal(rep)
+	if err == nil {
+		t.Fatal("marshal of NaN metric succeeded, want explicit error")
+	}
+	for _, want := range []string{"demo", "poisoned_rmse"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not name %q", err, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rep); err == nil || !strings.Contains(err.Error(), "poisoned_rmse") {
+		t.Errorf("WriteCSV error = %v, want explicit non-finite error", err)
 	}
 }
 

@@ -54,6 +54,23 @@ func BaseConfig(s Scenario, quick bool) any {
 	return s.DefaultConfig()
 }
 
+// Progress is one structured progress event from a running scenario or
+// the suite runner: a phase name plus an optional free-form message. It
+// is how long-running scenarios report heartbeats to whoever is driving
+// them — the CLI's -v stream, or a job-execution service's event buffer
+// — without importing that driver.
+type Progress struct {
+	// Scenario is the reporting scenario's registered name. Events emitted
+	// from inside a run are stamped by Execute; scenarios leave it empty.
+	Scenario string `json:"scenario,omitempty"`
+	// Phase names the lifecycle step: the runner emits "start", "done",
+	// "failed", and "skipped"; Logf lines arrive as "log"; scenarios pick
+	// their own phase names via Phasef ("warmup", "train", ...).
+	Phase string `json:"phase,omitempty"`
+	// Message is the human-readable detail; may be empty for a heartbeat.
+	Message string `json:"message,omitempty"`
+}
+
 // Env carries the run-time surroundings a scenario may use. The zero
 // value is valid: logging is discarded.
 type Env struct {
@@ -61,14 +78,74 @@ type Env struct {
 	Log io.Writer
 	// Quick marks a smoke run; scenarios may shed optional work.
 	Quick bool
+	// Progress receives structured progress events; nil discards them.
+	// The callback must be safe for concurrent use: a parallel suite run
+	// delivers events from several scenarios at once.
+	Progress func(Progress)
 }
 
-// Logf writes one progress line to the environment's log, if any.
+// Logf writes one progress line to the environment's log, if any, and
+// forwards it to the Progress hook as a "log" event.
 func (e *Env) Logf(format string, args ...any) {
-	if e == nil || e.Log == nil {
+	if e == nil {
 		return
 	}
-	fmt.Fprintf(e.Log, format+"\n", args...)
+	if e.Log != nil {
+		fmt.Fprintf(e.Log, format+"\n", args...)
+	}
+	if e.Progress != nil {
+		e.Progress(Progress{Phase: "log", Message: fmt.Sprintf(format, args...)})
+	}
+}
+
+// Phasef reports entering a named phase ("warmup", "train", "drain"),
+// with an optional message; an empty format sends a bare heartbeat. The
+// event goes to the Progress hook and, for -v style runs, the log.
+func (e *Env) Phasef(phase, format string, args ...any) {
+	if e == nil {
+		return
+	}
+	msg := ""
+	if format != "" {
+		msg = fmt.Sprintf(format, args...)
+	}
+	if e.Log != nil {
+		if msg == "" {
+			fmt.Fprintf(e.Log, "[%s]\n", phase)
+		} else {
+			fmt.Fprintf(e.Log, "[%s] %s\n", phase, msg)
+		}
+	}
+	if e.Progress != nil {
+		e.Progress(Progress{Phase: phase, Message: msg})
+	}
+}
+
+// forScenario returns a copy of the environment whose Progress events are
+// stamped with the scenario's name, so a shared suite-level hook can tell
+// concurrent scenarios apart. A nil environment stays nil.
+func (e *Env) forScenario(name string) *Env {
+	if e == nil || e.Progress == nil {
+		return e
+	}
+	c := *e
+	parent := e.Progress
+	c.Progress = func(ev Progress) {
+		if ev.Scenario == "" {
+			ev.Scenario = name
+		}
+		parent(ev)
+	}
+	return &c
+}
+
+// emit sends one event to the environment's Progress hook, if any —
+// the runner-side counterpart of Phasef.
+func (e *Env) emit(ev Progress) {
+	if e == nil || e.Progress == nil {
+		return
+	}
+	e.Progress(ev)
 }
 
 // DecodeConfig overlays raw JSON onto a copy of base and returns the
@@ -100,12 +177,18 @@ func Execute(ctx context.Context, env *Env, s Scenario, cfg any) (*Report, error
 		return nil, err
 	}
 	start := time.Now()
-	rep, err := s.Run(ctx, env, cfg)
+	rep, err := s.Run(ctx, env.forScenario(s.Name()), cfg)
 	if err != nil {
 		return nil, err
 	}
 	if rep == nil {
 		return nil, fmt.Errorf("scenario %s: Run returned neither report nor error", s.Name())
+	}
+	// A non-finite metric is a broken computation, not a measurement:
+	// the clamp kept it encodable, but letting it pass would feed the
+	// benchmark trajectory a value that can read as an improvement.
+	if clamped := rep.ClampedMetrics(); len(clamped) > 0 {
+		return nil, fmt.Errorf("scenario %s: non-finite metric value(s) %v", s.Name(), clamped)
 	}
 	rep.Scenario = s.Name()
 	rep.WallSeconds = time.Since(start).Seconds()

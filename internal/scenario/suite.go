@@ -182,10 +182,22 @@ func RunSuite(ctx context.Context, names []string, opts SuiteOptions) (*SuiteRes
 		out := Outcome{Scenario: j.s.Name()}
 		if err := runCtx.Err(); err != nil {
 			out.Skipped = true
-		} else if rep, err := Execute(sctx, opts.Env, j.s, j.cfg); err != nil {
-			out.Error = err.Error()
 		} else {
-			out.Report = rep
+			opts.Env.emit(Progress{Scenario: j.s.Name(), Phase: "start"})
+			if rep, err := Execute(sctx, opts.Env, j.s, j.cfg); err != nil {
+				out.Error = err.Error()
+			} else {
+				out.Report = rep
+			}
+		}
+		switch {
+		case out.Skipped:
+			opts.Env.emit(Progress{Scenario: j.s.Name(), Phase: "skipped"})
+		case out.Error != "":
+			opts.Env.emit(Progress{Scenario: j.s.Name(), Phase: "failed", Message: out.Error})
+		default:
+			opts.Env.emit(Progress{Scenario: j.s.Name(), Phase: "done",
+				Message: fmt.Sprintf("%.2fs wall, %d metrics", out.Report.WallSeconds, len(out.Report.Metrics))})
 		}
 		mu.Lock()
 		res.Outcomes[i] = out
