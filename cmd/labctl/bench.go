@@ -61,15 +61,25 @@ func benchCmd(ctx context.Context, stdout, errOut io.Writer, args []string) erro
 	if rf.shard != "" && rf.outPath == "" {
 		return fmt.Errorf("bench -shard requires -o: a shard is not a full trajectory point (merge shards with bench -merge)")
 	}
-	res, err := runSuite(ctx, names, rf, errOut)
-	if err != nil {
-		return err
+	var snap *benchstore.Snapshot
+	if rf.dispatchMode() {
+		// Fleet mode: each backend contributed one shard; the shard
+		// snapshots union through benchstore.Merge, the same guarded path
+		// `bench -merge` uses (overlaps and quick/full mixes refuse).
+		if snap, err = dispatchBench(ctx, names, rf, *label, errOut); err != nil {
+			return err
+		}
+	} else {
+		res, err := runSuite(ctx, names, rf, errOut)
+		if err != nil {
+			return err
+		}
+		// A partial run is not a trajectory point: refuse to record it.
+		if err := res.Err(); err != nil {
+			return fmt.Errorf("suite failed, no snapshot written: %w", err)
+		}
+		snap = benchstore.FromReports(*label, res.Reports()...)
 	}
-	// A partial run is not a trajectory point: refuse to record it.
-	if err := res.Err(); err != nil {
-		return fmt.Errorf("suite failed, no snapshot written: %w", err)
-	}
-	snap := benchstore.FromReports(*label, res.Reports()...)
 	snap.Quick = rf.quick
 	snap.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 	if *gobench != "" {

@@ -41,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/dispatch"
 	_ "repro/internal/experiments" // registers every lab scenario
 	"repro/internal/scenario"
 )
@@ -64,6 +65,8 @@ type runFlags struct {
 	failFast   bool
 	shard      string
 	addr       string
+	addrs      string
+	addrsFile  string
 }
 
 // newFlagSet returns a continue-on-error flag set writing to errOut.
@@ -83,6 +86,8 @@ func registerRunFlags(fs *flag.FlagSet, rf *runFlags, suiteMode bool) {
 	fs.BoolVar(&rf.verbose, "v", false, "stream scenario progress to stderr")
 	fs.DurationVar(&rf.timeout, "timeout", 0, "per-scenario timeout (0 = none)")
 	fs.StringVar(&rf.addr, "addr", "", "submit to the labd daemon at this address instead of running in-process")
+	fs.StringVar(&rf.addrs, "addrs", "", "comma-separated labd backends: dispatch one shard per healthy backend and merge the results")
+	fs.StringVar(&rf.addrsFile, "addrs-file", "", "file listing labd backends (whitespace separated, # comments), same as -addrs")
 	if suiteMode {
 		fs.IntVar(&rf.parallel, "parallel", 1, "scenarios run concurrently")
 		fs.BoolVar(&rf.failFast, "failfast", false, "stop the suite at the first failure")
@@ -175,6 +180,9 @@ bench flags:     suite flags plus -dir DIR -label L -gobench bench.txt
 compare flags:   -threshold 0.1 -abs-eps X -ignore-missing -dir DIR -o out.json|.csv
 remote mode:     -addr host:port submits run/suite/bench to a labd daemon
                  (same flags, artifacts, and exit codes; see docs/labd-api.md)
+fleet mode:      -addrs a,b,c (or -addrs-file F) dispatches run/suite/bench
+                 across several labd daemons, one suite shard per healthy
+                 backend, and merges the results (same artifacts/exit codes)
 `)
 }
 
@@ -283,6 +291,9 @@ func renderProgress(w io.Writer, scenarioName, phase, message string) {
 // interactive workflow. With one scenario and -o, the output file is the
 // bare Report (the machine-readable contract of `labctl run X -o out`).
 func runScenarios(ctx context.Context, stdout, errOut io.Writer, names []string, rf runFlags) error {
+	if rf.dispatchMode() {
+		return dispatchRun(ctx, stdout, errOut, names, rf)
+	}
 	if rf.addr != "" {
 		return remoteRun(ctx, stdout, errOut, names, rf)
 	}
@@ -331,6 +342,13 @@ func runScenarios(ctx context.Context, stdout, errOut io.Writer, names []string,
 // subcommands both go through. With -addr the suite runs as a job on the
 // labd daemon instead; results and exit behavior are identical.
 func runSuite(ctx context.Context, names []string, rf runFlags, errOut io.Writer) (*scenario.SuiteResult, error) {
+	if rf.dispatchMode() {
+		dres, err := dispatchSuite(ctx, names, rf, errOut)
+		if err != nil {
+			return nil, err
+		}
+		return dres.Suite, nil
+	}
 	if rf.addr != "" {
 		res, _, err := remoteSuite(ctx, names, rf, errOut)
 		return res, err
@@ -362,9 +380,15 @@ func runSuiteCmd(ctx context.Context, stdout, errOut io.Writer, names []string, 
 	var res *scenario.SuiteResult
 	var raw json.RawMessage
 	var err error
-	if rf.addr != "" {
+	switch {
+	case rf.dispatchMode():
+		var dres *dispatch.Result
+		if dres, err = dispatchSuite(ctx, names, rf, errOut); err == nil {
+			res, raw = dres.Suite, dres.Raw
+		}
+	case rf.addr != "":
 		res, raw, err = remoteSuite(ctx, names, rf, errOut)
-	} else {
+	default:
 		res, err = runSuite(ctx, names, rf, errOut)
 	}
 	if err != nil {

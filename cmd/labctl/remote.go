@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -45,7 +46,9 @@ func remoteJobSpec(names []string, rf runFlags) (labd.JobSpec, error) {
 // submitAndWait submits one job and blocks until it is terminal,
 // streaming progress events to errOut with -v. An interrupt (canceled
 // ctx) cancels the remote job best-effort before returning, so Ctrl-C
-// behaves like the in-process path.
+// behaves like the in-process path. A *labd.JobError is returned next
+// to the final status, so callers see both the failure message and any
+// attached per-scenario outcomes.
 func submitAndWait(ctx context.Context, errOut io.Writer, rf runFlags, spec labd.JobSpec) (*labd.JobStatus, error) {
 	c := labd.NewClient(rf.addr)
 	st, err := c.Submit(ctx, spec)
@@ -58,15 +61,12 @@ func submitAndWait(ctx context.Context, errOut io.Writer, rf runFlags, spec labd
 		onEvent = func(ev labd.Event) { renderEvent(errOut, ev) }
 	}
 	final, err := c.Wait(ctx, st.ID, onEvent)
-	if err != nil {
-		if ctx.Err() != nil {
-			cctx, stop := context.WithTimeout(context.Background(), 5*time.Second)
-			defer stop()
-			_, _ = c.Cancel(cctx, st.ID)
-		}
-		return nil, err
+	if err != nil && ctx.Err() != nil {
+		cctx, stop := context.WithTimeout(context.Background(), 5*time.Second)
+		defer stop()
+		_, _ = c.Cancel(cctx, st.ID)
 	}
-	return final, nil
+	return final, err
 }
 
 // renderEvent prints one remote progress event in the same form local
@@ -86,23 +86,19 @@ func remoteSuite(ctx context.Context, names []string, rf runFlags, errOut io.Wri
 		return nil, nil, err
 	}
 	st, err := submitAndWait(ctx, errOut, rf, spec)
+	var jerr *labd.JobError
+	if errors.As(err, &jerr) && jerr.State == labd.StateFailed && st != nil && st.Result != nil {
+		// The suite ran and some scenarios failed: the per-scenario
+		// outcomes carry the detail, same as a local failing run.
+		return st.Result, st.RawResult, nil
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	switch {
-	case st.State == labd.StateCanceled:
-		return nil, nil, fmt.Errorf("job %s canceled%s", st.ID, colonIf(st.Error))
-	case st.Result == nil:
-		return nil, nil, fmt.Errorf("job %s %s%s", st.ID, st.State, colonIf(st.Error))
+	if st.Result == nil {
+		return nil, nil, fmt.Errorf("job %s %s with no result attached", st.ID, st.State)
 	}
 	return st.Result, st.RawResult, nil
-}
-
-func colonIf(msg string) string {
-	if msg == "" || msg == "canceled" {
-		return ""
-	}
-	return ": " + msg
 }
 
 // remoteRun is `labctl run` against a daemon: one serial fail-fast job,
@@ -114,6 +110,14 @@ func remoteRun(ctx context.Context, stdout, errOut io.Writer, names []string, rf
 	if err != nil {
 		return err
 	}
+	return finishRun(stdout, res, raw, rf.outPath)
+}
+
+// finishRun renders a run-shaped suite result and writes the -o
+// artifact from the daemon's raw bytes — the tail remote and dispatch
+// runs share: reports in order, the first failure reported like a local
+// run.
+func finishRun(stdout io.Writer, res *scenario.SuiteResult, raw json.RawMessage, outPath string) error {
 	var reports []*scenario.Report
 	for _, o := range res.Outcomes {
 		if o.Error != "" {
@@ -130,7 +134,7 @@ func remoteRun(ctx context.Context, stdout, errOut io.Writer, names []string, rf
 	for _, rep := range reports {
 		renderReport(stdout, rep)
 	}
-	if rf.outPath == "" {
+	if outPath == "" {
 		return nil
 	}
 	raws, err := rawReports(raw)
@@ -141,9 +145,9 @@ func remoteRun(ctx context.Context, stdout, errOut io.Writer, names []string, rf
 	// key order is preserved, so the artifact matches a local run's
 	// byte for byte.
 	if len(raws) == 1 {
-		return writeOut(rf.outPath, raws[0], reports)
+		return writeOut(outPath, raws[0], reports)
 	}
-	return writeOut(rf.outPath, joinRawArray(raws), reports)
+	return writeOut(outPath, joinRawArray(raws), reports)
 }
 
 // rawReports extracts each outcome's exact report bytes from a raw

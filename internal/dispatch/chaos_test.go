@@ -1,0 +1,169 @@
+package dispatch
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch/dispatchtest"
+	"repro/internal/labd"
+)
+
+// TestChaosWedgedBackendMidSuite: a backend that accepts a shard and
+// then wedges (control requests stall while its event stream idles) must
+// surface as a poll timeout and requeue — not stall the dispatch behind
+// the hung connection.
+func TestChaosWedgedBackendMidSuite(t *testing.T) {
+	cluster := newCluster(t, 2)
+	ctx := ctxT(t)
+
+	gate := &blockGate{release: make(chan struct{})}
+	blockerGate.Store(gate)
+	defer blockerGate.Store(nil)
+	defer close(gate.release)
+
+	blocked := make(chan string, 1)
+	done := make(chan struct{})
+	var res *Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = Run(ctx, cluster.Addrs(), Options{
+			Spec:           labd.JobSpec{Scenarios: fixtureNames, Quick: true},
+			RequestTimeout: 500 * time.Millisecond,
+			OnEvent: func(ev Event) {
+				if ev.Event.Scenario == "dsp-block" && ev.Event.Phase == "blocked" {
+					select {
+					case blocked <- ev.Backend:
+					default:
+					}
+				}
+			},
+		})
+	}()
+
+	var wedgedAddr string
+	select {
+	case wedgedAddr = <-blocked:
+	case <-time.After(30 * time.Second):
+		t.Fatal("the blocker never reported holding a shard")
+	}
+	for _, b := range cluster.Backends {
+		if b.Addr() == wedgedAddr {
+			b.SetFault(dispatchtest.FaultHang)
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(45 * time.Second):
+		t.Fatal("dispatch stalled behind the wedged backend")
+	}
+	if runErr != nil {
+		t.Fatalf("dispatch after wedge: %v", runErr)
+	}
+	if err := res.Suite.Err(); err != nil {
+		t.Fatalf("merged result not green after requeue: %v", err)
+	}
+	requeued := false
+	for _, sh := range res.Shards {
+		if sh.Backend == wedgedAddr {
+			t.Errorf("shard %s still credited to the wedged backend", sh.Shard)
+		}
+		for _, off := range sh.Requeues {
+			if off == wedgedAddr {
+				requeued = true
+			}
+		}
+	}
+	if !requeued {
+		t.Error("no shard records being requeued off the wedged backend")
+	}
+}
+
+// TestChaosKillBackendMidSuite is the chaos e2e: a 3-backend cluster
+// loses one backend while its shard is mid-flight (a fixture scenario
+// holds the run until the chaos monkey strikes). The dispatcher must
+// detect the death, requeue the shard onto a survivor, finish green,
+// and produce a merged artifact byte-equivalent (modulo wall time) to a
+// single-process run of the same suite.
+func TestChaosKillBackendMidSuite(t *testing.T) {
+	cluster := newCluster(t, 3)
+	ctx := ctxT(t)
+
+	// Arm the blocker: exactly one run (wherever its shard lands) holds
+	// until released; the requeued re-run proceeds immediately.
+	gate := &blockGate{release: make(chan struct{})}
+	blockerGate.Store(gate)
+	defer blockerGate.Store(nil)
+	defer close(gate.release)
+
+	blocked := make(chan string, 1) // backend address holding dsp-block
+	done := make(chan struct{})
+	var res *Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = Run(ctx, cluster.Addrs(), Options{
+			Spec: labd.JobSpec{Scenarios: fixtureNames, Quick: true},
+			OnEvent: func(ev Event) {
+				if ev.Event.Scenario == "dsp-block" && ev.Event.Phase == "blocked" {
+					select {
+					case blocked <- ev.Backend:
+					default:
+					}
+				}
+			},
+		})
+	}()
+
+	var victimAddr string
+	select {
+	case victimAddr = <-blocked:
+	case <-time.After(30 * time.Second):
+		t.Fatal("the blocker never reported holding a shard")
+	}
+	for _, b := range cluster.Backends {
+		if b.Addr() == victimAddr {
+			b.Kill() // severs the event stream and cancels the held job
+		}
+	}
+
+	select {
+	case <-done:
+	case <-time.After(45 * time.Second):
+		t.Fatal("dispatch did not recover from the mid-suite kill")
+	}
+	if runErr != nil {
+		t.Fatalf("dispatch after kill: %v", runErr)
+	}
+	if err := res.Suite.Err(); err != nil {
+		t.Fatalf("merged result not green after requeue: %v", err)
+	}
+
+	// The killed backend's shard must record the requeue.
+	requeued := false
+	for _, sh := range res.Shards {
+		if sh.Backend == victimAddr {
+			t.Errorf("shard %s still credited to the killed backend", sh.Shard)
+		}
+		for _, off := range sh.Requeues {
+			if off == victimAddr {
+				requeued = true
+			}
+		}
+	}
+	if !requeued {
+		t.Error("no shard records being requeued off the killed backend")
+	}
+
+	// Byte-equivalence (modulo wall time) against a single-process run.
+	local := localSuite(t, fixtureNames, true)
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canon(t, res.Raw), canon(t, localJSON); got != want {
+		t.Errorf("post-chaos merged artifact differs from a single run:\n--- dispatch\n%s\n--- local\n%s", got, want)
+	}
+}

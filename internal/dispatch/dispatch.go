@@ -1,0 +1,594 @@
+// Package dispatch fans one suite/bench request out across a fleet of
+// labd backends — the cross-machine step of the benchmark-trajectory
+// seam: the shard slice (scenario.Shard{i,n}) is already deterministic,
+// so the dispatcher turns n healthy daemons into n shard jobs, one per
+// backend, and the suite's wall clock scales with hardware instead of
+// with scenario count.
+//
+// The life of one dispatch:
+//
+//	probe    every backend's /v1/healthz (bounded per-probe budget);
+//	         dead or draining backends are excluded at planning time
+//	plan     n = live backend count (capped at the suite size); shard
+//	         i/n goes to live backend i — the slice definition is fixed
+//	         here and never changes, even when a shard is requeued
+//	run      submit the shard jobs concurrently via labd.Client, stream
+//	         and multiplex every job's progress events into one ordered
+//	         callback
+//	requeue  a backend that dies mid-run (connection failure) or turns
+//	         work away (503 queue_full / draining) gets its shard
+//	         resubmitted to a surviving backend; scenario-level failures
+//	         are results, not backend faults, and are never retried
+//	merge    the per-shard SuiteResults reassemble into the exact result
+//	         a single-process run would have produced (MergeShards),
+//	         refusing overlapping shards and quick/full mixes
+//
+// cmd/labctl's -addrs/-addrs-file flags drive this for run/suite/bench
+// with the same artifacts and exit codes as single-backend -addr mode;
+// the dispatchtest subpackage is the in-process multi-labd cluster (with
+// per-backend fault injection) that the e2e tests and CI reuse.
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/labd"
+	"repro/internal/scenario"
+)
+
+// Options tunes one dispatch. Spec is the only required field; the
+// dispatcher owns the shard fields (a caller-set shard slice is
+// rejected — the whole point is that the fleet is the shard matrix).
+type Options struct {
+	// Spec is the base job every shard derives from: scenarios, quick,
+	// parallel, failfast, timeout, configs. ShardIndex/ShardCount must be
+	// zero.
+	Spec labd.JobSpec
+	// ProbeTimeout bounds each backend's health probe (default 3s).
+	ProbeTimeout time.Duration
+	// RequestTimeout bounds control calls — submit, status, cancel — so a
+	// hung backend surfaces as a fault instead of a stall (default 30s).
+	// Event streams are exempt: a shard legitimately runs for a long time.
+	RequestTimeout time.Duration
+	// RetryDelay is the pause before resubmitting a requeued shard when
+	// every surviving backend has already turned it away once
+	// (default 250ms).
+	RetryDelay time.Duration
+	// MaxAttempts caps submissions per shard (default 2 × backends).
+	MaxAttempts int
+	// OnEvent receives every job's progress events, serialized (never
+	// concurrently); nil discards them.
+	OnEvent func(Event)
+	// Logf receives dispatcher operational lines (planning, requeues);
+	// nil discards them.
+	Logf func(format string, args ...any)
+
+	// planHook lets package tests doctor the planned shard set (overlaps,
+	// quick/full mixes) to drive the merge refusals through the real
+	// dispatch path.
+	planHook func([]plan) []plan
+}
+
+// Event is one multiplexed progress event, stamped with where it ran.
+type Event struct {
+	// Backend is the normalized address of the daemon that emitted it.
+	Backend string
+	// Shard is the shard slot the event belongs to.
+	Shard scenario.Shard
+	// Event is the underlying labd progress event.
+	Event labd.Event
+}
+
+// ShardRun records how one shard slot was executed.
+type ShardRun struct {
+	// Shard is the deterministic slice this run covered.
+	Shard scenario.Shard
+	// Backend is the daemon that produced the accepted result.
+	Backend string
+	// JobID is the accepted job's id on that backend.
+	JobID string
+	// Attempts counts submissions, requeues included.
+	Attempts int
+	// Requeues lists the backends that failed this shard along the way.
+	Requeues []string
+	// Result is the shard's suite result.
+	Result *scenario.SuiteResult
+	// Raw preserves the daemon's exact result bytes for artifact splicing.
+	Raw json.RawMessage
+}
+
+// Result is one complete dispatch.
+type Result struct {
+	// Names is the full resolved suite order the shards partition.
+	Names []string
+	// Suite is the merged result, outcome order identical to a
+	// single-process run over Names.
+	Suite *scenario.SuiteResult
+	// Raw is the merged result spliced from the shards' exact report
+	// bytes, so artifacts stay byte-identical to single-backend runs.
+	Raw json.RawMessage
+	// Shards are the per-shard runs, ordered by shard index.
+	Shards []ShardRun
+	// Excluded lists backends dropped at planning time (dead or
+	// draining), in probe order.
+	Excluded []string
+}
+
+// backend is one daemon with its two client views: control calls carry
+// a request timeout so a hung backend is a fault, the stream client has
+// none so long-running jobs can be followed indefinitely.
+type backend struct {
+	addr   string
+	ctl    *labd.Client
+	stream *labd.Client
+}
+
+// plan is one shard slot with its initially assigned backend.
+type plan struct {
+	spec    labd.JobSpec
+	shard   scenario.Shard
+	backend *backend
+}
+
+// fleet is the shared live/dead view the shard goroutines requeue
+// against.
+type fleet struct {
+	mu       sync.Mutex
+	backends []*backend
+	dead     map[string]bool
+}
+
+// markDead excludes a backend from future requeue picks.
+func (f *fleet) markDead(addr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dead[addr] = true
+}
+
+// pick returns a surviving backend, preferring ones the shard has not
+// tried yet; with every survivor already tried, any survivor is fair
+// game again (a queue_full backend may have drained). Returns nil when
+// no backend survives.
+func (f *fleet) pick(tried map[string]bool) *backend {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var fallback *backend
+	for _, b := range f.backends {
+		if f.dead[b.addr] {
+			continue
+		}
+		if !tried[b.addr] {
+			return b
+		}
+		if fallback == nil {
+			fallback = b
+		}
+	}
+	return fallback
+}
+
+// Run dispatches one suite across the backends at addrs and returns the
+// merged result. It fails (rather than returning a partial result) when
+// no backend is healthy, a shard exhausts its attempts, the spec is
+// rejected, or the merge invariants are violated; scenario-level
+// failures are not errors — they surface in the merged SuiteResult
+// exactly as a local run's would.
+func Run(ctx context.Context, addrs []string, opts Options) (*Result, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("dispatch: no backends given")
+	}
+	if opts.Spec.ShardCount != 0 || opts.Spec.ShardIndex != 0 {
+		return nil, fmt.Errorf("dispatch: the dispatcher owns the shard slice; spec must not set one")
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 3 * time.Second
+	}
+	if opts.RequestTimeout <= 0 {
+		opts.RequestTimeout = 30 * time.Second
+	}
+	if opts.RetryDelay <= 0 {
+		opts.RetryDelay = 250 * time.Millisecond
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 2 * len(addrs)
+	}
+	// Both callbacks fire from concurrent shard goroutines and callers
+	// routinely point them at the same writer (labctl -v), so one mutex
+	// serializes them together.
+	var cbMu sync.Mutex
+	logf := func(string, ...any) {}
+	if opts.Logf != nil {
+		hook := opts.Logf
+		logf = func(format string, args ...any) {
+			cbMu.Lock()
+			defer cbMu.Unlock()
+			hook(format, args...)
+		}
+	}
+	onEvent := func(Event) {}
+	if opts.OnEvent != nil {
+		hook := opts.OnEvent
+		onEvent = func(ev Event) {
+			cbMu.Lock()
+			defer cbMu.Unlock()
+			hook(ev)
+		}
+	}
+
+	backends, err := newBackends(addrs, opts.RequestTimeout)
+	if err != nil {
+		return nil, err
+	}
+
+	// Probe: only backends that answer /v1/healthz and are not draining
+	// get shards.
+	live, excluded := probe(ctx, backends, opts.ProbeTimeout)
+	for _, ex := range excluded {
+		logf("dispatch: excluding %s at planning time: %s", ex.addr, ex.reason)
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("dispatch: no healthy backend among %d probed", len(backends))
+	}
+
+	// Resolve the full suite order. An explicit scenario list is taken as
+	// given; an empty one means the registry, fetched from a live backend
+	// so the partition reflects what the fleet actually serves.
+	names := opts.Spec.Scenarios
+	if len(names) == 0 {
+		if names, err = fleetNames(ctx, live); err != nil {
+			return nil, err
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dispatch: the fleet serves no scenarios")
+	}
+
+	// Plan: one shard per live backend, capped at the suite size (a 6th
+	// backend for a 5-scenario suite would only ever run an empty shard).
+	n := len(live)
+	if n > len(names) {
+		n = len(names)
+	}
+	plans := make([]plan, n)
+	for i := range plans {
+		spec := opts.Spec
+		spec.Scenarios = names
+		spec.ShardIndex, spec.ShardCount = i, n
+		plans[i] = plan{spec: spec, shard: scenario.Shard{Index: i, Count: n}, backend: live[i]}
+	}
+	if opts.planHook != nil {
+		plans = opts.planHook(plans)
+	}
+	logf("dispatch: %d scenario(s) over %d shard(s), %d backend(s) live, %d excluded",
+		len(names), len(plans), len(live), len(excluded))
+
+	fl := &fleet{backends: live, dead: make(map[string]bool)}
+	runs := make([]ShardRun, len(plans))
+	errs := make([]error, len(plans))
+	// One shard failing permanently dooms the whole dispatch, so cancel
+	// the siblings immediately instead of letting them run their slices
+	// to completion for a result that will be thrown away.
+	shardCtx, cancelShards := context.WithCancel(ctx)
+	defer cancelShards()
+	var wg sync.WaitGroup
+	for i := range plans {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runs[i], errs[i] = runShard(shardCtx, fl, plans[i], opts, logf, onEvent)
+			if errs[i] != nil {
+				cancelShards()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Prefer the error that triggered the cancelation over the siblings'
+	// resulting context.Canceled.
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil || (errors.Is(firstErr, context.Canceled) && !errors.Is(err, context.Canceled)) {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	suite, raw, err := MergeShards(names, runs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Names: names, Suite: suite, Raw: raw, Shards: runs}
+	for _, ex := range excluded {
+		res.Excluded = append(res.Excluded, ex.addr)
+	}
+	return res, nil
+}
+
+// newBackends normalizes and deduplicates the address list.
+func newBackends(addrs []string, reqTimeout time.Duration) ([]*backend, error) {
+	out := make([]*backend, 0, len(addrs))
+	seen := make(map[string]bool)
+	for _, addr := range addrs {
+		c := labd.NewClient(addr)
+		if seen[c.BaseURL] {
+			return nil, fmt.Errorf("dispatch: backend %s listed twice", c.BaseURL)
+		}
+		seen[c.BaseURL] = true
+		out = append(out, &backend{
+			addr:   c.BaseURL,
+			ctl:    &labd.Client{BaseURL: c.BaseURL, HTTPClient: &http.Client{Timeout: reqTimeout}},
+			stream: c,
+		})
+	}
+	return out, nil
+}
+
+// excludedBackend records a planning-time exclusion.
+type excludedBackend struct {
+	addr   string
+	reason string
+}
+
+// probe health-checks every backend concurrently and splits the fleet
+// into live and excluded, preserving input order.
+func probe(ctx context.Context, backends []*backend, timeout time.Duration) ([]*backend, []excludedBackend) {
+	type verdict struct {
+		ok     bool
+		reason string
+	}
+	verdicts := make([]verdict, len(backends))
+	var wg sync.WaitGroup
+	for i, b := range backends {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			pctx, cancel := context.WithTimeout(ctx, timeout)
+			defer cancel()
+			h, err := b.ctl.Health(pctx)
+			switch {
+			case err != nil:
+				verdicts[i] = verdict{reason: fmt.Sprintf("health probe: %v", err)}
+			case !h.OK():
+				verdicts[i] = verdict{reason: fmt.Sprintf("status %q, draining=%v", h.Status, h.Draining)}
+			default:
+				verdicts[i] = verdict{ok: true}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+	var live []*backend
+	var excluded []excludedBackend
+	for i, b := range backends {
+		if verdicts[i].ok {
+			live = append(live, b)
+		} else {
+			excluded = append(excluded, excludedBackend{addr: b.addr, reason: verdicts[i].reason})
+		}
+	}
+	return live, excluded
+}
+
+// fleetNames resolves the full registry order from the first live
+// backend that answers, mirroring scenario.Names()'s sorted order.
+func fleetNames(ctx context.Context, live []*backend) ([]string, error) {
+	var lastErr error
+	for _, b := range live {
+		infos, err := b.ctl.Scenarios(ctx)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		names := make([]string, 0, len(infos))
+		for _, info := range infos {
+			names = append(names, info.Name)
+		}
+		sort.Strings(names)
+		return names, nil
+	}
+	return nil, fmt.Errorf("dispatch: listing fleet scenarios: %w", lastErr)
+}
+
+// runShard executes one shard slot to an accepted result, requeuing
+// across the fleet on backend faults. The first attempt goes to the
+// planned backend; every later one to a survivor the shard has not
+// tried, falling back (after RetryDelay) to retrying survivors when all
+// have turned it away once.
+func runShard(ctx context.Context, fl *fleet, p plan, opts Options, logf func(string, ...any), onEvent func(Event)) (ShardRun, error) {
+	run := ShardRun{Shard: p.shard}
+	tried := map[string]bool{}
+	b := p.backend
+	for {
+		if err := ctx.Err(); err != nil {
+			return run, err
+		}
+		if b == nil {
+			return run, fmt.Errorf("dispatch: shard %s: no surviving backend to requeue onto (%d attempt(s))",
+				p.shard, run.Attempts)
+		}
+		run.Attempts++
+		tried[b.addr] = true
+		st, err := runShardOn(ctx, b, p, opts.RequestTimeout, onEvent)
+		if err == nil {
+			run.Backend, run.JobID = b.addr, st.ID
+			run.Result, run.Raw = st.Result, st.RawResult
+			return run, nil
+		}
+		fault, permanent := classify(err, st)
+		if permanent {
+			return run, fmt.Errorf("dispatch: shard %s on %s: %w", p.shard, b.addr, err)
+		}
+		if run.Attempts >= opts.MaxAttempts {
+			return run, fmt.Errorf("dispatch: shard %s: giving up after %d attempt(s), last backend %s: %w",
+				p.shard, run.Attempts, b.addr, err)
+		}
+		if fault {
+			fl.markDead(b.addr)
+		}
+		logf("dispatch: shard %s: requeuing off %s (%v)", p.shard, b.addr, err)
+		run.Requeues = append(run.Requeues, b.addr)
+		next := fl.pick(tried)
+		if next != nil && tried[next.addr] {
+			// Every survivor has already turned this shard away once; give
+			// their queues a beat before going around again.
+			select {
+			case <-time.After(opts.RetryDelay):
+			case <-ctx.Done():
+				return run, ctx.Err()
+			}
+		}
+		b = next
+	}
+}
+
+// runShardOn submits one shard job to one backend and waits it out. A
+// scenario-failed job (result attached) is an accepted outcome — the
+// failure belongs in the merged suite result, same as a local run; every
+// other non-done ending is an error for the caller to classify. On any
+// non-terminal exit (interrupt, wedged or partitioned backend) the job
+// is canceled best-effort — without blocking the requeue on a dead host
+// — so the same shard does not keep executing on two backends at once.
+func runShardOn(ctx context.Context, b *backend, p plan, reqTimeout time.Duration, onEvent func(Event)) (*labd.JobStatus, error) {
+	st, err := b.ctl.Submit(ctx, p.spec)
+	if err != nil {
+		return nil, err
+	}
+	final, err := waitShard(ctx, b, st.ID, p, onEvent)
+	var jerr *labd.JobError
+	if errors.As(err, &jerr) {
+		// The job is terminal on the backend; nothing to cancel. Failed
+		// with outcomes attached is a result, not a fault.
+		if jerr.State == labd.StateFailed && final != nil && final.Result != nil {
+			return final, nil
+		}
+		return final, err
+	}
+	if err != nil {
+		go func() {
+			cctx, stop := context.WithTimeout(context.Background(), reqTimeout)
+			defer stop()
+			_, _ = b.ctl.Cancel(cctx, st.ID)
+		}()
+		if ctx.Err() != nil {
+			return final, ctx.Err()
+		}
+		return final, err
+	}
+	return final, nil
+}
+
+const (
+	// pollInterval paces the authoritative job-status polls while a
+	// shard runs.
+	pollInterval = 250 * time.Millisecond
+	// streamRetryDelay paces event-stream reconnects after a break.
+	streamRetryDelay = 250 * time.Millisecond
+)
+
+// waitShard blocks until the job is terminal and returns its final
+// status — *labd.JobError for a failed/canceled ending, mirroring
+// labd.Client.Wait. Unlike Wait, the authoritative status polls run on
+// the timed control client while the untimed stream client only feeds
+// events best-effort in the background: a backend that accepts a shard
+// and then wedges surfaces as a poll timeout (a requeueable fault)
+// instead of stalling the dispatch behind a hung event stream.
+func waitShard(ctx context.Context, b *backend, id string, p plan, onEvent func(Event)) (*labd.JobStatus, error) {
+	sctx, stopStream := context.WithCancel(ctx)
+	defer stopStream()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		since := -1
+		for {
+			err := b.stream.StreamEvents(sctx, id, since, true, func(ev labd.Event) error {
+				since = ev.Seq
+				onEvent(Event{Backend: b.addr, Shard: p.shard, Event: ev})
+				return nil
+			})
+			if err == nil || sctx.Err() != nil {
+				// The follow stream ended at the terminal state, or the
+				// wait is over.
+				return
+			}
+			select {
+			case <-time.After(streamRetryDelay):
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+	for {
+		st, err := b.ctl.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if st.State.Terminal() {
+			// Let the event stream drain its tail so -v output is complete,
+			// but never stall a finished shard behind a broken stream.
+			select {
+			case <-streamDone:
+			case <-time.After(2 * pollInterval):
+			}
+			if st.State != labd.StateDone {
+				return st, &labd.JobError{ID: st.ID, State: st.State, Message: st.Error}
+			}
+			return st, nil
+		}
+		select {
+		case <-time.After(pollInterval):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// classify sorts a shard attempt's error into backend faults (requeue
+// and stop using the backend), busy signals (requeue, backend may
+// recover), and permanent errors (the same spec would fail anywhere —
+// abort the dispatch). Returns (markDead, permanent).
+func classify(err error, st *labd.JobStatus) (bool, bool) {
+	var apiErr *labd.APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Code {
+		case labd.CodeQueueFull, labd.CodeDraining:
+			// Busy, not dead: requeue elsewhere, maybe come back.
+			return false, false
+		case labd.CodeUnknownScenario, labd.CodeBadRequest:
+			// Spec-level rejection: retrying elsewhere would fail
+			// identically.
+			return false, true
+		default:
+			// not_found (the daemon restarted and lost its job store),
+			// internal, or a proxy's non-envelope 5xx: the backend is
+			// unreliable — requeue like a transport death.
+			return true, false
+		}
+	}
+	var jerr *labd.JobError
+	if errors.As(err, &jerr) {
+		// A job that failed with no suite result died pre-flight on a spec
+		// the server accepted — config decode errors are deterministic, so
+		// this is permanent. A canceled job means someone killed it on the
+		// daemon out from under us: treat the backend as suspect.
+		if jerr.State == labd.StateFailed {
+			return false, st == nil || st.Result == nil
+		}
+		return true, false
+	}
+	// Transport-level failure: connection refused/reset, timeout — the
+	// backend is gone or wedged.
+	return true, false
+}

@@ -198,10 +198,31 @@ func (c *Client) StreamEvents(ctx context.Context, id string, since int, follow 
 	return sc.Err()
 }
 
+// JobError is the error Wait returns for a job that terminated in a
+// non-done state. It carries the job's failure message directly, so
+// callers learn why a job failed from the error itself instead of
+// re-fetching the job; the final JobStatus (result attached when the
+// suite produced one) is still returned alongside it.
+type JobError struct {
+	ID      string
+	State   State  // failed or canceled
+	Message string // the job's Error field at terminal time
+}
+
+func (e *JobError) Error() string {
+	if e.Message == "" || (e.State == StateCanceled && e.Message == "canceled") {
+		return fmt.Sprintf("job %s %s", e.ID, e.State)
+	}
+	return fmt.Sprintf("job %s %s: %s", e.ID, e.State, e.Message)
+}
+
 // Wait blocks until the job reaches a terminal state, streaming events
 // through onEvent (nil ok) along the way, and returns the final status.
-// If ctx is canceled, the job is left running server-side (callers that
-// want cancel-on-interrupt send Cancel explicitly).
+// A job that terminated failed or canceled yields a *JobError carrying
+// the job's failure message next to the final status, so callers get
+// both the reason and (for a failed suite) the per-scenario outcomes in
+// one call. If ctx is canceled, the job is left running server-side
+// (callers that want cancel-on-interrupt send Cancel explicitly).
 func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*JobStatus, error) {
 	since := -1
 	for {
@@ -220,6 +241,9 @@ func (c *Client) Wait(ctx context.Context, id string, onEvent func(Event)) (*Job
 			return nil, jerr
 		}
 		if st.State.Terminal() {
+			if st.State != StateDone {
+				return st, &JobError{ID: st.ID, State: st.State, Message: st.Error}
+			}
 			return st, nil
 		}
 		if err != nil {

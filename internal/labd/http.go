@@ -81,6 +81,11 @@ type Health struct {
 	Draining bool   `json:"draining"`
 }
 
+// OK reports whether the backend is accepting new work: serving and not
+// draining. This is the predicate fleet dispatchers use to exclude
+// backends at planning time.
+func (h *Health) OK() bool { return h != nil && h.Status == "ok" && !h.Draining }
+
 // Handler returns the versioned HTTP API over the server.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()

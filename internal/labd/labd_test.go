@@ -3,6 +3,7 @@ package labd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -143,11 +144,12 @@ func TestCancelRunningJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	final, err := c.Wait(ctx, st.ID, nil)
-	if err != nil {
-		t.Fatal(err)
+	var jerr *JobError
+	if !errors.As(err, &jerr) || jerr.State != StateCanceled {
+		t.Fatalf("Wait err = %v, want *JobError canceled", err)
 	}
-	if final.State != StateCanceled {
-		t.Fatalf("state = %s, want canceled", final.State)
+	if final == nil || final.State != StateCanceled {
+		t.Fatalf("state = %v, want canceled", final)
 	}
 	if d := time.Since(cancelStart); d > 5*time.Second {
 		t.Errorf("cancellation took %v", d)
@@ -457,5 +459,35 @@ func TestCanceledQueuedJobFreesSlot(t *testing.T) {
 		if _, err := c.Submit(ctx, JobSpec{Scenarios: []string{filler.name}}); err != nil {
 			t.Fatalf("submit after cancels: %v", err)
 		}
+	}
+}
+
+// TestWaitSurfacesFailure: Wait's error for a failed job must carry the
+// job's failure message itself — callers should not have to re-fetch the
+// job to learn why it failed — while still returning the final status
+// with the per-scenario outcomes attached.
+func TestWaitSurfacesFailure(t *testing.T) {
+	sc := register(t, "boom", func(ctx context.Context, env *scenario.Env) (*scenario.Report, error) {
+		return nil, fmt.Errorf("the flux capacitor jammed")
+	})
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx := ctxT(t)
+	st, err := c.Submit(ctx, JobSpec{Scenarios: []string{sc.name}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Wait(ctx, st.ID, nil)
+	var jerr *JobError
+	if !errors.As(err, &jerr) {
+		t.Fatalf("Wait err = %v (%T), want *JobError", err, err)
+	}
+	if jerr.State != StateFailed || jerr.ID != st.ID {
+		t.Errorf("JobError = %+v", jerr)
+	}
+	if !strings.Contains(jerr.Message, "flux capacitor") || !strings.Contains(jerr.Error(), "flux capacitor") {
+		t.Errorf("failure message not surfaced: %q / %q", jerr.Message, jerr.Error())
+	}
+	if final == nil || final.State != StateFailed || final.Result == nil {
+		t.Errorf("final status missing outcomes: %+v", final)
 	}
 }

@@ -31,6 +31,15 @@ func TestShardNamesPartitionExactlyOnce(t *testing.T) {
 	}
 }
 
+func TestShardString(t *testing.T) {
+	if got := (Shard{Index: 2, Count: 5}).String(); got != "2/5" {
+		t.Errorf("String() = %q, want 2/5", got)
+	}
+	if got := (Shard{}).String(); got != "0/1" {
+		t.Errorf("zero-value String() = %q, want 0/1", got)
+	}
+}
+
 func TestShardUnionIndependentOfShardCount(t *testing.T) {
 	// The merged scenario set must be the same whatever the shard count —
 	// the shard-merge determinism the CI matrix relies on.

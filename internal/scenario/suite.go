@@ -26,6 +26,15 @@ type Shard struct {
 // enabled reports whether the shard actually splits the suite.
 func (sh Shard) enabled() bool { return sh.Count > 1 }
 
+// String renders the shard in the i/n form labctl's -shard flag accepts;
+// the disabled zero value reads 0/1.
+func (sh Shard) String() string {
+	if !sh.enabled() {
+		return "0/1"
+	}
+	return fmt.Sprintf("%d/%d", sh.Index, sh.Count)
+}
+
 // validate rejects out-of-range shard specs.
 func (sh Shard) validate() error {
 	if sh.Count > 1 && (sh.Index < 0 || sh.Index >= sh.Count) {
