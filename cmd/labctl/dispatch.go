@@ -13,12 +13,14 @@ import (
 
 // Dispatch mode: with -addrs a,b,c (or -addrs-file), run/suite/bench fan
 // out across a fleet of labd daemons instead of submitting to a single
-// one — the dispatcher (internal/dispatch) probes /v1/healthz, plans one
-// shard per healthy backend, requeues shards off dying or busy
-// backends, and merges the per-shard results back into the exact
-// artifact a single run would have written. Flags, artifacts, and exit
-// codes match -addr mode; -shard is rejected because the fleet itself is
-// the shard matrix.
+// one — the dispatcher (internal/dispatch) probes /v1/healthz, queues
+// the suite as scenario-granular work units that per-backend pullers
+// drain (fast backends take more; a dying or busy backend spills back
+// only its in-flight unit), and merges the per-unit results back into
+// the exact artifact a single run would have written. -steal=false
+// restores the fixed one-shard-per-backend plan. Flags, artifacts, and
+// exit codes match -addr mode; -shard is rejected because the fleet
+// itself is the shard matrix.
 
 // dispatchMode reports whether a backend fleet was given.
 func (rf runFlags) dispatchMode() bool { return rf.addrs != "" || rf.addrsFile != "" }
@@ -83,7 +85,7 @@ func dispatchSuite(ctx context.Context, names []string, rf runFlags, errOut io.W
 	if err != nil {
 		return nil, err
 	}
-	opts := dispatch.Options{Spec: spec}
+	opts := dispatch.Options{Spec: spec, FixedShards: !rf.steal}
 	if rf.verbose {
 		opts.Logf = func(format string, args ...any) {
 			fmt.Fprintf(errOut, format+"\n", args...)
@@ -110,14 +112,20 @@ func dispatchBench(ctx context.Context, names []string, rf runFlags, label strin
 	if err := dres.Suite.Err(); err != nil {
 		return nil, fmt.Errorf("suite failed, no snapshot written: %w", err)
 	}
-	snaps := make([]*benchstore.Snapshot, len(dres.Shards))
-	for i, sh := range dres.Shards {
+	var snaps []*benchstore.Snapshot
+	for _, u := range dres.Units {
+		s := benchstore.FromReports("", u.Result.Reports()...)
+		// Each unit's configuration class comes from its own result, so
+		// Merge's quick/full-mix refusal actually guards the fleet's
+		// results against each other rather than restating one flag n
+		// times.
+		s.Quick = u.Result.Quick
+		snaps = append(snaps, s)
+	}
+	for _, sh := range dres.Shards { // -steal=false
 		s := benchstore.FromReports("", sh.Result.Reports()...)
-		// Each shard's configuration class comes from its own result, so
-		// Merge's quick/full-mix refusal actually guards the shards
-		// against each other rather than restating one flag n times.
 		s.Quick = sh.Result.Quick
-		snaps[i] = s
+		snaps = append(snaps, s)
 	}
 	snap, err := benchstore.Merge(snaps...)
 	if err != nil {

@@ -67,6 +67,7 @@ type runFlags struct {
 	addr       string
 	addrs      string
 	addrsFile  string
+	steal      bool
 }
 
 // newFlagSet returns a continue-on-error flag set writing to errOut.
@@ -86,8 +87,9 @@ func registerRunFlags(fs *flag.FlagSet, rf *runFlags, suiteMode bool) {
 	fs.BoolVar(&rf.verbose, "v", false, "stream scenario progress to stderr")
 	fs.DurationVar(&rf.timeout, "timeout", 0, "per-scenario timeout (0 = none)")
 	fs.StringVar(&rf.addr, "addr", "", "submit to the labd daemon at this address instead of running in-process")
-	fs.StringVar(&rf.addrs, "addrs", "", "comma-separated labd backends: dispatch one shard per healthy backend and merge the results")
+	fs.StringVar(&rf.addrs, "addrs", "", "comma-separated labd backends: dispatch the suite across every healthy backend and merge the results")
 	fs.StringVar(&rf.addrsFile, "addrs-file", "", "file listing labd backends (whitespace separated, # comments), same as -addrs")
+	fs.BoolVar(&rf.steal, "steal", true, "with -addrs: pull scenario-granular work units per backend; -steal=false restores fixed per-backend shards")
 	if suiteMode {
 		fs.IntVar(&rf.parallel, "parallel", 1, "scenarios run concurrently")
 		fs.BoolVar(&rf.failFast, "failfast", false, "stop the suite at the first failure")
@@ -181,8 +183,10 @@ compare flags:   -threshold 0.1 -abs-eps X -ignore-missing -dir DIR -o out.json|
 remote mode:     -addr host:port submits run/suite/bench to a labd daemon
                  (same flags, artifacts, and exit codes; see docs/labd-api.md)
 fleet mode:      -addrs a,b,c (or -addrs-file F) dispatches run/suite/bench
-                 across several labd daemons, one suite shard per healthy
-                 backend, and merges the results (same artifacts/exit codes)
+                 across several labd daemons: backends pull scenario-granular
+                 work units, so fast machines take more and a straggler never
+                 gates the suite; -steal=false restores fixed per-backend
+                 shards (same artifacts/exit codes either way)
 `)
 }
 

@@ -39,15 +39,16 @@ func main() {
 		events       = flag.Int("events", 512, "per-job progress event ring capacity")
 		benchDir     = flag.String("bench-dir", "", "trajectory directory for /v1/bench (empty disables it)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Minute, "maximum wait for in-flight jobs on shutdown")
+		execDelay    = flag.Duration("exec-delay", 0, "artificially delay each job before it executes (straggler fault injection)")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *queue, *events, *benchDir, *drainTimeout); err != nil {
+	if err := run(*addr, *workers, *queue, *events, *benchDir, *drainTimeout, *execDelay); err != nil {
 		fmt.Fprintln(os.Stderr, "labd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, events int, benchDir string, drainTimeout time.Duration) error {
+func run(addr string, workers, queue, events int, benchDir string, drainTimeout, execDelay time.Duration) error {
 	logger := log.New(os.Stderr, "labd: ", log.LstdFlags)
 	s := labd.New(labd.Config{
 		Workers:     workers,
@@ -57,6 +58,10 @@ func run(addr string, workers, queue, events int, benchDir string, drainTimeout 
 		Log:         logger,
 	})
 	defer s.Close()
+	if execDelay > 0 {
+		s.SetExecDelay(execDelay)
+		logger.Printf("exec-delay: every job delayed %v (straggler fault injection)", execDelay)
+	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)

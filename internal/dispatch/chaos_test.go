@@ -65,20 +65,33 @@ func TestChaosWedgedBackendMidSuite(t *testing.T) {
 	if err := res.Suite.Err(); err != nil {
 		t.Fatalf("merged result not green after requeue: %v", err)
 	}
+	// Units the wedged backend completed before wedging are legitimate;
+	// the held unit itself must have spilled off it onto a survivor.
+	block := unitFor(t, res, "dsp-block")
+	if block.Backend == wedgedAddr {
+		t.Errorf("the held unit is still credited to the wedged backend")
+	}
 	requeued := false
-	for _, sh := range res.Shards {
-		if sh.Backend == wedgedAddr {
-			t.Errorf("shard %s still credited to the wedged backend", sh.Shard)
-		}
-		for _, off := range sh.Requeues {
-			if off == wedgedAddr {
-				requeued = true
-			}
+	for _, off := range block.Requeues {
+		if off == wedgedAddr {
+			requeued = true
 		}
 	}
 	if !requeued {
-		t.Error("no shard records being requeued off the wedged backend")
+		t.Errorf("held unit requeues = %v, want the wedged backend recorded", block.Requeues)
 	}
+}
+
+// unitFor returns the unit run covering the named scenario.
+func unitFor(t *testing.T, res *Result, name string) UnitRun {
+	t.Helper()
+	for _, u := range res.Units {
+		if u.Scenario == name {
+			return u
+		}
+	}
+	t.Fatalf("no unit covers %s", name)
+	return UnitRun{}
 }
 
 // TestChaosKillBackendMidSuite is the chaos e2e: a 3-backend cluster
@@ -141,20 +154,22 @@ func TestChaosKillBackendMidSuite(t *testing.T) {
 		t.Fatalf("merged result not green after requeue: %v", err)
 	}
 
-	// The killed backend's shard must record the requeue.
-	requeued := false
-	for _, sh := range res.Shards {
-		if sh.Backend == victimAddr {
-			t.Errorf("shard %s still credited to the killed backend", sh.Shard)
-		}
-		for _, off := range sh.Requeues {
-			if off == victimAddr {
-				requeued = true
-			}
-		}
+	// Only the victim's in-flight unit re-spills, and exactly once: the
+	// whole point of scenario-granular requeue. Everything else ran on
+	// its first attempt (either completed before the kill or pulled by a
+	// survivor after it).
+	block := unitFor(t, res, "dsp-block")
+	if block.Backend == victimAddr {
+		t.Errorf("the held unit is still credited to the killed backend")
 	}
-	if !requeued {
-		t.Error("no shard records being requeued off the killed backend")
+	if block.Attempts != 2 || len(block.Requeues) != 1 || block.Requeues[0] != victimAddr {
+		t.Errorf("held unit attempts=%d requeues=%v, want exactly one requeue off the victim",
+			block.Attempts, block.Requeues)
+	}
+	for _, u := range res.Units {
+		if u.Scenario != "dsp-block" && u.Attempts != 1 {
+			t.Errorf("unit %s took %d attempts; only the in-flight unit should requeue", u.Scenario, u.Attempts)
+		}
 	}
 
 	// Byte-equivalence (modulo wall time) against a single-process run.

@@ -1,27 +1,35 @@
 // Package dispatch fans one suite/bench request out across a fleet of
 // labd backends — the cross-machine step of the benchmark-trajectory
-// seam: the shard slice (scenario.Shard{i,n}) is already deterministic,
-// so the dispatcher turns n healthy daemons into n shard jobs, one per
-// backend, and the suite's wall clock scales with hardware instead of
-// with scenario count.
+// seam — so the suite's wall clock scales with hardware instead of with
+// scenario count.
 //
-// The life of one dispatch:
+// The life of one dispatch (the default, work-stealing mode):
 //
 //	probe    every backend's /v1/healthz (bounded per-probe budget);
 //	         dead or draining backends are excluded at planning time
-//	plan     n = live backend count (capped at the suite size); shard
-//	         i/n goes to live backend i — the slice definition is fixed
-//	         here and never changes, even when a shard is requeued
-//	run      submit the shard jobs concurrently via labd.Client, stream
-//	         and multiplex every job's progress events into one ordered
-//	         callback
+//	queue    the resolved suite becomes a dispatcher-side queue of
+//	         scenario-granular units — one scenario per unit — and each
+//	         live backend gets a puller goroutine draining it
+//	pull     a puller takes the next unit and submits it as a
+//	         single-scenario job via labd.Client, streaming and
+//	         multiplexing every job's progress events into one ordered
+//	         callback; fast backends simply take more units, and a
+//	         straggler (EWMA of unit wall-time ≥ 2× a faster peer's)
+//	         briefly stands aside at the queue's tail so it never gates
+//	         the suite
 //	requeue  a backend that dies mid-run (connection failure) or turns
-//	         work away (503 queue_full / draining) gets its shard
-//	         resubmitted to a surviving backend; scenario-level failures
-//	         are results, not backend faults, and are never retried
-//	merge    the per-shard SuiteResults reassemble into the exact result
-//	         a single-process run would have produced (MergeShards),
-//	         refusing overlapping shards and quick/full mixes
+//	         work away (503 queue_full / draining) spills back exactly
+//	         its in-flight unit — never a multi-scenario slice — and the
+//	         re-probe tick lets excluded, recovered, or late backends
+//	         join the plan while it runs; scenario-level failures are
+//	         results, not backend faults, and are never retried
+//	merge    the per-unit results reassemble into the exact result a
+//	         single-process run would have produced (MergeUnits),
+//	         refusing overlaps, gaps, and quick/full mixes
+//
+// Options.FixedShards restores the previous plan — one fixed
+// scenario.Shard{i,n} job per live backend, merged by MergeShards —
+// reachable from labctl as -steal=false.
 //
 // cmd/labctl's -addrs/-addrs-file flags drive this for run/suite/bench
 // with the same artifacts and exit codes as single-backend -addr mode;
@@ -57,12 +65,24 @@ type Options struct {
 	// hung backend surfaces as a fault instead of a stall (default 30s).
 	// Event streams are exempt: a shard legitimately runs for a long time.
 	RequestTimeout time.Duration
-	// RetryDelay is the pause before resubmitting a requeued shard when
-	// every surviving backend has already turned it away once
-	// (default 250ms).
+	// RetryDelay is the pause before resubmitting requeued work to a
+	// backend that already turned it away — the base of the exponential
+	// busy backoff in steal mode, the all-survivors-tried pause in fixed
+	// mode (default 250ms).
 	RetryDelay time.Duration
-	// MaxAttempts caps submissions per shard (default 2 × backends).
+	// MaxAttempts caps submissions per unit (or per shard under
+	// FixedShards). The default is 2 × the backends that pass the
+	// planning probe — derived from the live fleet, not the address list,
+	// so a 10-address fleet with one survivor does not retry 20× against
+	// the lone backend.
 	MaxAttempts int
+	// FixedShards restores the PR-5 plan: one fixed shard i/n job per
+	// live backend instead of the scenario-granular work queue
+	// (labctl -steal=false).
+	FixedShards bool
+	// ReprobeInterval paces the steal-mode health re-probe that lets
+	// excluded or mid-run-dead backends join the plan live (default 1s).
+	ReprobeInterval time.Duration
 	// OnEvent receives every job's progress events, serialized (never
 	// concurrently); nil discards them.
 	OnEvent func(Event)
@@ -80,7 +100,8 @@ type Options struct {
 type Event struct {
 	// Backend is the normalized address of the daemon that emitted it.
 	Backend string
-	// Shard is the shard slot the event belongs to.
+	// Shard is the slot the event belongs to: the shard slice under
+	// FixedShards, or unit-index/suite-size in steal mode.
 	Shard scenario.Shard
 	// Event is the underlying labd progress event.
 	Event labd.Event
@@ -114,7 +135,11 @@ type Result struct {
 	// Raw is the merged result spliced from the shards' exact report
 	// bytes, so artifacts stay byte-identical to single-backend runs.
 	Raw json.RawMessage
-	// Shards are the per-shard runs, ordered by shard index.
+	// Units are the scenario-granular unit runs, ordered by suite index
+	// (steal mode; empty under FixedShards).
+	Units []UnitRun
+	// Shards are the per-shard runs, ordered by shard index (FixedShards
+	// mode; empty otherwise).
 	Shards []ShardRun
 	// Excluded lists backends dropped at planning time (dead or
 	// draining), in probe order.
@@ -143,6 +168,7 @@ type fleet struct {
 	mu       sync.Mutex
 	backends []*backend
 	dead     map[string]bool
+	cursor   int // rotates the all-tried fallback across survivors
 }
 
 // markDead excludes a backend from future requeue picks.
@@ -159,25 +185,30 @@ func (f *fleet) markDead(addr string) {
 func (f *fleet) pick(tried map[string]bool) *backend {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	var fallback *backend
 	for _, b := range f.backends {
+		if !f.dead[b.addr] && !tried[b.addr] {
+			return b
+		}
+	}
+	// Every survivor has been tried: rotate a cursor through the fleet so
+	// repeated requeues spread across the survivors instead of hammering
+	// whichever one comes first in input order.
+	n := len(f.backends)
+	for i := 0; i < n; i++ {
+		b := f.backends[(f.cursor+i)%n]
 		if f.dead[b.addr] {
 			continue
 		}
-		if !tried[b.addr] {
-			return b
-		}
-		if fallback == nil {
-			fallback = b
-		}
+		f.cursor = (f.cursor + i + 1) % n
+		return b
 	}
-	return fallback
+	return nil
 }
 
 // Run dispatches one suite across the backends at addrs and returns the
 // merged result. It fails (rather than returning a partial result) when
-// no backend is healthy, a shard exhausts its attempts, the spec is
-// rejected, or the merge invariants are violated; scenario-level
+// no backend is healthy, a unit or shard exhausts its attempts, the
+// spec is rejected, or the merge invariants are violated; scenario-level
 // failures are not errors — they surface in the merged SuiteResult
 // exactly as a local run's would.
 func Run(ctx context.Context, addrs []string, opts Options) (*Result, error) {
@@ -196,8 +227,8 @@ func Run(ctx context.Context, addrs []string, opts Options) (*Result, error) {
 	if opts.RetryDelay <= 0 {
 		opts.RetryDelay = 250 * time.Millisecond
 	}
-	if opts.MaxAttempts <= 0 {
-		opts.MaxAttempts = 2 * len(addrs)
+	if opts.ReprobeInterval <= 0 {
+		opts.ReprobeInterval = time.Second
 	}
 	// Both callbacks fire from concurrent shard goroutines and callers
 	// routinely point them at the same writer (labctl -v), so one mutex
@@ -236,6 +267,11 @@ func Run(ctx context.Context, addrs []string, opts Options) (*Result, error) {
 	if len(live) == 0 {
 		return nil, fmt.Errorf("dispatch: no healthy backend among %d probed", len(backends))
 	}
+	if opts.MaxAttempts <= 0 {
+		// Derived from the live fleet, after probing: the default budget
+		// scales with backends that can actually take work.
+		opts.MaxAttempts = 2 * len(live)
+	}
 
 	// Resolve the full suite order. An explicit scenario list is taken as
 	// given; an empty one means the registry, fetched from a live backend
@@ -248,6 +284,27 @@ func Run(ctx context.Context, addrs []string, opts Options) (*Result, error) {
 	}
 	if len(names) == 0 {
 		return nil, fmt.Errorf("dispatch: the fleet serves no scenarios")
+	}
+
+	if !opts.FixedShards {
+		logf("dispatch: %d scenario(s) as work units over %d live backend(s), %d excluded",
+			len(names), len(live), len(excluded))
+		units, err := runSteal(ctx, backends, live, names, opts, logf, onEvent)
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if err != nil {
+			return nil, err
+		}
+		suite, raw, err := MergeUnits(names, units)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Names: names, Suite: suite, Raw: raw, Units: units}
+		for _, ex := range excluded {
+			res.Excluded = append(res.Excluded, ex.addr)
+		}
+		return res, nil
 	}
 
 	// Plan: one shard per live backend, capped at the suite size (a 6th
@@ -505,6 +562,10 @@ const (
 // events best-effort in the background: a backend that accepts a shard
 // and then wedges surfaces as a poll timeout (a requeueable fault)
 // instead of stalling the dispatch behind a hung event stream.
+// A closed follow stream usually means the job just went terminal, so
+// it kicks an immediate status poll instead of sleeping out the
+// interval — per-unit completion latency is what paces a steal-mode
+// dispatch, not job runtime.
 func waitShard(ctx context.Context, b *backend, id string, p plan, onEvent func(Event)) (*labd.JobStatus, error) {
 	sctx, stopStream := context.WithCancel(ctx)
 	defer stopStream()
@@ -530,6 +591,7 @@ func waitShard(ctx context.Context, b *backend, id string, p plan, onEvent func(
 			}
 		}
 	}()
+	kick := streamDone
 	for {
 		st, err := b.ctl.Job(ctx, id)
 		if err != nil {
@@ -549,6 +611,10 @@ func waitShard(ctx context.Context, b *backend, id string, p plan, onEvent func(
 		}
 		select {
 		case <-time.After(pollInterval):
+		case <-kick:
+			// One immediate poll per stream close; the interval paces any
+			// retries after it (a nil channel never fires).
+			kick = nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -66,8 +66,11 @@ func TestDispatchMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Shards) != 3 {
-		t.Fatalf("planned %d shards, want 3", len(res.Shards))
+	if len(res.Units) != len(fixtureNames) {
+		t.Fatalf("ran %d units, want one per scenario (%d)", len(res.Units), len(fixtureNames))
+	}
+	if len(res.Shards) != 0 {
+		t.Fatalf("steal mode produced %d fixed shards", len(res.Shards))
 	}
 	if got := strings.Join(res.Names, ","); got != strings.Join(fixtureNames, ",") {
 		t.Fatalf("resolved names = %s", got)
@@ -87,6 +90,34 @@ func TestDispatchMatchesLocal(t *testing.T) {
 	}
 	if got, want := canon(t, mergedJSON), canon(t, localJSON); got != want {
 		t.Errorf("merged typed result differs from local:\n--- dispatch\n%s\n--- local\n%s", got, want)
+	}
+}
+
+// TestDispatchFixedShardsMatchesLocal keeps the -steal=false escape
+// hatch honest: the fixed one-shard-per-backend plan still merges into
+// the byte-equivalent local result.
+func TestDispatchFixedShardsMatchesLocal(t *testing.T) {
+	cluster := newCluster(t, 3)
+	res, err := Run(ctxT(t), cluster.Addrs(), Options{
+		Spec:        labd.JobSpec{Scenarios: fixtureNames, Quick: true},
+		FixedShards: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shards) != 3 {
+		t.Fatalf("planned %d shards, want 3", len(res.Shards))
+	}
+	if len(res.Units) != 0 {
+		t.Fatalf("fixed mode produced %d units", len(res.Units))
+	}
+	local := localSuite(t, fixtureNames, true)
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canon(t, res.Raw), canon(t, localJSON); got != want {
+		t.Errorf("merged raw differs from local:\n--- dispatch\n%s\n--- local\n%s", got, want)
 	}
 }
 
@@ -141,9 +172,6 @@ func TestDispatchExcludesDeadAtPlanning(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Shards) != 2 {
-		t.Fatalf("planned %d shards, want 2 (one backend dead)", len(res.Shards))
-	}
 	if len(res.Excluded) != 1 || res.Excluded[0] != dead.Addr() {
 		t.Errorf("excluded = %v, want [%s]", res.Excluded, dead.Addr())
 	}
@@ -153,35 +181,41 @@ func TestDispatchExcludesDeadAtPlanning(t *testing.T) {
 	if len(res.Suite.Outcomes) != len(fixtureNames) {
 		t.Errorf("merged %d outcomes, want %d", len(res.Suite.Outcomes), len(fixtureNames))
 	}
+	for _, u := range res.Units {
+		if u.Backend == dead.Addr() {
+			t.Errorf("unit %s credited to the dead backend", u.Scenario)
+		}
+	}
 }
 
 // TestDispatchRequeuesBusyBackend: a backend whose queue turns
-// submissions away (503 queue_full) keeps its healthz green, so it is
-// planned — and its shard must requeue onto a survivor mid-run.
+// submissions away (503 queue_full) keeps its healthz green, so it
+// pulls — and every unit it grabs must requeue onto a survivor, never
+// count as its result.
 func TestDispatchRequeuesBusyBackend(t *testing.T) {
 	cluster := newCluster(t, 3)
 	busy := cluster.Backends[2]
 	busy.SetFault(dispatchtest.FaultQueueFull)
-	res, err := Run(ctxT(t), cluster.Addrs(), Options{Spec: labd.JobSpec{Scenarios: fixtureNames, Quick: true}})
+	res, err := Run(ctxT(t), cluster.Addrs(), Options{
+		Spec:       labd.JobSpec{Scenarios: fixtureNames, Quick: true},
+		RetryDelay: 25 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Shards) != 3 {
-		t.Fatalf("planned %d shards, want 3 (busy backend probes healthy)", len(res.Shards))
-	}
 	requeued := false
-	for _, sh := range res.Shards {
-		if sh.Backend == busy.Addr() {
-			t.Errorf("shard %s accepted by the queue_full backend", sh.Shard)
+	for _, u := range res.Units {
+		if u.Backend == busy.Addr() {
+			t.Errorf("unit %s accepted by the queue_full backend", u.Scenario)
 		}
-		for _, off := range sh.Requeues {
+		for _, off := range u.Requeues {
 			if off == busy.Addr() {
 				requeued = true
 			}
 		}
 	}
 	if !requeued {
-		t.Error("no shard records being requeued off the busy backend")
+		t.Error("no unit records being requeued off the busy backend")
 	}
 	if err := res.Suite.Err(); err != nil {
 		t.Errorf("result not green: %v", err)
@@ -218,8 +252,16 @@ func TestDispatchDrainingExcluded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Excluded) != 1 || len(res.Shards) != 1 {
-		t.Errorf("excluded=%v shards=%d, want the draining backend out", res.Excluded, len(res.Shards))
+	if len(res.Excluded) != 1 || res.Excluded[0] != cluster.Backends[0].Addr() {
+		t.Errorf("excluded=%v, want the draining backend out", res.Excluded)
+	}
+	for _, u := range res.Units {
+		if u.Backend != cluster.Backends[1].Addr() {
+			t.Errorf("unit %s ran on %s, want the one live backend", u.Scenario, u.Backend)
+		}
+	}
+	if err := res.Suite.Err(); err != nil {
+		t.Errorf("result not green: %v", err)
 	}
 }
 
@@ -244,9 +286,9 @@ func TestDispatchScenarioFailureIsNotRetried(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, sh := range res.Shards {
-		if sh.Attempts != 1 {
-			t.Errorf("shard %s took %d attempts; scenario failures must not requeue", sh.Shard, sh.Attempts)
+	for _, u := range res.Units {
+		if u.Attempts != 1 {
+			t.Errorf("unit %s took %d attempts; scenario failures must not requeue", u.Scenario, u.Attempts)
 		}
 	}
 	if res.Suite.Failed != 1 {
@@ -313,7 +355,7 @@ func TestDispatchRejectsDuplicateBackend(t *testing.T) {
 // slice must fail the dispatch, not double-count the scenarios.
 func TestDispatchRefusesOverlappingShards(t *testing.T) {
 	cluster := newCluster(t, 2)
-	opts := Options{Spec: labd.JobSpec{Scenarios: fixtureNames, Quick: true}}
+	opts := Options{Spec: labd.JobSpec{Scenarios: fixtureNames, Quick: true}, FixedShards: true}
 	opts.planHook = func(plans []plan) []plan {
 		plans[1].spec.ShardIndex = plans[0].spec.ShardIndex
 		plans[1].shard = plans[0].shard
@@ -330,7 +372,7 @@ func TestDispatchRefusesOverlappingShards(t *testing.T) {
 // full must fail the merge.
 func TestDispatchRefusesQuickFullMix(t *testing.T) {
 	cluster := newCluster(t, 2)
-	opts := Options{Spec: labd.JobSpec{Scenarios: fixtureNames, Quick: false}}
+	opts := Options{Spec: labd.JobSpec{Scenarios: fixtureNames, Quick: false}, FixedShards: true}
 	opts.planHook = func(plans []plan) []plan {
 		plans[1].spec.Quick = true
 		return plans
@@ -342,8 +384,8 @@ func TestDispatchRefusesQuickFullMix(t *testing.T) {
 }
 
 // TestBenchstoreMergeOnDispatcherInputs exercises benchstore.Merge with
-// real dispatcher shard outputs (not hand-built maps): a duplicated
-// shard snapshot refuses as overlap, a doctored quick flag refuses as a
+// real dispatcher unit outputs (not hand-built maps): a duplicated
+// snapshot refuses as overlap, a doctored quick flag refuses as a
 // mix — the guards `labctl bench -addrs` relies on.
 func TestBenchstoreMergeOnDispatcherInputs(t *testing.T) {
 	cluster := newCluster(t, 2)
@@ -351,9 +393,9 @@ func TestBenchstoreMergeOnDispatcherInputs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	snaps := make([]*benchstore.Snapshot, len(res.Shards))
-	for i, sh := range res.Shards {
-		snaps[i] = benchstore.FromReports("", sh.Result.Reports()...)
+	snaps := make([]*benchstore.Snapshot, len(res.Units))
+	for i, u := range res.Units {
+		snaps[i] = benchstore.FromReports("", u.Result.Reports()...)
 		snaps[i].Quick = true
 	}
 	if merged, err := benchstore.Merge(snaps...); err != nil {

@@ -12,6 +12,7 @@ package dispatchtest
 import (
 	"net/http"
 	"sync"
+	"time"
 
 	"net/http/httptest"
 
@@ -51,6 +52,11 @@ type Backend struct {
 
 // Addr returns the backend's URL, the form labd.NewClient accepts.
 func (b *Backend) Addr() string { return b.HTTP.URL }
+
+// SetExecDelay delays every job this backend executes (see
+// labd.Server.SetExecDelay) — the straggler knob heterogeneous-fleet
+// tests turn.
+func (b *Backend) SetExecDelay(d time.Duration) { b.Labd.SetExecDelay(d) }
 
 // SetFault switches the backend's failure mode; clearing FaultHang
 // releases every stalled request.

@@ -156,6 +156,9 @@ type Server struct {
 	nextID   int
 	draining bool
 	closed   bool
+	// execDelay pauses each job after it enters running, before its suite
+	// executes — a fault-injection knob for fleet straggler testing.
+	execDelay time.Duration
 
 	benchMu sync.Mutex // serializes AppendDir numbering
 }
@@ -193,6 +196,16 @@ func New(cfg Config) *Server {
 
 // Workers returns the bounded pool size.
 func (s *Server) Workers() int { return s.cfg.Workers }
+
+// SetExecDelay makes every subsequent job pause for d after entering
+// running, before its suite executes — an artificial per-job slowdown
+// (cmd/labd -exec-delay) that lets fleet tests and CI model a slow
+// machine. Zero disables it; cancellation cuts the pause short.
+func (s *Server) SetExecDelay(d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.execDelay = d
+}
 
 // Submit validates the spec, creates a queued job, and enqueues it.
 // Unknown scenario names (in the list or the config overlay keys) are
@@ -417,10 +430,17 @@ func (s *Server) runJob(j *job) {
 	j.started = time.Now().UTC()
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
+	delay := s.execDelay
 	s.mu.Unlock()
 	defer cancel()
 	j.ring.append(Event{Phase: "running"})
 	s.logf("job %s running", j.id)
+	if delay > 0 {
+		select {
+		case <-ctx.Done():
+		case <-time.After(delay):
+		}
+	}
 
 	env := &scenario.Env{
 		Quick: j.spec.Quick,

@@ -67,6 +67,8 @@ func ctxT(t *testing.T) context.Context {
 func TestBoundedConcurrency(t *testing.T) {
 	const workers, jobs = 3, 10
 	var active, peak atomic.Int64
+	entered := make(chan struct{}, jobs)
+	release := make(chan struct{})
 	sc := register(t, "load", func(ctx context.Context, env *scenario.Env) (*scenario.Report, error) {
 		n := active.Add(1)
 		defer active.Add(-1)
@@ -76,7 +78,15 @@ func TestBoundedConcurrency(t *testing.T) {
 				break
 			}
 		}
-		time.Sleep(30 * time.Millisecond)
+		// Park until the test has observed a saturated pool, so the peak
+		// is reached by construction instead of by sleeping and hoping the
+		// scheduler overlapped the runs.
+		entered <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 		rep := &scenario.Report{}
 		rep.Metric("ok", 1)
 		return rep, nil
@@ -95,6 +105,14 @@ func TestBoundedConcurrency(t *testing.T) {
 		}
 		ids[i] = st.ID
 	}
+	for i := 0; i < workers; i++ {
+		select {
+		case <-entered:
+		case <-ctx.Done():
+			t.Fatalf("pool never saturated: %d of %d runs entered", i, workers)
+		}
+	}
+	close(release)
 	var wg sync.WaitGroup
 	for _, id := range ids {
 		wg.Add(1)
@@ -114,7 +132,7 @@ func TestBoundedConcurrency(t *testing.T) {
 		}(id)
 	}
 	wg.Wait()
-	if p := peak.Load(); p > workers {
+	if p := peak.Load(); p != workers {
 		t.Errorf("observed %d concurrent scenario runs, pool is %d", p, workers)
 	}
 }

@@ -223,14 +223,26 @@ func TestSuiteTimeoutAndCancellation(t *testing.T) {
 		t.Fatalf("timeout not enforced promptly (%v)", time.Since(start))
 	}
 
-	// Whole-suite cancellation returns promptly.
+	// Whole-suite cancellation returns promptly. A separate scenario
+	// signals that it is actually running, so the cancel lands mid-run by
+	// construction instead of after a hopeful sleep.
+	started := make(chan struct{})
+	hang := register(t, "hang", func(ctx context.Context, _ *Env, _ any) (*Report, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan *SuiteResult, 1)
 	go func() {
-		r, _ := RunSuite(ctx, []string{slow.name}, SuiteOptions{})
+		r, _ := RunSuite(ctx, []string{hang.name}, SuiteOptions{})
 		done <- r
 	}()
-	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scenario never started")
+	}
 	cancel()
 	select {
 	case r := <-done:
