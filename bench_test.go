@@ -22,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/gf2"
 	"repro/internal/hecate"
+	"repro/internal/link"
 	"repro/internal/ml"
 	"repro/internal/polka"
 	"repro/internal/rl"
@@ -720,5 +721,129 @@ func BenchmarkDataplaneModes(b *testing.B) {
 				b.ReportMetric(float64(delivered)/s, "pkts/s")
 			}
 		})
+	}
+}
+
+// BenchmarkLinkFullPath measures the full link tier's per-frame cost: the
+// Send path (loss draw, queue pruning, serialization arithmetic, heap
+// push) plus the arrival pop, on a modeled wire with every feature turned
+// on. The pkts/s metric is frames through the link per second; the steady
+// state must stay allocation-free so the dataplane's full mode doesn't
+// pay per-hop garbage.
+func BenchmarkLinkFullPath(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		cfg  link.FullConfig
+	}{
+		{"transparent", link.FullConfig{RateMbps: -1, DelayMs: -1}},
+		{"modeled", link.FullConfig{RateMbps: 1000, DelayMs: 5, QueuePkts: 256,
+			Loss: link.Bernoulli(0.01), ReorderProb: 0.05, ReorderWindowMs: 1, Seed: 1}},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			p := link.NewFullPath(c.cfg)
+			var buf []link.Frame
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				now := link.Time(i) * 12_000 // 1500 B at 1 Gbps
+				p.Send(now, link.Frame{Seq: uint64(i), Size: 1500})
+				buf = p.Recv(now, buf[:0])
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(b.N)/s, "pkts/s")
+			}
+		})
+	}
+}
+
+// BenchmarkDataplaneLinkTiers compares end-to-end engine throughput across
+// the link tiers on the lab's three tunnels: the fast tier's direct
+// handoff, the full tier with transparent links (the event loop's
+// bookkeeping overhead, nothing modeled), and the full tier with the
+// topology's real rates and delays.
+func BenchmarkDataplaneLinkTiers(b *testing.B) {
+	const batch = 1024
+	for _, tier := range []struct {
+		name string
+		cfg  dataplane.Config
+	}{
+		{"fast", dataplane.Config{}},
+		{"full-transparent", dataplane.Config{LinkMode: dataplane.LinkFull,
+			Link: link.FullConfig{RateMbps: -1, DelayMs: -1}}},
+		{"full-modeled", dataplane.Config{LinkMode: dataplane.LinkFull, Seed: 1}},
+	} {
+		b.Run(tier.name, func(b *testing.B) {
+			lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
+			if err != nil {
+				b.Fatal(err)
+			}
+			routers := append(lab.NodesOfKind(topo.Edge), lab.NodesOfKind(topo.Core)...)
+			domain, err := polka.NewDomain(routers, lab.MaxPort())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := tier.cfg
+			cfg.Domain = domain
+			engine, err := dataplane.New(lab, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var routes []*dataplane.Route
+			for _, tun := range []topo.Path{topo.TunnelPath1(), topo.TunnelPath2(), topo.TunnelPath3()} {
+				r, err := engine.UnicastRoute(tun)
+				if err != nil {
+					b.Fatal(err)
+				}
+				routes = append(routes, r)
+			}
+			var delivered uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range routes {
+					if err := engine.InjectBatch(r.Inject, r.NewPackets(batch/len(routes), 1500)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				stats, err := engine.Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.Dropped() != 0 {
+					b.Fatalf("dropped %d packets", stats.Dropped())
+				}
+				delivered += stats.Delivered
+				engine.Reset()
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(delivered)/s, "pkts/s")
+			}
+		})
+	}
+}
+
+// BenchmarkLinkTransfer times the window-based transport moving 1 MiB
+// over a modeled wire — the unit of work behind every throttlesweep cell.
+func BenchmarkLinkTransfer(b *testing.B) {
+	b.ReportAllocs()
+	var segs uint64
+	for i := 0; i < b.N; i++ {
+		data := link.NewFullPath(link.FullConfig{RateMbps: 16, DelayMs: 10, QueuePkts: 64,
+			Loss: link.Bernoulli(0.01), Seed: 1})
+		ack := link.NewFullPath(link.FullConfig{RateMbps: 16, DelayMs: 10, Seed: 2})
+		res, err := link.RunTransfer(context.Background(), data, ack, link.TransferConfig{Bytes: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Aborted {
+			b.Fatalf("aborted: %s", res.AbortReason)
+		}
+		segs += res.Segments
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(segs)/s, "segs/s")
 	}
 }

@@ -1,14 +1,15 @@
 // Command labctl is the one CLI over the unified scenario API
 // (internal/scenario): every experiment — the paper's figures, the
-// extension soaks, the packet-level data-plane runs — is a registered
-// scenario, and labctl lists, describes, and runs them with uniform
-// config and output handling. It replaces the former labdemo, mlcompare,
-// dataplanedemo, and rldemo binaries.
+// extension soaks, the packet-level data-plane runs, the link-tier
+// sweeps — is a registered scenario, and labctl lists, describes, and
+// runs them with uniform config and output handling. It replaces the
+// former labdemo, mlcompare, dataplanedemo, and rldemo binaries.
 //
 //	labctl list                                  all registered scenarios
 //	labctl describe mlcompare                    description + default config JSON
 //	labctl run packetlevel -o out.json           one scenario, Report as JSON
 //	labctl run -quick latencymigration failover  several scenarios, serially
+//	labctl run throttlesweep -config grid.json   loss×RTT goodput grid (link tier)
 //	labctl suite -quick -o bench_results.json    every scenario (CI bench seed)
 //	labctl suite -quick -shard 0/2               deterministic half of the suite
 //	labctl suite -parallel 4 -timeout 10m fct workload

@@ -27,6 +27,7 @@ import (
 	"fmt"
 
 	"repro/internal/gf2"
+	"repro/internal/link"
 	"repro/internal/polka"
 )
 
@@ -58,6 +59,35 @@ func (m Mode) String() string {
 	}
 }
 
+// LinkMode selects how packets move between adjacent switches.
+type LinkMode uint8
+
+const (
+	// LinkFast is the default tier: a packet emitted toward a neighbor is
+	// handed to that switch's queue directly. No serialization, queueing,
+	// delay or loss — maximum forwarding throughput, hop-synchronous
+	// rounds, parallelizable over workers.
+	LinkFast LinkMode = iota
+	// LinkFull routes every inter-switch handoff through a link.FullPath:
+	// frames serialize at the link's capacity, wait in a bounded tail-drop
+	// egress queue, cross a propagation delay, and may be lost or
+	// reordered. Execution becomes an event-driven loop in virtual time
+	// and is serial (Workers must be ≤ 1).
+	LinkFull
+)
+
+// String returns the link-mode name.
+func (m LinkMode) String() string {
+	switch m {
+	case LinkFast:
+		return "fast"
+	case LinkFull:
+		return "full"
+	default:
+		return fmt.Sprintf("LinkMode(%d)", int(m))
+	}
+}
+
 // DropReason classifies why the engine discarded a packet.
 type DropReason uint8
 
@@ -72,6 +102,12 @@ const (
 	// DropPoT means a proof-of-transit operation failed: the node was not
 	// on the protected path, or egress verification rejected the proof.
 	DropPoT
+	// DropQueue means a full-mode link's bounded egress queue tail-dropped
+	// the packet (LinkFull only).
+	DropQueue
+	// DropLoss means the wire-loss model discarded the packet in transit
+	// (LinkFull only).
+	DropLoss
 )
 
 // String returns the drop reason name.
@@ -85,6 +121,10 @@ func (r DropReason) String() string {
 		return "bad-port"
 	case DropPoT:
 		return "pot-violation"
+	case DropQueue:
+		return "queue-overflow"
+	case DropLoss:
+		return "wire-loss"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -131,6 +171,10 @@ type Packet struct {
 	Acc gf2.Poly
 	// ID is the engine-assigned injection sequence number.
 	ID uint64
+	// ArrivalNs is the virtual time (nanoseconds) the packet last arrived
+	// somewhere — at delivery, the delivery instant. LinkFull only; the
+	// fast tier has no clock and leaves it zero.
+	ArrivalNs int64
 	// Path lists the forwarding decisions taken so far; recorded only when
 	// Config.RecordPaths is set.
 	Path []Visit
@@ -185,6 +229,22 @@ type Config struct {
 	// packets carry their full traversal. Costs an allocation per hop;
 	// leave off for throughput runs.
 	RecordPaths bool
+	// LinkMode selects the link tier: LinkFast (default, direct handoff)
+	// or LinkFull (per-link state machines in virtual time). LinkFull
+	// requires Workers ≤ 1.
+	LinkMode LinkMode
+	// Link is the full-tier link template applied to every directed link.
+	// Its RateMbps and DelayMs fields act as overrides: > 0 fixes the
+	// value for all links, 0 takes each link's topology attributes
+	// (LinkAttrs.CapacityMbps / DelayMs), and < 0 means infinite rate /
+	// zero delay. QueuePkts, Loss, Reorder* apply to every link as given;
+	// Link.Seed is ignored (per-link seeds derive from Config.Seed).
+	// LinkFull only.
+	Link link.FullConfig
+	// Seed roots the engine's deterministic randomness: every full-tier
+	// link gets a private rand stream split from it, so equal seeds (and
+	// equal inject schedules) reproduce runs exactly. LinkFull only.
+	Seed int64
 	// Trace, when non-nil, receives every forwarding outcome. With
 	// Workers > 1 it is called concurrently and must be safe for
 	// concurrent use.
@@ -205,14 +265,20 @@ type Stats struct {
 	// TTLDrops, BadPortDrops and PoTDrops count discarded packets by
 	// reason.
 	TTLDrops, BadPortDrops, PoTDrops uint64
+	// QueueDrops and LossDrops count packets discarded by full-tier links
+	// (tail-drop and wire loss); always zero in fast mode.
+	QueueDrops, LossDrops uint64
 	// PoTVerified counts PoT packets whose proof verified at egress.
 	PoTVerified uint64
-	// Rounds counts hop-synchronous forwarding rounds executed by Run.
+	// Rounds counts hop-synchronous forwarding rounds (fast mode) or
+	// event batches (full mode) executed by Run.
 	Rounds uint64
 }
 
 // Dropped returns the total packets discarded for any reason.
-func (s Stats) Dropped() uint64 { return s.TTLDrops + s.BadPortDrops + s.PoTDrops }
+func (s Stats) Dropped() uint64 {
+	return s.TTLDrops + s.BadPortDrops + s.PoTDrops + s.QueueDrops + s.LossDrops
+}
 
 // add accumulates a round buffer's deltas.
 func (s *Stats) add(d Stats) {
@@ -222,6 +288,8 @@ func (s *Stats) add(d Stats) {
 	s.TTLDrops += d.TTLDrops
 	s.BadPortDrops += d.BadPortDrops
 	s.PoTDrops += d.PoTDrops
+	s.QueueDrops += d.QueueDrops
+	s.LossDrops += d.LossDrops
 	s.PoTVerified += d.PoTVerified
 }
 
@@ -236,6 +304,9 @@ type NodeStats struct {
 	Delivered uint64
 	// TTLDrops, BadPortDrops and PoTDrops count local discards.
 	TTLDrops, BadPortDrops, PoTDrops uint64
+	// QueueDrops and LossDrops count discards on this node's outgoing
+	// full-tier links; always zero in fast mode.
+	QueueDrops, LossDrops uint64
 	// Egress is the per-port egress histogram, indexed by port number
 	// (index 0 unused; ports are 1-based).
 	Egress []uint64

@@ -44,6 +44,7 @@ type Engine struct {
 	pending int
 	stats   Stats
 	deliv   []Packet
+	full    *fullState // nil unless Config.LinkMode == LinkFull
 }
 
 // New builds an engine over the topology. Every node of the domain (the
@@ -106,6 +107,16 @@ func New(t *topo.Topology, cfg Config) (*Engine, error) {
 		}
 		ns.stats.Egress = make([]uint64, deg+1)
 	}
+	if cfg.LinkMode == LinkFull {
+		if cfg.Workers > 1 {
+			return nil, fmt.Errorf("dataplane: LinkFull is event-driven and serial; Workers must be ≤ 1, got %d", cfg.Workers)
+		}
+		fs, err := newFullState(e)
+		if err != nil {
+			return nil, err
+		}
+		e.full = fs
+	}
 	return e, nil
 }
 
@@ -148,14 +159,20 @@ func (e *Engine) InjectBatch(node string, pkts []Packet) error {
 }
 
 // Run forwards every queued packet to completion (delivery or drop) and
-// returns the cumulative stats. Execution proceeds in hop-synchronous
-// rounds: each round forwards every queued packet by exactly one hop, then
-// merges the emitted packets into the destination queues. TTL bounds the
-// number of rounds and Config.MaxInFlight bounds the population (a crafted
-// multicast routeID could otherwise amplify geometrically), so Run
-// terminates even on looping routeIDs. A canceled context stops between
-// rounds, leaving undelivered packets queued.
+// returns the cumulative stats. In fast mode execution proceeds in
+// hop-synchronous rounds: each round forwards every queued packet by
+// exactly one hop, then merges the emitted packets into the destination
+// queues. In full mode (Config.LinkMode == LinkFull) execution is an
+// event-driven loop over per-link arrival times in virtual time — see
+// runFull. Either way, TTL bounds the work per packet and
+// Config.MaxInFlight bounds the population (a crafted multicast routeID
+// could otherwise amplify geometrically), so Run terminates even on
+// looping routeIDs. A canceled context stops between rounds (or event
+// batches), leaving undelivered packets queued.
 func (e *Engine) Run(ctx context.Context) (Stats, error) {
+	if e.full != nil {
+		return e.runFull(ctx)
+	}
 	for e.pending > 0 {
 		select {
 		case <-ctx.Done():
@@ -212,7 +229,9 @@ func (e *Engine) NodeStats(name string) (NodeStats, error) {
 }
 
 // Reset clears all queues, counters and the delivered list, keeping the
-// topology, domain and reducers. Benchmarks use it between runs.
+// topology, domain and reducers. Full-mode link state is rebuilt from
+// scratch (virtual clock back to zero, random streams re-seeded), so a
+// reset engine replays identically. Benchmarks use it between runs.
 func (e *Engine) Reset() {
 	for _, ns := range e.nodes {
 		ns.queue = nil
@@ -222,6 +241,14 @@ func (e *Engine) Reset() {
 	e.deliv = nil
 	e.pending = 0
 	e.nextID = 0
+	if e.full != nil {
+		fs, err := newFullState(e)
+		if err != nil {
+			// New validated the same inputs; rebuilding cannot fail.
+			panic(fmt.Sprintf("dataplane: rebuilding link state: %v", err))
+		}
+		e.full = fs
+	}
 }
 
 // outPkt is a packet emitted during a round, destined to a forwarding node.

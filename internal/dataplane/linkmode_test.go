@@ -1,0 +1,306 @@
+package dataplane
+
+import (
+	"context"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/link"
+	"repro/internal/topo"
+)
+
+// transparentLink is the full-tier template that models nothing: infinite
+// rate, zero delay, unbounded queue, no loss, no reordering. Full mode
+// with this template must be observationally identical to fast mode.
+func transparentLink() link.FullConfig {
+	return link.FullConfig{RateMbps: -1, DelayMs: -1}
+}
+
+// sortedIDs returns the delivered packet IDs in ascending order.
+func sortedIDs(e *Engine) []uint64 {
+	ids := make([]uint64, 0, len(e.deliv))
+	for _, pkt := range e.Delivered() {
+		ids = append(ids, pkt.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestFastFullParityRandomTopologies is the tier-equivalence property:
+// over randomized topologies and unicast workloads, full mode with a
+// transparent link template delivers exactly the fast tier's packet set,
+// with every per-node counter (egress histograms included) equal.
+func TestFastFullParityRandomTopologies(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		tp, err := topo.RandomTopology(topo.RandomConfig{Cores: 8, ExtraLinks: 6, Hosts: 4, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(cfg Config) *Engine {
+			e, err := New(tp, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hosts := tp.NodesOfKind(topo.Host)
+			for i := 0; i < len(hosts); i++ {
+				for j := 0; j < len(hosts); j++ {
+					if i == j {
+						continue
+					}
+					p, err := tp.ShortestPath(hosts[i], hosts[j], topo.ByHops)
+					if err != nil {
+						continue
+					}
+					r, err := e.UnicastRoute(p)
+					if err != nil {
+						t.Fatalf("seed %d: %v: %v", seed, p, err)
+					}
+					// Batch size varies per pair so queues see uneven load.
+					if err := e.InjectBatch(r.Inject, r.NewPackets(1+(i+j)%4, 100+i)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if _, err := e.Run(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		fast := run(Config{})
+		full := run(Config{LinkMode: LinkFull, Link: transparentLink(), Seed: seed})
+
+		fs, ls := fast.Stats(), full.Stats()
+		fs.Rounds, ls.Rounds = 0, 0 // rounds vs event batches: not comparable
+		if fs != ls {
+			t.Fatalf("seed %d: stats diverge:\nfast %+v\nfull %+v", seed, fs, ls)
+		}
+		if got, want := sortedIDs(full), sortedIDs(fast); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: delivered ID sets diverge (%d vs %d packets)", seed, len(got), len(want))
+		}
+		for _, name := range tp.NodesOfKind(topo.Core) {
+			a, err := fast.NodeStats(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := full.NodeStats(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("seed %d: node %s counters diverge:\nfast %+v\nfull %+v", seed, name, a, b)
+			}
+		}
+	}
+}
+
+// TestFastFullParityMixedModes repeats the equivalence check with PoT and
+// multicast traffic on the Global P4 Lab, the modes with the trickiest
+// accounting (verification at egress, replication at hops).
+func TestFastFullParityMixedModes(t *testing.T) {
+	run := func(cfg Config) *Engine {
+		e := labEngine(t, cfg)
+		uni, err := e.UnicastRoute(topo.TunnelPath1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pot, err := e.PoTRoute(topo.TunnelPath2(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range []*Route{uni, pot} {
+			if err := e.InjectBatch(r.Inject, r.NewPackets(25, 500)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := e.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	fast := run(Config{})
+	full := run(Config{LinkMode: LinkFull, Link: transparentLink()})
+	fs, ls := fast.Stats(), full.Stats()
+	fs.Rounds, ls.Rounds = 0, 0
+	if fs != ls {
+		t.Fatalf("stats diverge:\nfast %+v\nfull %+v", fs, ls)
+	}
+	if got, want := sortedIDs(full), sortedIDs(fast); !reflect.DeepEqual(got, want) {
+		t.Fatalf("delivered IDs diverge")
+	}
+	// A PoT packet injected past the first protected hop must still be
+	// rejected at egress — in full mode the verdict lands at arrival time.
+	full.Reset()
+	pot, err := full.PoTRoute(topo.TunnelPath2(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Inject(pot.Hops[1].Node, pot.NewPacket(64)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := full.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 0 || stats.PoTDrops != 1 {
+		t.Fatalf("full-mode PoT skip: delivered %d potDrops %d, want 0/1", stats.Delivered, stats.PoTDrops)
+	}
+}
+
+func TestFullModeArrivalTimes(t *testing.T) {
+	// Infinite rate, fixed 5 ms per hop: TunnelPath1 crosses three links,
+	// so every packet is delivered at exactly 15 ms of virtual time.
+	e := labEngine(t, Config{LinkMode: LinkFull,
+		Link: link.FullConfig{RateMbps: -1, DelayMs: 5}})
+	r, err := e.UnicastRoute(topo.TunnelPath1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectBatch(r.Inject, r.NewPackets(10, 1500)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 10 {
+		t.Fatalf("delivered %d, want 10", stats.Delivered)
+	}
+	want := int64(link.Ms(15))
+	for _, pkt := range e.Delivered() {
+		if pkt.ArrivalNs != want {
+			t.Fatalf("packet %d arrived at %dns, want %d", pkt.ID, pkt.ArrivalNs, want)
+		}
+	}
+	if e.VirtualNow() != link.Ms(15) {
+		t.Fatalf("virtual clock at %v, want 15ms", e.VirtualNow())
+	}
+}
+
+func TestFullModeQueueDrops(t *testing.T) {
+	// A one-packet egress queue at finite rate: a burst injected at t=0
+	// overflows immediately, and the drops are visible per node, per link,
+	// and in the aggregate.
+	e := labEngine(t, Config{LinkMode: LinkFull,
+		Link: link.FullConfig{RateMbps: 10, DelayMs: -1, QueuePkts: 1}})
+	r, err := e.UnicastRoute(topo.TunnelPath1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectBatch(r.Inject, r.NewPackets(8, 1500)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Delivered != 1 || stats.QueueDrops != 7 {
+		t.Fatalf("delivered %d queueDrops %d, want 1/7", stats.Delivered, stats.QueueDrops)
+	}
+	ns, err := e.NodeStats(r.Inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns.QueueDrops != 7 {
+		t.Fatalf("ingress node queueDrops %d, want 7", ns.QueueDrops)
+	}
+	ls, err := e.LinkStats(r.Hops[0].Node, r.Hops[1].Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.QueueDrops != 7 || ls.Sent != 1 {
+		t.Fatalf("link stats %+v, want 7 queue drops, 1 sent", ls)
+	}
+}
+
+func TestFullModeLossAndDeterminism(t *testing.T) {
+	run := func(seed int64) (Stats, []uint64, []int64) {
+		e := labEngine(t, Config{LinkMode: LinkFull, Seed: seed,
+			Link: link.FullConfig{RateMbps: -1, DelayMs: 1, Loss: link.Bernoulli(0.2)}})
+		r, err := e.UnicastRoute(topo.TunnelPath1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.InjectBatch(r.Inject, r.NewPackets(200, 100)); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		arrivals := make([]int64, 0, len(e.deliv))
+		for _, pkt := range e.Delivered() {
+			arrivals = append(arrivals, pkt.ArrivalNs)
+		}
+		return stats, sortedIDs(e), arrivals
+	}
+	s1, ids1, arr1 := run(1)
+	if s1.LossDrops == 0 || s1.Delivered == 0 {
+		t.Fatalf("20%% loss over 3 hops: lossDrops %d delivered %d, want both > 0", s1.LossDrops, s1.Delivered)
+	}
+	if s1.Delivered+s1.LossDrops != 200 {
+		t.Fatalf("delivered %d + lost %d != 200 injected", s1.Delivered, s1.LossDrops)
+	}
+	s2, ids2, arr2 := run(1)
+	if s1 != s2 || !reflect.DeepEqual(ids1, ids2) || !reflect.DeepEqual(arr1, arr2) {
+		t.Fatal("same seed, diverging runs")
+	}
+	s3, _, _ := run(99)
+	if s3.LossDrops == s1.LossDrops && s3.Delivered == s1.Delivered {
+		t.Logf("note: seeds 1 and 99 happened to drop identically (%d)", s1.LossDrops)
+	}
+}
+
+func TestFullModeResetReplays(t *testing.T) {
+	e := labEngine(t, Config{LinkMode: LinkFull, Seed: 7,
+		Link: link.FullConfig{RateMbps: 50, DelayMs: 2, QueuePkts: 4, Loss: link.Bernoulli(0.1)}})
+	run := func() (Stats, []uint64) {
+		r, err := e.UnicastRoute(topo.TunnelPath2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.InjectBatch(r.Inject, r.NewPackets(100, 1000)); err != nil {
+			t.Fatal(err)
+		}
+		stats, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats, sortedIDs(e)
+	}
+	s1, ids1 := run()
+	e.Reset()
+	s2, ids2 := run()
+	if s1 != s2 || !reflect.DeepEqual(ids1, ids2) {
+		t.Fatalf("Reset did not replay:\nfirst  %+v\nsecond %+v", s1, s2)
+	}
+	if e.VirtualNow() == 0 {
+		t.Fatal("virtual clock did not advance")
+	}
+}
+
+func TestFullModeRejectsWorkers(t *testing.T) {
+	lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(lab, Config{LinkMode: LinkFull, Workers: 4}); err == nil {
+		t.Fatal("LinkFull with Workers > 1 accepted; the event loop is serial")
+	}
+}
+
+func TestFullModeContextCancellation(t *testing.T) {
+	e := labEngine(t, Config{LinkMode: LinkFull, Link: transparentLink()})
+	r, err := e.UnicastRoute(topo.TunnelPath1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.InjectBatch(r.Inject, r.NewPackets(3, 10)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Run(ctx); err != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,373 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/link"
+	"repro/internal/scenario"
+)
+
+// The link-level scenarios exercise internal/link's full tier end to end:
+// a window-based sender moving payload over a FullPath wire in virtual
+// time. Where the fluid testbed asks "what rate does a flow settle at",
+// these ask the packet-scale questions underneath it — how goodput decays
+// across a loss×RTT grid (throttlesweep), how queue depth trades goodput
+// against queueing delay (bufferbloat), and how fast a connection-kill
+// fault is detected (rstinject). Everything runs in virtual time from
+// fixed seeds, so every metric is reproducible to the bit across machines.
+
+// ThrottleSweepConfig parametrizes the loss×RTT goodput grid.
+type ThrottleSweepConfig struct {
+	// RateMbps is the wire capacity of both directions (default 16).
+	RateMbps float64
+	// RTTsMs lists the grid's round-trip times; each becomes one row,
+	// with half the RTT as one-way delay per direction.
+	RTTsMs []float64
+	// LossPcts lists the grid's Bernoulli loss percentages (columns),
+	// applied to the data direction.
+	LossPcts []float64
+	// QueuePkts bounds each direction's egress queue (default 64).
+	QueuePkts int
+	// TransferBytes is the payload moved per cell (default 4 MiB).
+	TransferBytes int
+	// Seed roots the per-row random streams. Within a row every loss
+	// column reuses the same seed, so the dropped-transmission sets are
+	// coupled (common random numbers) and goodput falls monotonically in
+	// loss by construction, not just in expectation.
+	Seed int64
+}
+
+// withDefaults fills the zero values.
+func (c ThrottleSweepConfig) withDefaults() ThrottleSweepConfig {
+	if c.RateMbps <= 0 {
+		c.RateMbps = 16
+	}
+	if len(c.RTTsMs) == 0 {
+		c.RTTsMs = []float64{5, 20, 50, 120}
+	}
+	if len(c.LossPcts) == 0 {
+		c.LossPcts = []float64{0, 0.5, 1, 2, 5, 10}
+	}
+	if c.QueuePkts <= 0 {
+		c.QueuePkts = 64
+	}
+	if c.TransferBytes <= 0 {
+		c.TransferBytes = 4 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ThrottleCell is one grid cell's outcome.
+type ThrottleCell struct {
+	RTTMs       float64
+	LossPct     float64
+	GoodputMbps float64
+	Retransmits uint64
+	Timeouts    uint64
+	DurationMs  float64
+}
+
+// ThrottleSweepResult is the throttlesweep artifact.
+type ThrottleSweepResult struct {
+	// RateMbps echoes the wire capacity.
+	RateMbps float64
+	// Cells holds the grid in row-major order (RTT outer, loss inner).
+	Cells []ThrottleCell
+	// MonotoneViolations counts cells whose goodput exceeds the cell to
+	// their left (same RTT, lower loss) — zero on a healthy transport.
+	MonotoneViolations int
+}
+
+// RunThrottleSweepContext runs one transfer per (RTT, loss) cell and
+// collects the goodput surface.
+func RunThrottleSweepContext(ctx context.Context, cfg ThrottleSweepConfig) (*ThrottleSweepResult, error) {
+	cfg = cfg.withDefaults()
+	res := &ThrottleSweepResult{RateMbps: cfg.RateMbps}
+	for row, rtt := range cfg.RTTsMs {
+		rowSeed := link.SplitSeed(cfg.Seed, uint64(row))
+		prev := -1.0
+		for _, loss := range cfg.LossPcts {
+			data := link.NewFullPath(link.FullConfig{
+				RateMbps: cfg.RateMbps, DelayMs: rtt / 2, QueuePkts: cfg.QueuePkts,
+				Loss: link.Bernoulli(loss / 100), Seed: rowSeed,
+			})
+			ack := link.NewFullPath(link.FullConfig{
+				RateMbps: cfg.RateMbps, DelayMs: rtt / 2,
+				Seed: link.SplitSeed(rowSeed, ^uint64(0)),
+			})
+			tr, err := link.RunTransfer(ctx, data, ack, link.TransferConfig{Bytes: cfg.TransferBytes})
+			if err != nil {
+				return nil, err
+			}
+			if tr.Aborted {
+				return nil, fmt.Errorf("experiments: throttlesweep cell rtt=%gms loss=%g%% aborted (%s)",
+					rtt, loss, tr.AbortReason)
+			}
+			if prev >= 0 && tr.GoodputMbps > prev {
+				res.MonotoneViolations++
+			}
+			prev = tr.GoodputMbps
+			res.Cells = append(res.Cells, ThrottleCell{
+				RTTMs: rtt, LossPct: loss, GoodputMbps: tr.GoodputMbps,
+				Retransmits: tr.Retransmits, Timeouts: tr.Timeouts, DurationMs: tr.DurationMs,
+			})
+		}
+	}
+	return res, nil
+}
+
+// BufferbloatConfig parametrizes the queue-depth sweep.
+type BufferbloatConfig struct {
+	// RateMbps is the wire capacity of both directions (default 16).
+	RateMbps float64
+	// RTTMs is the unloaded round-trip time (default 20).
+	RTTMs float64
+	// QueueDepths lists the data-direction egress queue bounds to sweep.
+	QueueDepths []int
+	// TransferBytes is the payload moved per depth (default 4 MiB).
+	TransferBytes int
+	// Seed roots the random streams (shared across depths).
+	Seed int64
+}
+
+// withDefaults fills the zero values.
+func (c BufferbloatConfig) withDefaults() BufferbloatConfig {
+	if c.RateMbps <= 0 {
+		c.RateMbps = 16
+	}
+	if c.RTTMs <= 0 {
+		c.RTTMs = 20
+	}
+	if len(c.QueueDepths) == 0 {
+		c.QueueDepths = []int{8, 32, 128, 512}
+	}
+	if c.TransferBytes <= 0 {
+		c.TransferBytes = 4 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// BufferbloatPoint is one queue depth's outcome.
+type BufferbloatPoint struct {
+	QueuePkts     int
+	GoodputMbps   float64
+	P99QueueMs    float64
+	MaxQueueMs    float64
+	MaxQueueDepth int
+	QueueDrops    uint64
+	Retransmits   uint64
+}
+
+// BufferbloatResult is the bufferbloat artifact.
+type BufferbloatResult struct {
+	RateMbps float64
+	RTTMs    float64
+	Points   []BufferbloatPoint
+}
+
+// RunBufferbloatContext sweeps the data-direction queue depth and records
+// the goodput-versus-queueing-delay trade: shallow queues drop and cap
+// goodput, deep queues carry a standing backlog whose p99 sojourn time is
+// the bufferbloat signature.
+func RunBufferbloatContext(ctx context.Context, cfg BufferbloatConfig) (*BufferbloatResult, error) {
+	cfg = cfg.withDefaults()
+	res := &BufferbloatResult{RateMbps: cfg.RateMbps, RTTMs: cfg.RTTMs}
+	for _, depth := range cfg.QueueDepths {
+		data := link.NewFullPath(link.FullConfig{
+			RateMbps: cfg.RateMbps, DelayMs: cfg.RTTMs / 2, QueuePkts: depth, Seed: cfg.Seed,
+		})
+		ack := link.NewFullPath(link.FullConfig{
+			RateMbps: cfg.RateMbps, DelayMs: cfg.RTTMs / 2,
+			Seed: link.SplitSeed(cfg.Seed, ^uint64(0)),
+		})
+		tr, err := link.RunTransfer(ctx, data, ack, link.TransferConfig{Bytes: cfg.TransferBytes})
+		if err != nil {
+			return nil, err
+		}
+		if tr.Aborted {
+			return nil, fmt.Errorf("experiments: bufferbloat depth %d aborted (%s)", depth, tr.AbortReason)
+		}
+		res.Points = append(res.Points, BufferbloatPoint{
+			QueuePkts:     depth,
+			GoodputMbps:   tr.GoodputMbps,
+			P99QueueMs:    tr.FwdStats.QueueDelayP99Ms(),
+			MaxQueueMs:    tr.FwdStats.QueueDelayMaxMs(),
+			MaxQueueDepth: tr.FwdStats.MaxQueueDepth,
+			QueueDrops:    tr.FwdStats.QueueDrops,
+			Retransmits:   tr.Retransmits,
+		})
+	}
+	return res, nil
+}
+
+// RSTInjectConfig parametrizes the connection-kill fault scenario.
+type RSTInjectConfig struct {
+	// RateMbps is the wire capacity of both directions (default 16).
+	RateMbps float64
+	// RTTMs is the round-trip time (default 30).
+	RTTMs float64
+	// QueuePkts bounds the data-direction egress queue (default 64).
+	QueuePkts int
+	// KillAtMs arms the middlebox: from this virtual time on, data frames
+	// are swallowed and one spoofed RST returns to the sender
+	// (default 500).
+	KillAtMs float64
+	// TransferBytes sizes the (doomed) transfer; it must outlast the kill
+	// (default 64 MiB).
+	TransferBytes int
+	// Seed roots the random streams.
+	Seed int64
+}
+
+// withDefaults fills the zero values.
+func (c RSTInjectConfig) withDefaults() RSTInjectConfig {
+	if c.RateMbps <= 0 {
+		c.RateMbps = 16
+	}
+	if c.RTTMs <= 0 {
+		c.RTTMs = 30
+	}
+	if c.QueuePkts <= 0 {
+		c.QueuePkts = 64
+	}
+	if c.KillAtMs <= 0 {
+		c.KillAtMs = 500
+	}
+	if c.TransferBytes <= 0 {
+		c.TransferBytes = 64 << 20
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// RSTInjectResult is the rstinject artifact.
+type RSTInjectResult struct {
+	// InjectedAtMs is the virtual time the middlebox fired.
+	InjectedAtMs float64
+	// DetectMs is the sender-side detection latency: from the RST firing
+	// to the transfer aborting (one reverse propagation, not an RTO
+	// stall).
+	DetectMs float64
+	// ResidualGoodputMbps is the goodput achieved up to the abort.
+	ResidualGoodputMbps float64
+	// BytesAcked is the payload delivered before the kill.
+	BytesAcked int
+}
+
+// RunRSTInjectContext kills a mid-flow transfer with a censorship-style
+// RST middlebox and measures time-to-detect and residual goodput.
+func RunRSTInjectContext(ctx context.Context, cfg RSTInjectConfig) (*RSTInjectResult, error) {
+	cfg = cfg.withDefaults()
+	data := link.NewFullPath(link.FullConfig{
+		RateMbps: cfg.RateMbps, DelayMs: cfg.RTTMs / 2, QueuePkts: cfg.QueuePkts, Seed: cfg.Seed,
+	})
+	ack := link.NewFullPath(link.FullConfig{
+		RateMbps: cfg.RateMbps, DelayMs: cfg.RTTMs / 2,
+		Seed: link.SplitSeed(cfg.Seed, ^uint64(0)),
+	})
+	inj := link.NewRSTInjector(data, ack, link.Ms(cfg.KillAtMs))
+	tr, err := link.RunTransfer(ctx, inj, ack, link.TransferConfig{Bytes: cfg.TransferBytes})
+	if err != nil {
+		return nil, err
+	}
+	if !tr.Aborted || tr.AbortReason != "rst" {
+		return nil, fmt.Errorf("experiments: rstinject transfer was not RST-killed (aborted=%v reason=%q) — raise TransferBytes past the kill point",
+			tr.Aborted, tr.AbortReason)
+	}
+	at, ok := inj.InjectedAt()
+	if !ok {
+		return nil, fmt.Errorf("experiments: rstinject middlebox never fired")
+	}
+	return &RSTInjectResult{
+		InjectedAtMs:        at.Ms(),
+		DetectMs:            (tr.AbortAt - at).Ms(),
+		ResidualGoodputMbps: tr.GoodputMbps,
+		BytesAcked:          tr.BytesAcked,
+	}, nil
+}
+
+func init() {
+	scenario.Register(&labScenario[ThrottleSweepConfig]{
+		name:     "throttlesweep",
+		describe: "link tier: a window-based sender sweeps a loss×RTT grid; CRN-coupled seeds make goodput decay monotone in loss per row",
+		defaults: func() ThrottleSweepConfig { return ThrottleSweepConfig{}.withDefaults() },
+		quick: func() ThrottleSweepConfig {
+			return ThrottleSweepConfig{
+				RTTsMs:   []float64{10, 40},
+				LossPcts: []float64{0, 1, 5},
+			}.withDefaults()
+		},
+		run: func(ctx context.Context, env *scenario.Env, cfg ThrottleSweepConfig) (*scenario.Report, error) {
+			res, err := RunThrottleSweepContext(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := &scenario.Report{Payload: res}
+			var virtualMs float64
+			for _, c := range res.Cells {
+				rep.Metric(fmt.Sprintf("rtt%gms_loss%gpct_goodput_mbps", c.RTTMs, c.LossPct), c.GoodputMbps)
+				virtualMs += c.DurationMs
+			}
+			rep.Metric("cells", float64(len(res.Cells)))
+			rep.Metric("monotone_violations", float64(res.MonotoneViolations))
+			rep.EmulatedSeconds = virtualMs / 1e3
+			env.Logf("%d cells, %d monotonicity violations", len(res.Cells), res.MonotoneViolations)
+			return rep, nil
+		},
+	})
+
+	scenario.Register(&labScenario[BufferbloatConfig]{
+		name:     "bufferbloat",
+		describe: "link tier: queue-depth sweep on one bottleneck — shallow queues drop goodput, deep queues trade it for p99 sojourn time",
+		defaults: func() BufferbloatConfig { return BufferbloatConfig{}.withDefaults() },
+		quick: func() BufferbloatConfig {
+			return BufferbloatConfig{QueueDepths: []int{8, 128}}.withDefaults()
+		},
+		run: func(ctx context.Context, env *scenario.Env, cfg BufferbloatConfig) (*scenario.Report, error) {
+			res, err := RunBufferbloatContext(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rep := &scenario.Report{Payload: res}
+			for _, p := range res.Points {
+				env.Logf("queue %4d pkts: %5.2f Mbps, p99 queue %6.2f ms, %d drops",
+					p.QueuePkts, p.GoodputMbps, p.P99QueueMs, p.QueueDrops)
+				rep.Metric(fmt.Sprintf("q%d_goodput_mbps", p.QueuePkts), p.GoodputMbps)
+				rep.Metric(fmt.Sprintf("q%d_p99_queue_ms", p.QueuePkts), p.P99QueueMs)
+			}
+			return rep, nil
+		},
+	})
+
+	scenario.Register(&labScenario[RSTInjectConfig]{
+		name:     "rstinject",
+		describe: "link tier: a censorship-style middlebox RST-kills a mid-flow transfer; time-to-detect and residual goodput are measured",
+		defaults: func() RSTInjectConfig { return RSTInjectConfig{}.withDefaults() },
+		quick: func() RSTInjectConfig {
+			return RSTInjectConfig{KillAtMs: 200, TransferBytes: 16 << 20}.withDefaults()
+		},
+		run: func(ctx context.Context, env *scenario.Env, cfg RSTInjectConfig) (*scenario.Report, error) {
+			res, err := RunRSTInjectContext(ctx, cfg)
+			if err != nil {
+				return nil, err
+			}
+			env.Logf("killed at %.0f ms, detected in %.2f ms, %.2f Mbps residual",
+				res.InjectedAtMs, res.DetectMs, res.ResidualGoodputMbps)
+			rep := &scenario.Report{Payload: res}
+			rep.Metric("detect_ms", res.DetectMs)
+			rep.Metric("residual_goodput_mbps", res.ResidualGoodputMbps)
+			rep.Metric("bytes_acked", float64(res.BytesAcked))
+			rep.EmulatedSeconds = (res.InjectedAtMs + res.DetectMs) / 1e3
+			return rep, nil
+		},
+	})
+}

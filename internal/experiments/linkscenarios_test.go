@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// TestThrottleSweepMonotoneRows is the goodput-degradation regression
+// gate: for the default and the quick grid, every RTT row's goodput must
+// be non-increasing in loss. The CRN seed coupling in the link layer makes
+// this a deterministic property, not a statistical hope — a violation
+// means the transport or loss model regressed.
+func TestThrottleSweepMonotoneRows(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		c    ThrottleSweepConfig
+	}{
+		{"default", ThrottleSweepConfig{}.withDefaults()},
+		{"quick", ThrottleSweepConfig{RTTsMs: []float64{10, 40}, LossPcts: []float64{0, 1, 5}}.withDefaults()},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			res, err := RunThrottleSweepContext(context.Background(), cfg.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := len(cfg.c.RTTsMs) * len(cfg.c.LossPcts); len(res.Cells) != want {
+				t.Fatalf("%d cells, want %d", len(res.Cells), want)
+			}
+			if res.MonotoneViolations != 0 {
+				t.Errorf("%d monotonicity violations", res.MonotoneViolations)
+			}
+			prev := -1.0
+			for i, c := range res.Cells {
+				if c.GoodputMbps <= 0 || c.GoodputMbps > cfg.c.RateMbps {
+					t.Errorf("cell %d (rtt %g, loss %g): goodput %.3f outside (0, %g]",
+						i, c.RTTMs, c.LossPct, c.GoodputMbps, cfg.c.RateMbps)
+				}
+				if i%len(cfg.c.LossPcts) == 0 {
+					prev = c.GoodputMbps
+					continue
+				}
+				if c.GoodputMbps > prev {
+					t.Errorf("row rtt=%gms: goodput rose from %.3f to %.3f at loss %g%%",
+						c.RTTMs, prev, c.GoodputMbps, c.LossPct)
+				}
+				prev = c.GoodputMbps
+			}
+		})
+	}
+}
+
+func TestThrottleSweepDeterministic(t *testing.T) {
+	run := func() *ThrottleSweepResult {
+		res, err := RunThrottleSweepContext(context.Background(),
+			ThrottleSweepConfig{RTTsMs: []float64{20}, LossPcts: []float64{0, 2, 8}}.withDefaults())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("identical configs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestBufferbloatTrade checks the sweep's defining shape: deeper queues
+// carry (much) higher p99 sojourn times, while shallow queues pay in
+// drops instead.
+func TestBufferbloatTrade(t *testing.T) {
+	res, err := RunBufferbloatContext(context.Background(), BufferbloatConfig{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 2 {
+		t.Fatalf("%d points, want the default sweep", len(res.Points))
+	}
+	shallow, deep := res.Points[0], res.Points[len(res.Points)-1]
+	if deep.P99QueueMs <= shallow.P99QueueMs {
+		t.Errorf("p99 queue delay did not grow with depth: %d pkts → %.2f ms, %d pkts → %.2f ms",
+			shallow.QueuePkts, shallow.P99QueueMs, deep.QueuePkts, deep.P99QueueMs)
+	}
+	if shallow.QueueDrops == 0 {
+		t.Errorf("shallow queue (%d pkts) never dropped", shallow.QueuePkts)
+	}
+	for _, p := range res.Points {
+		if p.GoodputMbps <= 0 {
+			t.Errorf("queue %d: transfer made no progress", p.QueuePkts)
+		}
+		if p.MaxQueueDepth > p.QueuePkts {
+			t.Errorf("queue %d: observed depth %d exceeds the bound", p.QueuePkts, p.MaxQueueDepth)
+		}
+	}
+}
+
+func TestRSTInjectDetection(t *testing.T) {
+	cfg := RSTInjectConfig{}.withDefaults()
+	res, err := RunRSTInjectContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InjectedAtMs < cfg.KillAtMs {
+		t.Errorf("middlebox fired at %.1f ms, before it was armed (%.1f ms)", res.InjectedAtMs, cfg.KillAtMs)
+	}
+	// Detection is one reverse propagation (RTT/2), not an RTO stall: give
+	// it an RTT of slack but keep it far below the 200 ms RTO floor.
+	if res.DetectMs <= 0 || res.DetectMs > 2*cfg.RTTMs {
+		t.Errorf("detection took %.2f ms, want within (0, %g]", res.DetectMs, 2*cfg.RTTMs)
+	}
+	if res.BytesAcked <= 0 || res.ResidualGoodputMbps <= 0 {
+		t.Errorf("no pre-kill progress: %d bytes, %.2f Mbps", res.BytesAcked, res.ResidualGoodputMbps)
+	}
+}
+
+// TestLinkScenarioReports runs all three scenarios through the registry's
+// quick configs — the path `labctl suite -quick` takes — and spot-checks
+// the emitted metrics.
+func TestLinkScenarioReports(t *testing.T) {
+	for _, name := range []string{"throttlesweep", "bufferbloat", "rstinject"} {
+		t.Run(name, func(t *testing.T) {
+			s, err := scenario.Lookup(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := scenario.Execute(context.Background(), nil, s, scenario.BaseConfig(s, true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Metrics) == 0 {
+				t.Fatal("empty metrics")
+			}
+			switch name {
+			case "throttlesweep":
+				if rep.Metrics["monotone_violations"] != 0 {
+					t.Errorf("quick grid has %v monotonicity violations", rep.Metrics["monotone_violations"])
+				}
+			case "rstinject":
+				if rep.Metrics["detect_ms"] <= 0 {
+					t.Errorf("detect_ms = %v, want > 0", rep.Metrics["detect_ms"])
+				}
+			}
+		})
+	}
+}

@@ -34,6 +34,13 @@ type PacketLevelConfig struct {
 	Workers int
 	// PoTSeed seeds the proof-of-transit key material.
 	PoTSeed int64
+	// FullLinks routes every inter-switch handoff through the full link
+	// tier (dataplane.LinkFull): frames serialize at each link's topology
+	// capacity and cross its propagation delay in virtual time. Forces
+	// serial execution (the event loop is single-threaded).
+	FullLinks bool
+	// Seed roots the full-tier link randomness (FullLinks only).
+	Seed int64
 }
 
 // withDefaults fills the zero values.
@@ -74,6 +81,9 @@ type PacketLevelResult struct {
 	// PktsPerSec is Stats.Hops-level throughput: forwarding decisions
 	// executed per wall-clock second.
 	PktsPerSec float64
+	// VirtualMs is the virtual time the full link tier advanced to
+	// (zero with fast links, which have no clock).
+	VirtualMs float64
 }
 
 // RunPacketLevel runs the packet-level forwarding scenario on the Global P4
@@ -92,7 +102,9 @@ func RunPacketLevelContext(ctx context.Context, cfg PacketLevelConfig) (*PacketL
 	// Workers stays 0 ("auto") in serialized configs so defaults are
 	// machine-independent; the resolution to the actual CPU count happens
 	// here at run time.
-	if cfg.Workers == 0 {
+	if cfg.FullLinks {
+		cfg.Workers = 1
+	} else if cfg.Workers == 0 {
 		cfg.Workers = runtime.NumCPU()
 	}
 	lab, err := topo.BuildGlobalP4Lab(topo.DefaultGlobalP4LabConfig())
@@ -104,7 +116,12 @@ func RunPacketLevelContext(ctx context.Context, cfg PacketLevelConfig) (*PacketL
 	if err != nil {
 		return nil, err
 	}
-	engine, err := dataplane.New(lab, dataplane.Config{Domain: domain, Workers: cfg.Workers})
+	ecfg := dataplane.Config{Domain: domain, Workers: cfg.Workers}
+	if cfg.FullLinks {
+		ecfg.LinkMode = dataplane.LinkFull
+		ecfg.Seed = cfg.Seed
+	}
+	engine, err := dataplane.New(lab, ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -138,15 +155,27 @@ func RunPacketLevelContext(ctx context.Context, cfg PacketLevelConfig) (*PacketL
 	type idRange struct{ lo, hi uint64 }
 	ranges := make([]idRange, len(specs))
 	var nextLo uint64 = 1
+	// Inject in bounded chunks: packet IDs stay contiguous per route
+	// (Inject numbers sequentially), while large batches remain
+	// cancellable mid-injection and never materialize millions of
+	// packets in one allocation.
+	const injectChunk = 10_000
 	for i, s := range specs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		if err := engine.VerifyRoute(s.route); err != nil {
 			return nil, fmt.Errorf("experiments: route %s fails data-plane verification: %w", s.label, err)
 		}
-		if err := engine.InjectBatch(s.route.Inject, s.route.NewPackets(cfg.PacketsPerRoute, cfg.PacketSize)); err != nil {
-			return nil, fmt.Errorf("experiments: injecting %s: %w", s.label, err)
+		for injected := 0; injected < cfg.PacketsPerRoute; {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			n := cfg.PacketsPerRoute - injected
+			if n > injectChunk {
+				n = injectChunk
+			}
+			if err := engine.InjectBatch(s.route.Inject, s.route.NewPackets(n, cfg.PacketSize)); err != nil {
+				return nil, fmt.Errorf("experiments: injecting %s: %w", s.label, err)
+			}
+			injected += n
 		}
 		ranges[i] = idRange{lo: nextLo, hi: nextLo + uint64(cfg.PacketsPerRoute) - 1}
 		nextLo += uint64(cfg.PacketsPerRoute)
@@ -163,6 +192,7 @@ func RunPacketLevelContext(ctx context.Context, cfg PacketLevelConfig) (*PacketL
 	if s := elapsed.Seconds(); s > 0 {
 		res.PktsPerSec = float64(stats.Hops) / s
 	}
+	res.VirtualMs = engine.VirtualNow().Ms()
 	delivered := make([]int, len(specs))
 	for _, pkt := range engine.Delivered() {
 		for i, rg := range ranges {

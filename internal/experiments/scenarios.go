@@ -313,6 +313,12 @@ func init() {
 			rep.Metric("delivered", float64(res.Stats.Delivered))
 			rep.Metric("pot_verified", float64(res.Stats.PoTVerified))
 			rep.Metric("drops", float64(res.Stats.TTLDrops+res.Stats.BadPortDrops+res.Stats.PoTDrops))
+			// Only full links have a clock; fast runs stay metric-compatible
+			// with the committed trajectory points.
+			if cfg.FullLinks {
+				rep.Metric("virtual_ms", res.VirtualMs)
+				rep.Metric("wire_drops", float64(res.Stats.QueueDrops+res.Stats.LossDrops))
+			}
 			return rep, nil
 		},
 	})

@@ -20,6 +20,7 @@ var updateGolden = flag.Bool("update", false, "rewrite golden files")
 // portedScenarios is the contract of this PR: every experiment entrypoint
 // reachable through the registry.
 var portedScenarios = []string{
+	"bufferbloat",
 	"failover",
 	"fct",
 	"flowaggregation",
@@ -29,6 +30,8 @@ var portedScenarios = []string{
 	"multipath",
 	"packetlevel",
 	"rl",
+	"rstinject",
+	"throttlesweep",
 	"workload",
 }
 

@@ -1,0 +1,188 @@
+package link
+
+import (
+	"container/heap"
+	"math/rand"
+)
+
+// FullConfig tunes a FullPath link.
+type FullConfig struct {
+	// RateMbps is the transmission capacity; frames serialize at this
+	// rate, which is what creates transmission latency and queueing.
+	// ≤ 0 means infinite (no serialization).
+	RateMbps float64
+	// DelayMs is the one-way propagation delay added after serialization.
+	DelayMs float64
+	// QueuePkts bounds the egress queue in frames (waiting plus
+	// serializing); a full queue tail-drops. 0 means unbounded.
+	QueuePkts int
+	// Loss is the wire-loss model (zero value: lossless).
+	Loss LossConfig
+	// ReorderProb is the probability an accepted frame is held back by an
+	// extra uniform jitter in (0, ReorderWindowMs), letting later frames
+	// overtake it — bounded out-of-order delivery.
+	ReorderProb float64
+	// ReorderWindowMs bounds the reorder jitter.
+	ReorderWindowMs float64
+	// Seed seeds this link's private random stream.
+	Seed int64
+}
+
+// inflight is one frame on the wire, keyed for the arrival heap.
+type inflight struct {
+	at    Time
+	order uint64 // insertion tie-break: equal arrivals deliver in send order
+	frame Frame
+}
+
+// arrivalHeap is a min-heap over (arrival time, insertion order).
+type arrivalHeap []inflight
+
+func (h arrivalHeap) Len() int { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].order < h[j].order
+}
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(inflight)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// FullPath is the full tier: a per-link state machine modeling
+// transmission latency, bounded tail-drop queueing, propagation delay,
+// Bernoulli/Gilbert-Elliott wire loss, and bounded out-of-order delivery.
+// All randomness comes from the config's Seed; given equal seeds and an
+// equal Send schedule, two FullPaths produce byte-identical behavior.
+type FullPath struct {
+	cfg  FullConfig
+	rng  *rand.Rand
+	loss lossState
+
+	lastTxEnd  Time
+	txEnds     []Time // serialization-completion times of queued frames
+	flight     arrivalHeap
+	order      uint64
+	maxArrival Time
+	stats      Stats
+}
+
+// NewFullPath builds a full-tier link.
+func NewFullPath(cfg FullConfig) *FullPath {
+	return &FullPath{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		loss: lossState{cfg: cfg.Loss},
+	}
+}
+
+// Config returns the link's configuration.
+func (p *FullPath) Config() FullConfig { return p.cfg }
+
+// Send offers a frame to the link at virtual time now.
+//
+// The loss draw happens first and unconditionally (one draw per Send for
+// the Bernoulli model), keeping the uniform stream aligned with the
+// transmission index even across configs that differ only in loss rate —
+// see lossState.drop. Tail-drop is then evaluated against the queue
+// bound; a wire-lost frame that clears the queue still consumes
+// serialization time (it was transmitted — the bandwidth is gone), which
+// is precisely why loss hurts a congestion-limited sender smoothly
+// instead of catastrophically.
+func (p *FullPath) Send(now Time, f Frame) Verdict {
+	lost := p.loss.drop(p.rng)
+
+	// Prune frames that finished serializing; what remains is the queue.
+	keep := 0
+	for _, end := range p.txEnds {
+		if end > now {
+			p.txEnds[keep] = end
+			keep++
+		}
+	}
+	p.txEnds = p.txEnds[:keep]
+	if p.cfg.QueuePkts > 0 && keep >= p.cfg.QueuePkts {
+		p.stats.QueueDrops++
+		return DropQueue
+	}
+
+	txStart := now
+	if p.lastTxEnd > txStart {
+		txStart = p.lastTxEnd
+	}
+	var txTime Time
+	if p.cfg.RateMbps > 0 {
+		// size bytes at R Mbit/s: size*8 / (R*1e6) s = size*8*1e3/R ns.
+		txTime = Time(float64(f.Size) * 8 * 1e3 / p.cfg.RateMbps)
+	}
+	txEnd := txStart + txTime
+	p.lastTxEnd = txEnd
+	p.txEnds = append(p.txEnds, txEnd)
+	if d := len(p.txEnds); d > p.stats.MaxQueueDepth {
+		p.stats.MaxQueueDepth = d
+	}
+	p.stats.queueDelaysMs = append(p.stats.queueDelaysMs, (txStart - now).Ms())
+
+	if lost {
+		p.stats.LossDrops++
+		return DropLoss
+	}
+
+	arrival := txEnd + Ms(p.cfg.DelayMs)
+	if p.cfg.ReorderProb > 0 && p.rng.Float64() < p.cfg.ReorderProb {
+		arrival += Time(p.rng.Float64() * p.cfg.ReorderWindowMs * 1e6)
+	}
+	if arrival < p.maxArrival {
+		p.stats.Reordered++
+	} else {
+		p.maxArrival = arrival
+	}
+	f.Arrival = arrival
+	heap.Push(&p.flight, inflight{at: arrival, order: p.order, frame: f})
+	p.order++
+	p.stats.Sent++
+	return Accepted
+}
+
+// Next reports the earliest pending arrival.
+func (p *FullPath) Next() (Time, bool) {
+	if len(p.flight) == 0 {
+		return 0, false
+	}
+	return p.flight[0].at, true
+}
+
+// Pop removes and returns the earliest pending frame if it has arrived by
+// now — the single-frame form the dataplane engine's event loop uses to
+// avoid slice churn.
+func (p *FullPath) Pop(now Time) (Frame, bool) {
+	if len(p.flight) == 0 || p.flight[0].at > now {
+		return Frame{}, false
+	}
+	it := heap.Pop(&p.flight).(inflight)
+	p.stats.Delivered++
+	return it.frame, true
+}
+
+// Recv appends every frame arrived by now to buf, in arrival order.
+func (p *FullPath) Recv(now Time, buf []Frame) []Frame {
+	for {
+		f, ok := p.Pop(now)
+		if !ok {
+			return buf
+		}
+		buf = append(buf, f)
+	}
+}
+
+// Pending counts frames accepted but not yet received.
+func (p *FullPath) Pending() int { return len(p.flight) }
+
+// Stats returns a snapshot of the link counters.
+func (p *FullPath) Stats() Stats { return p.stats }

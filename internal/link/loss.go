@@ -1,0 +1,101 @@
+package link
+
+import "math/rand"
+
+// LossKind selects a wire-loss model.
+type LossKind uint8
+
+const (
+	// LossNone never drops and consumes no randomness.
+	LossNone LossKind = iota
+	// LossBernoulli drops each frame independently with probability P.
+	LossBernoulli
+	// LossGilbertElliott is the two-state burst-loss model: the wire
+	// flips between a good and a bad state, each with its own per-frame
+	// drop probability, so losses cluster the way radio fades and
+	// overloaded middleboxes make them cluster.
+	LossGilbertElliott
+)
+
+// String returns the loss-model name.
+func (k LossKind) String() string {
+	switch k {
+	case LossNone:
+		return "none"
+	case LossBernoulli:
+		return "bernoulli"
+	case LossGilbertElliott:
+		return "gilbert-elliott"
+	default:
+		return "loss?"
+	}
+}
+
+// LossConfig describes a wire-loss model as plain data (JSON-marshalable,
+// so it can ride inside scenario configs). Use Bernoulli or
+// GilbertElliott to construct one.
+type LossConfig struct {
+	// Kind selects the model.
+	Kind LossKind
+	// P is the per-frame drop probability (Bernoulli).
+	P float64
+	// GoodToBad and BadToGood are the per-frame state-flip probabilities
+	// (Gilbert-Elliott).
+	GoodToBad, BadToGood float64
+	// PGood and PBad are the per-frame drop probabilities in each state
+	// (Gilbert-Elliott).
+	PGood, PBad float64
+}
+
+// Bernoulli returns an independent per-frame loss model with probability p.
+func Bernoulli(p float64) LossConfig { return LossConfig{Kind: LossBernoulli, P: p} }
+
+// GilbertElliott returns the two-state burst-loss model.
+func GilbertElliott(goodToBad, badToGood, pGood, pBad float64) LossConfig {
+	return LossConfig{
+		Kind:      LossGilbertElliott,
+		GoodToBad: goodToBad,
+		BadToGood: badToGood,
+		PGood:     pGood,
+		PBad:      pBad,
+	}
+}
+
+// lossState is a LossConfig instantiated for one link (Gilbert-Elliott
+// carries mutable state, so the config is never shared live).
+type lossState struct {
+	cfg LossConfig
+	bad bool
+}
+
+// drop decides one frame's fate. The Bernoulli model consumes exactly one
+// uniform draw per call regardless of outcome: sweeps that reuse a seed
+// across loss rates then see the identical uniform sequence per
+// transmission index, so the dropped set at a higher rate is a superset of
+// the dropped set at a lower rate (common-random-number coupling) — the
+// mechanism behind throttlesweep's monotone goodput rows.
+func (ls *lossState) drop(rng *rand.Rand) bool {
+	switch ls.cfg.Kind {
+	case LossNone:
+		return false
+	case LossBernoulli:
+		return rng.Float64() < ls.cfg.P
+	case LossGilbertElliott:
+		if ls.bad {
+			if rng.Float64() < ls.cfg.BadToGood {
+				ls.bad = false
+			}
+		} else {
+			if rng.Float64() < ls.cfg.GoodToBad {
+				ls.bad = true
+			}
+		}
+		p := ls.cfg.PGood
+		if ls.bad {
+			p = ls.cfg.PBad
+		}
+		return rng.Float64() < p
+	default:
+		return false
+	}
+}

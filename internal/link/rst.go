@@ -1,0 +1,51 @@
+package link
+
+// RSTInjector is a censorship-style middlebox wrapped around the data
+// direction of a connection: from virtual time At onward it swallows every
+// data frame and, on the first one it sees, injects a single Rst frame
+// onto the reverse path toward the sender — the classic connection-kill
+// fault. Until At it is transparent.
+type RSTInjector struct {
+	data Forwarder
+	rev  Forwarder
+	at   Time
+
+	injected   bool
+	injectedAt Time
+}
+
+// NewRSTInjector wraps data, arming the kill at virtual time at; the Rst
+// frame travels back over rev.
+func NewRSTInjector(data, rev Forwarder, at Time) *RSTInjector {
+	return &RSTInjector{data: data, rev: rev, at: at}
+}
+
+// Send forwards to the wrapped link until the fault arms, then swallows
+// data frames and fires the one-shot Rst.
+func (r *RSTInjector) Send(now Time, f Frame) Verdict {
+	if now >= r.at && f.Kind == Data {
+		if !r.injected {
+			r.injected = true
+			r.injectedAt = now
+			r.rev.Send(now, Frame{Kind: Rst, Size: ackSize})
+		}
+		return DropLoss
+	}
+	return r.data.Send(now, f)
+}
+
+// Next reports the wrapped link's earliest pending arrival.
+func (r *RSTInjector) Next() (Time, bool) { return r.data.Next() }
+
+// Recv drains the wrapped link.
+func (r *RSTInjector) Recv(now Time, buf []Frame) []Frame { return r.data.Recv(now, buf) }
+
+// Pending counts the wrapped link's in-flight frames.
+func (r *RSTInjector) Pending() int { return r.data.Pending() }
+
+// Stats returns the wrapped link's counters.
+func (r *RSTInjector) Stats() Stats { return r.data.Stats() }
+
+// InjectedAt reports when the Rst fired (ok=false while the fault has not
+// triggered yet).
+func (r *RSTInjector) InjectedAt() (Time, bool) { return r.injectedAt, r.injected }

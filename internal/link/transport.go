@@ -1,0 +1,381 @@
+package link
+
+import (
+	"context"
+	"fmt"
+)
+
+// ackSize is the wire size of a bare acknowledgment or RST frame.
+const ackSize = 40
+
+// headerSize is the per-segment header overhead added to the payload.
+const headerSize = 40
+
+// TransferConfig tunes one RunTransfer simulation.
+type TransferConfig struct {
+	// Bytes is the payload to move (required).
+	Bytes int
+	// MSS is the payload bytes per segment (default 1460).
+	MSS int
+	// InitialWindow is the starting congestion window in segments
+	// (default 4).
+	InitialWindow float64
+	// MaxWindow caps the window in segments (default 256) — the
+	// receiver-buffer stand-in.
+	MaxWindow int
+	// MinRTOMs floors the retransmission timeout (default 200).
+	MinRTOMs float64
+	// BudgetMs bounds the virtual time a transfer may take before it is
+	// abandoned (default 300000 — five virtual minutes).
+	BudgetMs float64
+}
+
+// withDefaults fills the zero values.
+func (c TransferConfig) withDefaults() TransferConfig {
+	if c.MSS <= 0 {
+		c.MSS = 1460
+	}
+	if c.InitialWindow <= 0 {
+		c.InitialWindow = 4
+	}
+	if c.MaxWindow <= 0 {
+		c.MaxWindow = 256
+	}
+	if c.MinRTOMs <= 0 {
+		c.MinRTOMs = 200
+	}
+	if c.BudgetMs <= 0 {
+		c.BudgetMs = 300_000
+	}
+	return c
+}
+
+// TransferResult summarizes one simulated transfer.
+type TransferResult struct {
+	// BytesAcked is the payload cumulatively acknowledged when the
+	// transfer ended (== Bytes on a completed transfer).
+	BytesAcked int
+	// Segments counts data frames offered to the wire, retransmissions
+	// included.
+	Segments uint64
+	// Retransmits counts retransmitted segments (fast retransmit + RTO).
+	Retransmits uint64
+	// Timeouts counts RTO firings.
+	Timeouts uint64
+	// DurationMs is the virtual time the transfer ran.
+	DurationMs float64
+	// GoodputMbps is acknowledged payload over virtual duration.
+	GoodputMbps float64
+	// Aborted is true when the transfer ended early; AbortReason is
+	// "rst" (connection killed) or "budget" (virtual time exhausted).
+	Aborted     bool
+	AbortReason string
+	// AbortAt is the virtual instant the transfer aborted (zero when it
+	// completed).
+	AbortAt Time
+	// FwdStats and RevStats snapshot the data and ack links.
+	FwdStats, RevStats Stats
+}
+
+// sender is the window-based reliable sender: slow start, AIMD congestion
+// avoidance, fast retransmit on three duplicate acks with multiplicative
+// backoff, and exponential-backoff RTO — enough Reno to be
+// congestion-limited on a FullPath.
+type sender struct {
+	cfg       TransferConfig
+	totalSegs int
+
+	base, next int
+	cwnd       float64
+	ssthresh   float64
+	dupAcks    int
+	recovering bool
+	recover    int
+
+	srtt, rttvar float64 // ms; srtt == 0 means no sample yet
+	minRtt       float64 // ms; smallest raw sample, 0 means none yet
+	rtoMs        float64
+	rtoBackoff   float64
+	rtoAt        Time
+	sendTime     []Time
+	retx         []bool
+
+	segments, retransmits, timeouts uint64
+}
+
+func newSender(cfg TransferConfig) *sender {
+	totalSegs := (cfg.Bytes + cfg.MSS - 1) / cfg.MSS
+	return &sender{
+		cfg:        cfg,
+		totalSegs:  totalSegs,
+		cwnd:       cfg.InitialWindow,
+		ssthresh:   float64(cfg.MaxWindow),
+		rtoMs:      cfg.MinRTOMs,
+		rtoBackoff: 1,
+		sendTime:   make([]Time, totalSegs),
+		retx:       make([]bool, totalSegs),
+	}
+}
+
+// window is the effective window in segments.
+func (s *sender) window() int {
+	w := int(s.cwnd)
+	if w < 1 {
+		w = 1
+	}
+	if w > s.cfg.MaxWindow {
+		w = s.cfg.MaxWindow
+	}
+	return w
+}
+
+// segSize is the payload size of segment seq.
+func (s *sender) segSize(seq int) int {
+	if rem := s.cfg.Bytes - seq*s.cfg.MSS; rem < s.cfg.MSS {
+		return rem
+	}
+	return s.cfg.MSS
+}
+
+// rto is the current timeout with backoff applied.
+func (s *sender) rto() Time { return Ms(s.rtoMs * s.rtoBackoff) }
+
+// transmit puts segment seq on the wire. The verdict is deliberately
+// ignored: a real sender cannot observe a tail-drop or wire loss; it
+// finds out through missing acks.
+func (s *sender) transmit(now Time, data Forwarder, seq int, isRetx bool) {
+	data.Send(now, Frame{
+		Seq:  uint64(seq),
+		Size: s.segSize(seq) + headerSize,
+		Kind: Data,
+	})
+	s.sendTime[seq] = now
+	s.segments++
+	if isRetx {
+		s.retx[seq] = true
+		s.retransmits++
+	}
+}
+
+// pump sends every segment the window allows at time now.
+func (s *sender) pump(now Time, data Forwarder) {
+	hadOutstanding := s.next > s.base
+	for s.next < s.totalSegs && s.next-s.base < s.window() {
+		s.transmit(now, data, s.next, false)
+		s.next++
+	}
+	if !hadOutstanding && s.next > s.base {
+		s.rtoAt = now + s.rto()
+	}
+}
+
+// onAck processes one cumulative acknowledgment at time now.
+func (s *sender) onAck(now Time, ack int, data Forwarder) {
+	if ack > s.base {
+		newly := ack - s.base
+		// RTT sample from the segment whose arrival produced this ack,
+		// skipped for retransmitted segments (Karn's rule).
+		if seg := ack - 1; seg >= 0 && seg < s.totalSegs && !s.retx[seg] {
+			sample := (now - s.sendTime[seg]).Ms()
+			if s.minRtt == 0 || sample < s.minRtt {
+				s.minRtt = sample
+			}
+			// Delay-based slow-start exit (HyStart-style): once the RTT
+			// sample shows real queue buildup, stop doubling before the
+			// queue overflows in one giant burst. The threshold is an
+			// absolute queueing-delay bound clamped to 4–16 ms so it fires
+			// before a shallow queue overflows even on long-RTT paths.
+			if s.cwnd < s.ssthresh {
+				eta := s.minRtt / 8
+				if eta < 4 {
+					eta = 4
+				} else if eta > 16 {
+					eta = 16
+				}
+				if sample > s.minRtt+eta {
+					s.ssthresh = s.cwnd
+				}
+			}
+			if s.srtt == 0 {
+				s.srtt, s.rttvar = sample, sample/2
+			} else {
+				diff := s.srtt - sample
+				if diff < 0 {
+					diff = -diff
+				}
+				s.rttvar = 0.75*s.rttvar + 0.25*diff
+				s.srtt = 0.875*s.srtt + 0.125*sample
+			}
+			s.rtoMs = s.srtt + 4*s.rttvar
+			if s.rtoMs < s.cfg.MinRTOMs {
+				s.rtoMs = s.cfg.MinRTOMs
+			}
+		}
+		s.base = ack
+		s.dupAcks = 0
+		s.rtoBackoff = 1
+		if s.recovering {
+			if s.base >= s.recover {
+				s.recovering = false
+			} else {
+				// Partial ack: the next hole in the same flight is also
+				// gone — retransmit it now without cutting again (NewReno).
+				s.transmit(now, data, s.base, true)
+			}
+		}
+		if s.cwnd < s.ssthresh {
+			s.cwnd += float64(newly) // slow start
+		} else {
+			s.cwnd += float64(newly) / s.cwnd // congestion avoidance
+		}
+		if s.cwnd > float64(s.cfg.MaxWindow) {
+			s.cwnd = float64(s.cfg.MaxWindow)
+		}
+		s.rtoAt = now + s.rto()
+		return
+	}
+	if ack != s.base || s.next == s.base {
+		return // stale ack, or nothing outstanding
+	}
+	s.dupAcks++
+	if s.dupAcks == 3 && !s.recovering {
+		// Fast retransmit with multiplicative backoff: one cut per
+		// flight (Reno's recover marker), so a burst of losses in the
+		// same window doesn't collapse cwnd to nothing.
+		s.recovering = true
+		s.recover = s.next
+		s.ssthresh = s.cwnd / 2
+		if s.ssthresh < 2 {
+			s.ssthresh = 2
+		}
+		s.cwnd = s.ssthresh
+		s.dupAcks = 0
+		s.transmit(now, data, s.base, true)
+		s.rtoAt = now + s.rto()
+	}
+}
+
+// onTimeout fires the RTO at time now: retransmit the base segment, shrink
+// to one segment, and back the timer off exponentially (capped at 64×).
+func (s *sender) onTimeout(now Time, data Forwarder) {
+	s.timeouts++
+	s.ssthresh = s.cwnd / 2
+	if s.ssthresh < 2 {
+		s.ssthresh = 2
+	}
+	s.cwnd = 1
+	s.recovering = false
+	s.dupAcks = 0
+	if s.rtoBackoff < 64 {
+		s.rtoBackoff *= 2
+	}
+	s.transmit(now, data, s.base, true)
+	s.rtoAt = now + s.rto()
+}
+
+// receiver reassembles segments and emits cumulative acks.
+type receiver struct {
+	base int
+	have []bool
+}
+
+// onData accepts one data frame and returns the cumulative ack to send.
+func (r *receiver) onData(seq int) int {
+	if seq >= r.base && seq < len(r.have) && !r.have[seq] {
+		r.have[seq] = true
+		for r.base < len(r.have) && r.have[r.base] {
+			r.base++
+		}
+	}
+	return r.base
+}
+
+// RunTransfer simulates moving cfg.Bytes of payload from a window-based
+// sender to a receiver over the data link, with acknowledgments returning
+// on the ack link, entirely in virtual time. It returns when the transfer
+// completes, the virtual-time budget runs out, or the sender receives an
+// Rst frame (see RSTInjector). The simulation is deterministic: identical
+// links and config produce an identical result.
+func RunTransfer(ctx context.Context, data, ack Forwarder, cfg TransferConfig) (*TransferResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Bytes <= 0 {
+		return nil, fmt.Errorf("link: transfer needs Bytes > 0")
+	}
+	snd := newSender(cfg)
+	rcv := &receiver{have: make([]bool, snd.totalSegs)}
+	budget := Ms(cfg.BudgetMs)
+
+	var (
+		now   Time
+		buf   []Frame
+		reset = func(res *TransferResult) *TransferResult {
+			res.BytesAcked = snd.base * cfg.MSS
+			if res.BytesAcked > cfg.Bytes {
+				res.BytesAcked = cfg.Bytes
+			}
+			res.Segments = snd.segments
+			res.Retransmits = snd.retransmits
+			res.Timeouts = snd.timeouts
+			res.DurationMs = now.Ms()
+			if s := now.Seconds(); s > 0 {
+				res.GoodputMbps = float64(res.BytesAcked) * 8 / s / 1e6
+			}
+			res.FwdStats = data.Stats()
+			res.RevStats = ack.Stats()
+			return res
+		}
+	)
+
+	for events := 0; ; events++ {
+		if events%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		snd.pump(now, data)
+		if snd.base >= snd.totalSegs {
+			return reset(&TransferResult{}), nil
+		}
+
+		// Advance the clock to the next arrival or timer.
+		next := snd.rtoAt
+		if t, ok := data.Next(); ok && t < next {
+			next = t
+		}
+		if t, ok := ack.Next(); ok && t < next {
+			next = t
+		}
+		if next < now {
+			next = now
+		}
+		now = next
+		if now > budget {
+			return reset(&TransferResult{Aborted: true, AbortReason: "budget", AbortAt: now}), nil
+		}
+
+		// Data arrivals at the receiver: each produces a cumulative ack.
+		buf = data.Recv(now, buf[:0])
+		for _, f := range buf {
+			if f.Kind != Data {
+				continue
+			}
+			cum := rcv.onData(int(f.Seq))
+			ack.Send(now, Frame{Ack: uint64(cum), Size: ackSize, Kind: Ack})
+		}
+
+		// Ack (and fault) arrivals at the sender.
+		buf = ack.Recv(now, buf[:0])
+		for _, f := range buf {
+			switch f.Kind {
+			case Rst:
+				return reset(&TransferResult{Aborted: true, AbortReason: "rst", AbortAt: now}), nil
+			case Ack:
+				snd.onAck(now, int(f.Ack), data)
+			}
+		}
+
+		if snd.next > snd.base && now >= snd.rtoAt {
+			snd.onTimeout(now, data)
+		}
+	}
+}
