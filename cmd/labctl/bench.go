@@ -54,6 +54,9 @@ func benchCmd(ctx context.Context, stdout, errOut io.Writer, args []string) erro
 	if *merge {
 		return benchMerge(stdout, rf.outPath, *label, names)
 	}
+	if names, err = withFamily(names, rf.family); err != nil {
+		return err
+	}
 
 	// A shard is a slice of a run, not a trajectory point: it may only go
 	// to an explicit -o file (for bench -merge to union later), never be

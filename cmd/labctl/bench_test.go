@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/benchstore"
 	"repro/internal/scenario"
+	"repro/internal/scengen"
 )
 
 // TestSuiteShardUnionCoversAllExactlyOnce is the acceptance check:
@@ -237,12 +239,96 @@ func TestListMarkdownTable(t *testing.T) {
 	if lines[0] != "| Scenario | What it runs |" || lines[1] != "| --- | --- |" {
 		t.Fatalf("markdown header:\n%s", out.String())
 	}
-	if want := len(scenario.Names()) + 2; len(lines) != want {
-		t.Fatalf("markdown table has %d lines, want %d", len(lines), want)
-	}
+	// Generated families collapse to one summary row each; everything
+	// else stays one row per scenario.
+	var plain, familyCells int
+	families := make(map[string]bool)
 	for _, name := range scenario.Names() {
+		if fam, ok := scengen.FamilyOf(name); ok {
+			families[fam] = true
+			familyCells++
+			if strings.Contains(out.String(), "| `"+name+"` |") {
+				t.Errorf("family cell %q listed individually in collapsed table", name)
+			}
+			continue
+		}
+		plain++
 		if !strings.Contains(out.String(), "| `"+name+"` |") {
 			t.Errorf("table missing scenario %q", name)
 		}
+	}
+	if familyCells == 0 || !families["fattreesweep"] {
+		t.Fatal("expected the fattreesweep family to be registered")
+	}
+	if want := plain + len(families) + 2; len(lines) != want {
+		t.Fatalf("markdown table has %d lines, want %d", len(lines), want)
+	}
+	for fam := range families {
+		reg, err := scengen.Lookup(fam)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := fmt.Sprintf("| `%s (%d cells)` |", fam, len(reg.Members))
+		if !strings.Contains(out.String(), row) {
+			t.Errorf("table missing family summary row %q", row)
+		}
+	}
+
+	// -all restores the one-row-per-scenario form.
+	out.Reset()
+	if err := run([]string{"list", "-md", "-all"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(out.String()), "\n")
+	if want := len(scenario.Names()) + 2; len(lines) != want {
+		t.Fatalf("list -md -all has %d lines, want %d", len(lines), want)
+	}
+}
+
+func TestListFamily(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"list", "-family", "fattreesweep"}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	members, err := scengen.Expand("fattreesweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != len(members) {
+		t.Fatalf("list -family printed %d lines, want %d", len(lines), len(members))
+	}
+	if err := run([]string{"list", "-family", "nosuchfamily"}, &out, &out); err == nil {
+		t.Fatal("list -family nosuchfamily succeeded")
+	}
+}
+
+func TestSuiteFamilyFlag(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "fam.json")
+	var out bytes.Buffer
+	if err := run([]string{"suite", "-quick", "-family", "fattreesweep", "-o", outPath}, &out, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res scenario.SuiteResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	members, err := scengen.Expand("fattreesweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) < 64 {
+		t.Fatalf("fattreesweep has %d cells, want ≥ 64", len(members))
+	}
+	if got := len(res.Outcomes); got != len(members) {
+		t.Fatalf("suite -family ran %d scenarios, want %d", got, len(members))
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
 	}
 }

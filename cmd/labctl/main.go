@@ -43,8 +43,9 @@ import (
 	"time"
 
 	"repro/internal/dispatch"
-	_ "repro/internal/experiments" // registers every lab scenario
+	_ "repro/internal/experiments" // registers every lab scenario and family
 	"repro/internal/scenario"
+	"repro/internal/scengen"
 )
 
 func main() {
@@ -65,6 +66,7 @@ type runFlags struct {
 	parallel   int
 	failFast   bool
 	shard      string
+	family     string
 	addr       string
 	addrs      string
 	addrsFile  string
@@ -91,6 +93,7 @@ func registerRunFlags(fs *flag.FlagSet, rf *runFlags, suiteMode bool) {
 	fs.StringVar(&rf.addrs, "addrs", "", "comma-separated labd backends: dispatch the suite across every healthy backend and merge the results")
 	fs.StringVar(&rf.addrsFile, "addrs-file", "", "file listing labd backends (whitespace separated, # comments), same as -addrs")
 	fs.BoolVar(&rf.steal, "steal", true, "with -addrs: pull scenario-granular work units per backend; -steal=false restores fixed per-backend shards")
+	fs.StringVar(&rf.family, "family", "", "also select every scenario of this generated family (see labctl list)")
 	if suiteMode {
 		fs.IntVar(&rf.parallel, "parallel", 1, "scenarios run concurrently")
 		fs.BoolVar(&rf.failFast, "failfast", false, "stop the suite at the first failure")
@@ -129,6 +132,9 @@ func run(args []string, stdout, errOut io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if names, err = withFamily(names, rf.family); err != nil {
+			return err
+		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		if cmd == "run" {
@@ -145,6 +151,21 @@ func run(args []string, stdout, errOut io.Writer) error {
 		usage(stdout)
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// withFamily appends a generated family's member scenarios to the
+// explicitly named ones — the -family selector shared by run, suite,
+// and bench. Members expand in the family's canonical sorted order, so
+// -family composes with -shard the same way an explicit name list does.
+func withFamily(names []string, family string) ([]string, error) {
+	if family == "" {
+		return names, nil
+	}
+	members, err := scengen.Expand(family)
+	if err != nil {
+		return nil, err
+	}
+	return append(names, members...), nil
 }
 
 // parseInterleaved parses args allowing flags and positionals in any
@@ -169,7 +190,7 @@ func parseInterleaved(fs *flag.FlagSet, args []string) ([]string, error) {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `labctl — unified scenario runner
 
-  labctl list [-md]                    list registered scenarios
+  labctl list [-md] [-all] [-family F] list scenarios (families as one summary row)
   labctl describe <scenario>           description and default config JSON
   labctl run [flags] <scenario...>     run scenarios serially, fail fast
   labctl suite [flags] [scenario...]   run a suite (default: all scenarios)
@@ -178,6 +199,8 @@ func usage(w io.Writer) {
   labctl compare [flags] [base.json] <current.json> diff snapshots, fail on regression
 
 run/suite flags: -config file.json -o results.json|.csv -quick -timeout 10m -v
+                 -family F adds every cell of a generated family, e.g.
+                 labctl suite -quick -family fattreesweep
 suite flags:     -parallel N -failfast -shard i/n
 bench flags:     suite flags plus -dir DIR -label L -gobench bench.txt
 compare flags:   -threshold 0.1 -abs-eps X -ignore-missing -dir DIR -o out.json|.csv
@@ -193,9 +216,14 @@ fleet mode:      -addrs a,b,c (or -addrs-file F) dispatches run/suite/bench
 
 // list prints the registry, one scenario per line, or as a markdown
 // table (-md) — the form README.md's scenario table is generated from.
+// Generated families collapse to one summary row with a cell count
+// (hundreds of cells would otherwise drown the table); -all expands
+// them inline and -family X lists exactly one family's cells.
 func list(w, errOut io.Writer, args []string) error {
 	fs := newFlagSet("list", errOut)
 	md := fs.Bool("md", false, "emit a markdown table (the README scenario table)")
+	all := fs.Bool("all", false, "expand generated families instead of one summary row each")
+	family := fs.String("family", "", "list only this generated family's cells")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -203,16 +231,59 @@ func list(w, errOut io.Writer, args []string) error {
 	if len(scenarios) == 0 {
 		return fmt.Errorf("no scenarios registered")
 	}
+	type row struct{ name, display, describe string }
+	var rows []row
+	if *family != "" {
+		members, err := scengen.Expand(*family)
+		if err != nil {
+			return err
+		}
+		for _, name := range members {
+			s, err := scenario.Lookup(name)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{name: name, display: name, describe: s.Describe()})
+		}
+	} else {
+		emitted := make(map[string]bool)
+		for _, s := range scenarios {
+			fam, generated := scengen.FamilyOf(s.Name())
+			if !generated || *all {
+				rows = append(rows, row{name: s.Name(), display: s.Name(), describe: s.Describe()})
+				continue
+			}
+			if emitted[fam] {
+				continue
+			}
+			emitted[fam] = true
+			reg, err := scengen.Lookup(fam)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{
+				name:     fam,
+				display:  fmt.Sprintf("%s (%d cells)", fam, len(reg.Members)),
+				describe: reg.Describe + " — run with -family " + fam,
+			})
+		}
+	}
 	if *md {
 		fmt.Fprintln(w, "| Scenario | What it runs |")
 		fmt.Fprintln(w, "| --- | --- |")
-		for _, s := range scenarios {
-			fmt.Fprintf(w, "| `%s` | %s |\n", s.Name(), s.Describe())
+		for _, r := range rows {
+			fmt.Fprintf(w, "| `%s` | %s |\n", r.display, r.describe)
 		}
 		return nil
 	}
-	for _, s := range scenarios {
-		fmt.Fprintf(w, "%-18s %s\n", s.Name(), s.Describe())
+	width := 18
+	for _, r := range rows {
+		if len(r.display) > width {
+			width = len(r.display)
+		}
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-*s %s\n", width, r.display, r.describe)
 	}
 	return nil
 }

@@ -1,0 +1,207 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/labd"
+	"repro/internal/scenario"
+	"repro/internal/scengen"
+)
+
+// The fleet-width e2e over a generated family: a 64-cell grid registered
+// through scengen is dispatched across a 3-backend cluster carrying one
+// straggler and losing one backend mid-run. The family must come back
+// with exact coverage (every cell once, merged in registry order,
+// byte-equivalent to a local run) and the straggler must not gate the
+// wall clock — the whole reason families and the work-stealing
+// dispatcher exist in one repo.
+
+// dspFamCfg is one synthetic cell's config: pure function of the cell.
+type dspFamCfg struct {
+	Gain float64
+	Tag  string
+	Seed int64
+}
+
+func init() {
+	points := func(prefix string, n int) []scengen.Point {
+		pts := make([]scengen.Point, n)
+		for i := range pts {
+			pts[i] = scengen.Point{Label: fmt.Sprintf("%s%d", prefix, i), Value: i}
+		}
+		return pts
+	}
+	scengen.MustRegister(&scengen.Family{
+		Name:     "dspfam",
+		Describe: "dispatch e2e family: 8×8 grid of deterministic fixture cells",
+		Seed:     0xD15B,
+		Axes: []scengen.Axis{
+			{Name: "g", Points: points("g", 8)},
+			{Name: "l", Points: points("l", 8)},
+		},
+		New: scengen.Build(scengen.Spec[dspFamCfg]{
+			Config: func(c scengen.Cell) dspFamCfg {
+				return dspFamCfg{
+					Gain: float64(8*c.Int("g")+c.Int("l")) / 4,
+					Tag:  c.Name,
+					Seed: c.Seed,
+				}
+			},
+			Run: func(ctx context.Context, env *scenario.Env, cell scengen.Cell, cfg dspFamCfg) (*scenario.Report, error) {
+				rep := &scenario.Report{}
+				rep.Metric("gain", cfg.Gain)
+				rep.Metric("seed_low", float64(uint16(cfg.Seed)))
+				return rep, nil
+			},
+		}),
+	})
+}
+
+// TestFamilyDispatchStragglerAndKill fans the 64-cell dspfam family
+// across 3 backends; backend 1 is a per-unit straggler and backend 2 is
+// killed after completing its first unit.
+func TestFamilyDispatchStragglerAndKill(t *testing.T) {
+	const delay = 300 * time.Millisecond
+	members, err := scengen.Expand("dspfam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 64 {
+		t.Fatalf("dspfam has %d cells, want 64", len(members))
+	}
+
+	cluster := newCluster(t, 3)
+	straggler := cluster.Backends[1]
+	victim := cluster.Backends[2]
+	straggler.SetExecDelay(delay)
+
+	killed := make(chan struct{}, 1)
+	start := time.Now()
+	res, err := Run(ctxT(t), cluster.Addrs(), Options{
+		Spec: labd.JobSpec{Scenarios: members, Quick: true},
+		OnEvent: func(ev Event) {
+			// The chaos monkey: the victim dies right after proving it was
+			// a live participant (its first completed unit).
+			if ev.Backend == victim.Addr() && ev.Event.Phase == "done" && ev.Event.Scenario != "" {
+				select {
+				case killed <- struct{}{}:
+					victim.Kill()
+				default:
+				}
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	select {
+	case <-killed:
+	default:
+		t.Fatal("the victim backend was never killed; the e2e did not exercise the mid-run loss")
+	}
+	if err := res.Suite.Err(); err != nil {
+		t.Fatalf("merged family result not green: %v", err)
+	}
+
+	// Exact coverage: merged outcomes are the family in registry order,
+	// and the union of executed units is every cell exactly once.
+	if len(res.Suite.Outcomes) != len(members) {
+		t.Fatalf("merged %d outcomes, want %d", len(res.Suite.Outcomes), len(members))
+	}
+	for i, o := range res.Suite.Outcomes {
+		if o.Scenario != members[i] {
+			t.Fatalf("outcome %d is %q, want %q", i, o.Scenario, members[i])
+		}
+		if o.Error != "" || o.Skipped || o.Report == nil {
+			t.Fatalf("cell %s not green: %+v", o.Scenario, o)
+		}
+	}
+	executed := make(map[string]int, len(members))
+	perBackend := make(map[string]int)
+	for _, u := range res.Units {
+		if u.Skipped {
+			continue
+		}
+		perBackend[u.Backend]++
+		for _, o := range u.Result.Outcomes {
+			executed[o.Scenario]++
+		}
+	}
+	for _, name := range members {
+		if executed[name] != 1 {
+			t.Errorf("cell %s executed %d times, want exactly 1", name, executed[name])
+		}
+	}
+	if len(executed) != len(members) {
+		t.Errorf("executed %d distinct cells, want %d", len(executed), len(members))
+	}
+
+	// No unit may be credited to the dead backend after its kill-triggered
+	// requeue, except those it legitimately finished first.
+	if perBackend[victim.Addr()] == len(members) {
+		t.Error("every unit credited to the killed backend")
+	}
+
+	// The straggler pays the delay per unit, so while the survivors drain
+	// the family it can only complete a handful — nowhere near the third
+	// a fixed partition would pin on it.
+	if slow := perBackend[straggler.Addr()]; slow > len(members)/4 {
+		t.Errorf("straggler completed %d of %d units; stealing should starve it", slow, len(members))
+	}
+	// Wall clock: a fixed third of the family on the straggler would cost
+	// ≥ 21×delay ≈ 6.3s. Require well under that, with CI headroom.
+	if limit := 14 * delay; elapsed >= limit {
+		t.Errorf("family dispatch took %v, want < %v (straggler or kill gated the suite)", elapsed, limit)
+	}
+
+	// Byte-equivalence against a local run of the same family — the merged
+	// artifact carries no trace of the straggler or the kill.
+	local := localSuite(t, members, true)
+	localJSON, err := json.Marshal(local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canon(t, res.Raw), canon(t, localJSON); got != want {
+		t.Errorf("family fleet artifact differs from local:\n--- dispatch\n%s\n--- local\n%s", got, want)
+	}
+}
+
+// TestFamilyShardedDispatch covers the -family × -shard seam: each half
+// of the family dispatches independently, and the two merged halves
+// union to exactly the family.
+func TestFamilyShardedDispatch(t *testing.T) {
+	members, err := scengen.Expand("dspfam")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := newCluster(t, 2)
+	seen := make(map[string]int, len(members))
+	for i := 0; i < 2; i++ {
+		half := scenario.ShardNames(members, scenario.Shard{Index: i, Count: 2})
+		res, err := Run(ctxT(t), cluster.Addrs(), Options{
+			Spec: labd.JobSpec{Scenarios: half, Quick: true},
+		})
+		if err != nil {
+			t.Fatalf("shard %d/2: %v", i, err)
+		}
+		if err := res.Suite.Err(); err != nil {
+			t.Fatalf("shard %d/2 not green: %v", i, err)
+		}
+		for _, o := range res.Suite.Outcomes {
+			seen[o.Scenario]++
+		}
+	}
+	for _, name := range members {
+		if seen[name] != 1 {
+			t.Errorf("cell %s ran %d times across the two shards, want 1", name, seen[name])
+		}
+	}
+	if len(seen) != len(members) {
+		t.Errorf("shards covered %d distinct cells, want %d", len(seen), len(members))
+	}
+}

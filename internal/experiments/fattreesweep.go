@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/polka"
+	"repro/internal/scenario"
+	"repro/internal/scengen"
+	"repro/internal/topo"
+)
+
+// This file registers the fattreesweep scenario family: a 64-cell
+// parameter grid (fat-tree size × loss × RTT × queue depth × traffic
+// matrix) expanded through internal/scengen into first-class registry
+// entries. Every cell builds its fat-tree, routes a seeded traffic
+// matrix over it with a reused shortest-path table, certifies each
+// route with polka.VerifyPath, and reports a deterministic analytic
+// flow model — so hundreds of machine-made scenarios stay as
+// byte-reproducible (and as cheap) as the hand-written ones, and the
+// suite, shard matrix, and fleet dispatcher finally have real width.
+
+// FatTreeSweepConfig is one generated cell's configuration. The grid
+// values (K, Loss, RTTMs, QueueDepth, Matrix) are baked in by the
+// generator; Flows and Seed are the knobs an overlay may still turn.
+type FatTreeSweepConfig struct {
+	// K is the fat-tree arity (even; see topo.FatTree).
+	K int
+	// Loss is the per-link loss fraction applied by the analytic
+	// delivery model.
+	Loss float64
+	// RTTMs is the target inter-pod host-to-host round-trip time; link
+	// delays are calibrated so the longest shortest path meets it.
+	RTTMs float64
+	// QueueDepth is the modeled per-port queue, in packets; it bounds
+	// the worst-case queueing delay added to the RTT.
+	QueueDepth int
+	// Matrix selects the traffic matrix: "pairs" (seeded random host
+	// permutation) or "stride" (host i → host i+H/2 mod H).
+	Matrix string
+	// Flows is how many matrix entries are routed.
+	Flows int
+	// Seed drives the matrix sampling; the generator derives it from
+	// the family seed and the cell's grid index.
+	Seed int64
+}
+
+// fatTreeForSweep calibrates the fat-tree so an inter-pod host pair
+// (6 links each way: host, edge→agg, agg→core, core→agg, agg→edge,
+// host) sees cfg.RTTMs of round-trip propagation delay.
+func fatTreeForSweep(cfg FatTreeSweepConfig) (*topo.Topology, error) {
+	ft := topo.DefaultFatTreeConfig(cfg.K)
+	const hostDelay = 0.05
+	ft.HostDelayMs = hostDelay
+	ft.LinkDelayMs = (cfg.RTTMs/2 - 2*hostDelay) / 4
+	if ft.LinkDelayMs <= 0 {
+		return nil, fmt.Errorf("experiments: RTT target %.3f ms too small to calibrate", cfg.RTTMs)
+	}
+	return topo.FatTree(ft)
+}
+
+// sweepMatrix returns cfg.Flows (src, dst) host pairs under the cell's
+// traffic matrix. Both matrices are pure functions of (hosts, cfg.Seed).
+func sweepMatrix(cfg FatTreeSweepConfig, hosts []string) ([][2]string, error) {
+	h := len(hosts)
+	if h < 2 {
+		return nil, fmt.Errorf("experiments: fat-tree has %d hosts, need ≥ 2", h)
+	}
+	pairs := make([][2]string, 0, cfg.Flows)
+	switch cfg.Matrix {
+	case "pairs":
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		perm := rng.Perm(h)
+		for i := 0; len(pairs) < cfg.Flows; i++ {
+			src := hosts[perm[i%h]]
+			dst := hosts[perm[(i+1)%h]]
+			if src == dst {
+				continue
+			}
+			pairs = append(pairs, [2]string{src, dst})
+		}
+	case "stride":
+		stride := h / 2
+		for i := 0; len(pairs) < cfg.Flows; i++ {
+			pairs = append(pairs, [2]string{hosts[i%h], hosts[(i+stride)%h]})
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown traffic matrix %q (want pairs or stride)", cfg.Matrix)
+	}
+	return pairs, nil
+}
+
+// runFatTreeSweep executes one cell: build, route, VerifyPath-certify,
+// and evaluate the analytic flow model. Every metric is a deterministic
+// function of the configuration, so fleet-dispatched runs diff clean
+// against local ones under the zero-tolerance CI compare.
+func runFatTreeSweep(ctx context.Context, env *scenario.Env, cfg FatTreeSweepConfig) (*scenario.Report, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("experiments: need ≥ 1 flow, got %d", cfg.Flows)
+	}
+	t, err := fatTreeForSweep(cfg)
+	if err != nil {
+		return nil, err
+	}
+	switches := append(t.NodesOfKind(topo.Edge), t.NodesOfKind(topo.Core)...)
+	dom, err := polka.NewDomain(switches, t.MaxPort())
+	if err != nil {
+		return nil, err
+	}
+	hosts := t.NodesOfKind(topo.Host)
+	pairs, err := sweepMatrix(cfg, hosts)
+	if err != nil {
+		return nil, err
+	}
+	env.Phasef("route", "%d flows over %d nodes", len(pairs), len(t.Nodes()))
+
+	table := t.SPTable(topo.ByDelay)
+	var (
+		verified    int
+		sumHops     float64
+		sumRTT      float64
+		sumGoodput  float64
+		sumDelivery float64
+		worstRTT    float64
+		maxQueueMs  float64
+		interPod    int
+	)
+	for i, pair := range pairs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		path, err := table.Path(pair[0], pair[1])
+		if err != nil {
+			return nil, fmt.Errorf("flow %d: %w", i, err)
+		}
+		ports, err := t.PortsAlong(path)
+		if err != nil {
+			return nil, fmt.Errorf("flow %d: %w", i, err)
+		}
+		// The PolKA hops are the switch traversals: every path node except
+		// the source and destination hosts.
+		hops := make([]polka.PathHop, 0, len(path.Nodes)-2)
+		for n := 1; n < len(path.Nodes)-1; n++ {
+			hops = append(hops, polka.PathHop{Node: path.Nodes[n], Port: ports[n]})
+		}
+		routeID, err := dom.EncodePath(hops)
+		if err != nil {
+			return nil, fmt.Errorf("flow %d (%s): %w", i, path, err)
+		}
+		if err := dom.VerifyPath(routeID, hops); err != nil {
+			return nil, fmt.Errorf("flow %d (%s): %w", i, path, err)
+		}
+		verified++
+
+		links := float64(path.Len())
+		delay, err := t.PathDelayMs(path)
+		if err != nil {
+			return nil, err
+		}
+		bott, err := t.PathBottleneckMbps(path)
+		if err != nil {
+			return nil, err
+		}
+		// Analytic flow model: delivery decays per traversed link, the
+		// flow's goodput is the delivered share of its bottleneck, and the
+		// worst-case queueing delay is a full QueueDepth of 1500 B packets
+		// draining at the bottleneck rate on every switch hop.
+		delivery := math.Pow(1-cfg.Loss, links)
+		queueMs := float64(cfg.QueueDepth) * (1500 * 8 / (bott * 1000)) * float64(len(hops))
+		rtt := 2*delay + queueMs
+		sumHops += links
+		sumRTT += rtt
+		sumGoodput += bott * delivery
+		sumDelivery += delivery
+		if rtt > worstRTT {
+			worstRTT = rtt
+		}
+		if queueMs > maxQueueMs {
+			maxQueueMs = queueMs
+		}
+		if len(hops) == 5 {
+			interPod++
+		}
+	}
+	n := float64(len(pairs))
+	rep := &scenario.Report{}
+	rep.Metric("nodes", float64(len(t.Nodes())))
+	rep.Metric("links", float64(len(t.Links())))
+	rep.Metric("flows", n)
+	rep.Metric("verified_paths", float64(verified))
+	rep.Metric("inter_pod_flows", float64(interPod))
+	rep.Metric("mean_hops", sumHops/n)
+	rep.Metric("mean_rtt_ms", sumRTT/n)
+	rep.Metric("worst_rtt_ms", worstRTT)
+	rep.Metric("max_queue_delay_ms", maxQueueMs)
+	rep.Metric("mean_goodput_mbps", sumGoodput/n)
+	rep.Metric("delivery_rate", sumDelivery/n)
+	return rep, nil
+}
+
+func init() {
+	scengen.MustRegister(&scengen.Family{
+		Name:     "fattreesweep",
+		Describe: "generated fat-tree family: VerifyPath-certified routing plus an analytic loss/RTT/queue flow model per grid cell",
+		Seed:     0xFA77EE,
+		Axes: []scengen.Axis{
+			{Name: "size", Points: []scengen.Point{
+				{Label: "fattree4", Value: 4},
+				{Label: "fattree8", Value: 8},
+			}},
+			{Name: "loss", Points: []scengen.Point{
+				{Label: "loss0", Value: 0.0},
+				{Label: "loss0.01", Value: 0.01},
+			}},
+			{Name: "rtt", Points: []scengen.Point{
+				{Label: "rtt10ms", Value: 10.0},
+				{Label: "rtt20ms", Value: 20.0},
+				{Label: "rtt40ms", Value: 40.0},
+				{Label: "rtt80ms", Value: 80.0},
+			}},
+			{Name: "queue", Points: []scengen.Point{
+				{Label: "q16", Value: 16},
+				{Label: "q64", Value: 64},
+			}},
+			{Name: "tm", Points: []scengen.Point{
+				{Label: "tmpairs", Value: "pairs"},
+				{Label: "tmstride", Value: "stride"},
+			}},
+		},
+		New: scengen.Build(scengen.Spec[FatTreeSweepConfig]{
+			Describe: func(c scengen.Cell) string {
+				return fmt.Sprintf("fat-tree k=%d sweep cell: loss %g, RTT %g ms, queue %d, %s matrix",
+					c.Int("size"), c.Float("loss"), c.Float("rtt"), c.Int("queue"), c.Str("tm"))
+			},
+			Config: func(c scengen.Cell) FatTreeSweepConfig {
+				return FatTreeSweepConfig{
+					K:          c.Int("size"),
+					Loss:       c.Float("loss"),
+					RTTMs:      c.Float("rtt"),
+					QueueDepth: c.Int("queue"),
+					Matrix:     c.Str("tm"),
+					Flows:      32,
+					Seed:       c.Seed,
+				}
+			},
+			Quick: func(c scengen.Cell) FatTreeSweepConfig {
+				cfg := FatTreeSweepConfig{
+					K:          c.Int("size"),
+					Loss:       c.Float("loss"),
+					RTTMs:      c.Float("rtt"),
+					QueueDepth: c.Int("queue"),
+					Matrix:     c.Str("tm"),
+					Flows:      6,
+					Seed:       c.Seed,
+				}
+				return cfg
+			},
+			Run: func(ctx context.Context, env *scenario.Env, _ scengen.Cell, cfg FatTreeSweepConfig) (*scenario.Report, error) {
+				return runFatTreeSweep(ctx, env, cfg)
+			},
+		}),
+	})
+}

@@ -1,0 +1,397 @@
+// Package scengen generates scenario families: a declarative parameter
+// grid (topology size × loss × RTT × queue depth × traffic matrix × …)
+// expanded into first-class scenario.Registry entries. Each grid cell
+// becomes one registered scenario with a stable name composed from the
+// family name and the cell's axis labels
+// ("fattreesweep/fattree8/loss0.01/rtt20ms/q16/tmpairs") and a
+// reproducible seed derived via a SplitMix64 mix from the family seed
+// and the cell's grid index — so any cell can be re-run in isolation,
+// byte-identically, without generating the rest of the family.
+//
+// Families ride every existing seam for free: members are ordinary
+// registry entries, so the suite runner, Shard{i,n} slicing, the labd
+// daemon, and the fleet dispatcher all pick them up with no special
+// cases. The package additionally keeps a family registry so callers
+// (labctl -family, the list table) can resolve a family name to its
+// member scenarios or collapse hundreds of cells to one summary row.
+package scengen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/scenario"
+)
+
+// Point is one value on a grid axis: the label becomes a component of
+// every member scenario's name, the value feeds the cell's config.
+type Point struct {
+	// Label is the name component ("loss0.01", "rtt20ms"). It must be
+	// nonempty, unique within its axis, and free of "/".
+	Label string
+	// Value is the typed axis value handed to the cell's config builder.
+	Value any
+}
+
+// Axis is one dimension of the parameter grid.
+type Axis struct {
+	// Name identifies the axis ("loss", "rtt"); cells look values up by
+	// it.
+	Name string
+	// Points are the ordered grid points along this axis.
+	Points []Point
+}
+
+// Cell is one fully resolved grid cell: the cross product of one point
+// per axis, plus the identity the generator derives for it.
+type Cell struct {
+	// Family is the owning family's name.
+	Family string
+	// Index is the cell's row-major grid index (last axis fastest). It is
+	// assigned before the name sort, so it — and the seed derived from it
+	// — is a pure function of the grid shape.
+	Index int
+	// Name is the member scenario's registry name:
+	// family/label1/label2/…, one label per axis in axis order.
+	Name string
+	// Seed is the cell's reproducible seed, SplitMix64-derived from the
+	// family seed and Index.
+	Seed int64
+	// Values maps axis name → the selected point's value.
+	Values map[string]any
+}
+
+// value returns the named axis value or panics: asking for an axis the
+// family does not declare is an init-time programming error, exactly
+// like registering a duplicate scenario.
+func (c Cell) value(axis string) any {
+	v, ok := c.Values[axis]
+	if !ok {
+		panic(fmt.Sprintf("scengen: cell %s has no axis %q", c.Name, axis))
+	}
+	return v
+}
+
+// Int returns the named axis value as an int.
+func (c Cell) Int(axis string) int {
+	v, ok := c.value(axis).(int)
+	if !ok {
+		panic(fmt.Sprintf("scengen: cell %s axis %q holds %T, want int", c.Name, axis, c.value(axis)))
+	}
+	return v
+}
+
+// Float returns the named axis value as a float64.
+func (c Cell) Float(axis string) float64 {
+	switch v := c.value(axis).(type) {
+	case float64:
+		return v
+	case int:
+		return float64(v)
+	}
+	panic(fmt.Sprintf("scengen: cell %s axis %q holds %T, want float64", c.Name, axis, c.value(axis)))
+}
+
+// Str returns the named axis value as a string.
+func (c Cell) Str(axis string) string {
+	v, ok := c.value(axis).(string)
+	if !ok {
+		panic(fmt.Sprintf("scengen: cell %s axis %q holds %T, want string", c.Name, axis, c.value(axis)))
+	}
+	return v
+}
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix, so
+// distinct (family seed, index) inputs give well-spread, collision-free
+// per-cell seeds.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// CellSeed derives the reproducible seed of grid cell index under the
+// given family seed — the SplitMix64 sequence element the generator
+// stamps into Cell.Seed. Exposed so a cell can be reconstructed in
+// isolation (a debugging session re-running one cell of a thousand).
+func CellSeed(familySeed uint64, index int) int64 {
+	// The golden-ratio increment is SplitMix64's stream step; index+1
+	// keeps cell 0 from collapsing onto the bare family seed.
+	return int64(mix64(familySeed + (uint64(index)+1)*0x9E3779B97F4A7C15))
+}
+
+// Family declares one scenario family: the grid, the family seed, and
+// the constructor that turns a resolved cell into a runnable scenario.
+type Family struct {
+	// Name is the family name and the first component of every member's
+	// registry name. It must be nonempty and free of "/".
+	Name string
+	// Describe is the one-line family summary (the collapsed list row).
+	Describe string
+	// Seed is the family seed all cell seeds derive from.
+	Seed uint64
+	// Axes are the grid dimensions, in name-composition order.
+	Axes []Axis
+	// New builds the member scenario for one cell. The returned
+	// scenario's Name() must be exactly cell.Name (Build enforces this).
+	New func(Cell) scenario.Scenario
+}
+
+// Size returns the number of grid cells (the product of axis sizes).
+func (f *Family) Size() int {
+	if len(f.Axes) == 0 {
+		return 0
+	}
+	n := 1
+	for _, ax := range f.Axes {
+		n *= len(ax.Points)
+	}
+	return n
+}
+
+// validate rejects grids that cannot produce unique well-formed names.
+func (f *Family) validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("scengen: family needs a name")
+	}
+	if strings.Contains(f.Name, "/") {
+		return fmt.Errorf("scengen: family name %q must not contain '/'", f.Name)
+	}
+	if len(f.Axes) == 0 {
+		return fmt.Errorf("scengen: family %s has no axes", f.Name)
+	}
+	if f.New == nil {
+		return fmt.Errorf("scengen: family %s has no scenario constructor", f.Name)
+	}
+	seenAxis := make(map[string]bool, len(f.Axes))
+	for _, ax := range f.Axes {
+		if ax.Name == "" {
+			return fmt.Errorf("scengen: family %s has an unnamed axis", f.Name)
+		}
+		if seenAxis[ax.Name] {
+			return fmt.Errorf("scengen: family %s repeats axis %q", f.Name, ax.Name)
+		}
+		seenAxis[ax.Name] = true
+		if len(ax.Points) == 0 {
+			return fmt.Errorf("scengen: family %s axis %q has no points", f.Name, ax.Name)
+		}
+		seenLabel := make(map[string]bool, len(ax.Points))
+		for _, p := range ax.Points {
+			if p.Label == "" || strings.Contains(p.Label, "/") {
+				return fmt.Errorf("scengen: family %s axis %q has invalid label %q", f.Name, ax.Name, p.Label)
+			}
+			if seenLabel[p.Label] {
+				return fmt.Errorf("scengen: family %s axis %q repeats label %q", f.Name, ax.Name, p.Label)
+			}
+			seenLabel[p.Label] = true
+		}
+	}
+	return nil
+}
+
+// Cells expands the grid into its resolved cells, sorted by name. Seeds
+// are assigned by row-major grid index before the sort, so they depend
+// only on the grid shape and the family seed: re-generating the family
+// — or just one cell via CellSeed — is byte-reproducible. Uniqueness of
+// the names follows from per-axis label uniqueness; sortedness is
+// established here so registry order, shard slicing, and family
+// expansion all agree on one canonical member order.
+func (f *Family) Cells() ([]Cell, error) {
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	cells := make([]Cell, 0, f.Size())
+	labels := make([]string, len(f.Axes))
+	idx := make([]int, len(f.Axes))
+	for i := 0; i < f.Size(); i++ {
+		// Decompose i row-major: last axis varies fastest.
+		rem := i
+		for a := len(f.Axes) - 1; a >= 0; a-- {
+			idx[a] = rem % len(f.Axes[a].Points)
+			rem /= len(f.Axes[a].Points)
+		}
+		values := make(map[string]any, len(f.Axes))
+		for a, ax := range f.Axes {
+			p := ax.Points[idx[a]]
+			labels[a] = p.Label
+			values[ax.Name] = p.Value
+		}
+		cells = append(cells, Cell{
+			Family: f.Name,
+			Index:  i,
+			Name:   f.Name + "/" + strings.Join(labels, "/"),
+			Seed:   CellSeed(f.Seed, i),
+			Values: values,
+		})
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Name < cells[j].Name })
+	return cells, nil
+}
+
+// Registered is one family's entry in the family registry.
+type Registered struct {
+	// Name and Describe mirror the family declaration.
+	Name, Describe string
+	// Members are the member scenarios' registry names, sorted — the
+	// canonical expansion order labctl -family and the shard property
+	// tests rely on.
+	Members []string
+}
+
+var (
+	famMu    sync.RWMutex
+	famReg   = make(map[string]*Registered)
+	famNames []string
+)
+
+// Register expands the family and registers every member scenario plus
+// the family itself. Like scenario.Register it is meant for init time;
+// it returns an error (rather than panicking) so tests can probe the
+// validation paths — use MustRegister in init functions.
+func Register(f *Family) error {
+	cells, err := f.Cells()
+	if err != nil {
+		return err
+	}
+	famMu.Lock()
+	defer famMu.Unlock()
+	if _, dup := famReg[f.Name]; dup {
+		return fmt.Errorf("scengen: duplicate family %q", f.Name)
+	}
+	reg := &Registered{Name: f.Name, Describe: f.Describe, Members: make([]string, len(cells))}
+	for i, c := range cells {
+		s := f.New(c)
+		if s == nil {
+			return fmt.Errorf("scengen: family %s constructor returned nil for cell %s", f.Name, c.Name)
+		}
+		if s.Name() != c.Name {
+			return fmt.Errorf("scengen: family %s cell scenario names itself %q, want %q", f.Name, s.Name(), c.Name)
+		}
+		scenario.Register(s)
+		reg.Members[i] = c.Name
+	}
+	famReg[f.Name] = reg
+	famNames = append(famNames, f.Name)
+	sort.Strings(famNames)
+	return nil
+}
+
+// MustRegister is Register for init functions: it panics on error,
+// matching scenario.Register's fail-loudly-at-init contract.
+func MustRegister(f *Family) {
+	if err := Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Families returns every registered family, sorted by name.
+func Families() []*Registered {
+	famMu.RLock()
+	defer famMu.RUnlock()
+	out := make([]*Registered, 0, len(famNames))
+	for _, name := range famNames {
+		out = append(out, famReg[name])
+	}
+	return out
+}
+
+// Lookup returns the named family.
+func Lookup(name string) (*Registered, error) {
+	famMu.RLock()
+	defer famMu.RUnlock()
+	reg, ok := famReg[name]
+	if !ok {
+		return nil, fmt.Errorf("scengen: unknown family %q (have %v)", name, famNames)
+	}
+	return reg, nil
+}
+
+// Expand resolves a family name to its member scenario names, sorted —
+// the list labctl -family hands to the suite runner or the fleet
+// dispatcher.
+func Expand(name string) ([]string, error) {
+	reg, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, len(reg.Members))
+	copy(out, reg.Members)
+	return out, nil
+}
+
+// FamilyOf reports the family a scenario name belongs to, keyed by the
+// name's leading "family/" component. Hand-registered scenarios (no
+// slash, or an unregistered prefix) report ok=false.
+func FamilyOf(scenarioName string) (string, bool) {
+	prefix, _, ok := strings.Cut(scenarioName, "/")
+	if !ok {
+		return "", false
+	}
+	famMu.RLock()
+	defer famMu.RUnlock()
+	_, registered := famReg[prefix]
+	if !registered {
+		return "", false
+	}
+	return prefix, true
+}
+
+// Spec binds one config constructor and run function to every cell of a
+// family — the common case where all members share a config type and
+// differ only in the grid values baked into it. Config must be a pure
+// function of the cell (no clocks, no global state), which is what makes
+// re-generation byte-identical.
+type Spec[C any] struct {
+	// Describe renders the member's one-line description; nil derives it
+	// from the cell name.
+	Describe func(Cell) string
+	// Config builds the member's default configuration.
+	Config func(Cell) C
+	// Quick builds the reduced smoke configuration; nil reuses Config.
+	Quick func(Cell) C
+	// Run executes one cell.
+	Run func(ctx context.Context, env *scenario.Env, cell Cell, cfg C) (*scenario.Report, error)
+}
+
+// Build turns a Spec into the Family.New constructor.
+func Build[C any](spec Spec[C]) func(Cell) scenario.Scenario {
+	return func(c Cell) scenario.Scenario { return &cellScenario[C]{cell: c, spec: spec} }
+}
+
+// cellScenario adapts one grid cell + spec to scenario.Scenario.
+type cellScenario[C any] struct {
+	cell Cell
+	spec Spec[C]
+}
+
+func (s *cellScenario[C]) Name() string { return s.cell.Name }
+
+func (s *cellScenario[C]) Describe() string {
+	if s.spec.Describe != nil {
+		return s.spec.Describe(s.cell)
+	}
+	return fmt.Sprintf("generated cell %s of family %s", s.cell.Name, s.cell.Family)
+}
+
+func (s *cellScenario[C]) DefaultConfig() any { return s.spec.Config(s.cell) }
+
+func (s *cellScenario[C]) QuickConfig() any {
+	if s.spec.Quick == nil {
+		return s.spec.Config(s.cell)
+	}
+	return s.spec.Quick(s.cell)
+}
+
+func (s *cellScenario[C]) Run(ctx context.Context, env *scenario.Env, cfg any) (*scenario.Report, error) {
+	c, ok := cfg.(C)
+	if !ok {
+		return nil, fmt.Errorf("scengen: cell %s: config is %T, want %T", s.cell.Name, cfg, *new(C))
+	}
+	return s.spec.Run(ctx, env, s.cell, c)
+}

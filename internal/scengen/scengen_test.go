@@ -1,0 +1,223 @@
+package scengen
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+)
+
+// testFamily returns a fresh 3×2×2 family declaration whose cells carry
+// their identity in the config, so config bytes distinguish cells.
+func testFamily(name string) *Family {
+	type cfg struct {
+		N    int
+		F    float64
+		S    string
+		Seed int64
+	}
+	return &Family{
+		Name:     name,
+		Describe: "unit-test grid",
+		Seed:     42,
+		Axes: []Axis{
+			{Name: "n", Points: []Point{{Label: "n1", Value: 1}, {Label: "n2", Value: 2}, {Label: "n3", Value: 3}}},
+			{Name: "f", Points: []Point{{Label: "flo", Value: 0.5}, {Label: "fhi", Value: 2.5}}},
+			{Name: "s", Points: []Point{{Label: "sa", Value: "a"}, {Label: "sb", Value: "b"}}},
+		},
+		New: Build(Spec[cfg]{
+			Config: func(c Cell) cfg {
+				return cfg{N: c.Int("n"), F: c.Float("f"), S: c.Str("s"), Seed: c.Seed}
+			},
+			Run: func(ctx context.Context, env *scenario.Env, cell Cell, c cfg) (*scenario.Report, error) {
+				rep := &scenario.Report{}
+				rep.Metric("n", float64(c.N))
+				return rep, nil
+			},
+		}),
+	}
+}
+
+func TestCellsNamesAndOrder(t *testing.T) {
+	f := testFamily("unitgrid")
+	cells, err := f.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 || f.Size() != 12 {
+		t.Fatalf("3×2×2 grid expanded to %d cells (Size=%d), want 12", len(cells), f.Size())
+	}
+	seen := make(map[string]bool)
+	seeds := make(map[int64]string)
+	for i, c := range cells {
+		if i > 0 && !(cells[i-1].Name < c.Name) {
+			t.Errorf("cells out of order: %q before %q", cells[i-1].Name, c.Name)
+		}
+		if seen[c.Name] {
+			t.Errorf("duplicate cell name %q", c.Name)
+		}
+		seen[c.Name] = true
+		parts := strings.Split(c.Name, "/")
+		if len(parts) != 4 || parts[0] != "unitgrid" {
+			t.Errorf("cell name %q is not family/label1/label2/label3", c.Name)
+		}
+		if c.Seed != CellSeed(f.Seed, c.Index) {
+			t.Errorf("cell %s seed %d does not match CellSeed(%d, %d)", c.Name, c.Seed, f.Seed, c.Index)
+		}
+		if prev, dup := seeds[c.Seed]; dup {
+			t.Errorf("cells %s and %s share seed %d", prev, c.Name, c.Seed)
+		}
+		seeds[c.Seed] = c.Name
+	}
+	// Seeds are a function of (family seed, grid index) only — byte-level
+	// reproducibility of a second expansion.
+	again, err := testFamily("unitgrid").Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cells {
+		if cells[i].Name != again[i].Name || cells[i].Seed != again[i].Seed || cells[i].Index != again[i].Index {
+			t.Fatalf("re-expansion diverged at %d: %+v vs %+v", i, cells[i], again[i])
+		}
+	}
+}
+
+func TestCellSeedDistinctAcrossFamilies(t *testing.T) {
+	a, b := CellSeed(1, 0), CellSeed(2, 0)
+	if a == b {
+		t.Fatal("different family seeds produced the same cell seed")
+	}
+	if CellSeed(1, 0) == CellSeed(1, 1) {
+		t.Fatal("adjacent grid indices produced the same cell seed")
+	}
+}
+
+func TestValidateRejectsBadGrids(t *testing.T) {
+	cases := []struct {
+		label  string
+		mutate func(*Family)
+	}{
+		{"empty name", func(f *Family) { f.Name = "" }},
+		{"slash in family name", func(f *Family) { f.Name = "a/b" }},
+		{"no axes", func(f *Family) { f.Axes = nil }},
+		{"nil constructor", func(f *Family) { f.New = nil }},
+		{"unnamed axis", func(f *Family) { f.Axes[0].Name = "" }},
+		{"duplicate axis", func(f *Family) { f.Axes[1].Name = f.Axes[0].Name }},
+		{"empty axis", func(f *Family) { f.Axes[0].Points = nil }},
+		{"empty label", func(f *Family) { f.Axes[0].Points[0].Label = "" }},
+		{"slash in label", func(f *Family) { f.Axes[0].Points[0].Label = "a/b" }},
+		{"duplicate label", func(f *Family) { f.Axes[0].Points[1].Label = f.Axes[0].Points[0].Label }},
+	}
+	for _, tc := range cases {
+		f := testFamily("badgrid")
+		tc.mutate(f)
+		if _, err := f.Cells(); err == nil {
+			t.Errorf("%s: Cells() accepted an invalid grid", tc.label)
+		}
+		if err := Register(f); err == nil {
+			t.Errorf("%s: Register accepted an invalid grid", tc.label)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicateAndMisnamed(t *testing.T) {
+	f := testFamily("reggrid")
+	if err := Register(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(testFamily("reggrid")); err == nil {
+		t.Fatal("duplicate family registration accepted")
+	}
+	// A constructor whose scenario misreports its name must be rejected.
+	bad := testFamily("misnamed")
+	orig := bad.New
+	bad.New = func(c Cell) scenario.Scenario {
+		c.Name = "wrong/" + c.Name
+		return orig(c)
+	}
+	if err := Register(bad); err == nil {
+		t.Fatal("misnamed cell scenario accepted")
+	}
+
+	members, err := Expand("reggrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 12 {
+		t.Fatalf("Expand returned %d members, want 12", len(members))
+	}
+	for _, name := range members {
+		if _, err := scenario.Lookup(name); err != nil {
+			t.Errorf("member %q not in the scenario registry: %v", name, err)
+		}
+		fam, ok := FamilyOf(name)
+		if !ok || fam != "reggrid" {
+			t.Errorf("FamilyOf(%q) = %q, %v; want reggrid, true", name, fam, ok)
+		}
+	}
+	if _, ok := FamilyOf("plainscenario"); ok {
+		t.Error("FamilyOf claimed a slash-free name belongs to a family")
+	}
+	if _, ok := FamilyOf("nosuchfamily/cell"); ok {
+		t.Error("FamilyOf claimed an unregistered prefix belongs to a family")
+	}
+	if _, err := Expand("nosuchfamily"); err == nil {
+		t.Error("Expand accepted an unknown family")
+	}
+}
+
+func TestTypedAccessorsPanicOnMisuse(t *testing.T) {
+	cells, err := testFamily("accessors").Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cells[0]
+	if got := c.Float("n"); got != float64(c.Int("n")) {
+		t.Errorf("Float on an int axis = %v, want %v", got, c.Int("n"))
+	}
+	for label, fn := range map[string]func(){
+		"missing axis":  func() { c.Int("nosuch") },
+		"int on string": func() { c.Int("s") },
+		"str on int":    func() { c.Str("n") },
+		"float on str":  func() { c.Float("s") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", label)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBuildExecutesThroughScenarioAPI(t *testing.T) {
+	f := testFamily("execgrid")
+	if err := Register(f); err != nil {
+		t.Fatal(err)
+	}
+	members, err := Expand("execgrid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.Lookup(members[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := scenario.Execute(context.Background(), &scenario.Env{}, s, s.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Metrics["n"]; !ok {
+		t.Fatalf("executed cell report lacks metric n: %+v", rep.Metrics)
+	}
+	// A wrongly typed config must error, not run.
+	if _, err := s.Run(context.Background(), &scenario.Env{}, struct{}{}); err == nil {
+		t.Fatal("cell scenario ran with a config of the wrong type")
+	}
+	if s.Describe() == "" {
+		t.Fatal("cell scenario has an empty description")
+	}
+}

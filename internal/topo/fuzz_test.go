@@ -1,0 +1,123 @@
+package topo_test
+
+// Fuzz targets over the topology generators: whatever (clamped) shape
+// the fuzzer proposes, the generated graph must be connected, every
+// random src/dst pair must be routable, and the route must survive
+// polka.VerifyPath — i.e. the PolKA data plane walks the exact ports
+// the shortest-path layer computed. Seed corpora live under
+// testdata/fuzz; CI runs each target briefly with -fuzz as a smoke.
+
+import (
+	"testing"
+
+	"repro/internal/polka"
+	"repro/internal/topo"
+)
+
+// verifyRoute routes src→dst over the table and certifies the route
+// with the domain — shared by both fuzz targets.
+func verifyRoute(t *testing.T, g *topo.Topology, table *topo.SPTable, dom *polka.Domain, src, dst string) {
+	t.Helper()
+	path, err := table.Path(src, dst)
+	if err != nil {
+		t.Fatalf("no path %s -> %s in a connected graph: %v", src, dst, err)
+	}
+	if len(path.Nodes) < 3 {
+		return // no intermediate switches to encode
+	}
+	ports, err := g.PortsAlong(path)
+	if err != nil {
+		t.Fatalf("PortsAlong(%s): %v", path, err)
+	}
+	hops := make([]polka.PathHop, 0, len(path.Nodes)-2)
+	for n := 1; n < len(path.Nodes)-1; n++ {
+		hops = append(hops, polka.PathHop{Node: path.Nodes[n], Port: ports[n]})
+	}
+	routeID, err := dom.EncodePath(hops)
+	if err != nil {
+		t.Fatalf("EncodePath(%s): %v", path, err)
+	}
+	if err := dom.VerifyPath(routeID, hops); err != nil {
+		t.Fatalf("VerifyPath(%s): %v", path, err)
+	}
+}
+
+// FuzzFatTree drives the fat-tree constructor across arities and picks
+// a host pair from the raw fuzz ints.
+func FuzzFatTree(f *testing.F) {
+	f.Add(uint8(4), uint16(0), uint16(9))
+	f.Add(uint8(8), uint16(77), uint16(3))
+	f.Add(uint8(2), uint16(1), uint16(0))
+	f.Fuzz(func(t *testing.T, rawK uint8, rawSrc, rawDst uint16) {
+		k := 2 * (1 + int(rawK)%5) // even arities 2..10
+		g, err := topo.FatTree(topo.DefaultFatTreeConfig(k))
+		if err != nil {
+			t.Fatalf("k=%d rejected: %v", k, err)
+		}
+		hosts := g.NodesOfKind(topo.Host)
+		wantNodes := 5*k*k/4 + k*k*k/4
+		if got := len(g.Nodes()); got != wantNodes {
+			t.Fatalf("k=%d: %d nodes, want %d", k, got, wantNodes)
+		}
+		table := g.SPTable(topo.ByDelay)
+		src := hosts[int(rawSrc)%len(hosts)]
+		reach, err := table.ReachableFrom(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reach != wantNodes {
+			t.Fatalf("k=%d: %s reaches %d of %d nodes", k, src, reach, wantNodes)
+		}
+		switches := append(g.NodesOfKind(topo.Edge), g.NodesOfKind(topo.Core)...)
+		dom, err := polka.NewDomain(switches, g.MaxPort())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := hosts[int(rawDst)%len(hosts)]
+		if src != dst {
+			verifyRoute(t, g, table, dom, src, dst)
+		}
+	})
+}
+
+// FuzzISPGraph drives the preferential-attachment generator across
+// sizes, degrees, and seeds.
+func FuzzISPGraph(f *testing.F) {
+	f.Add(uint8(50), uint8(3), int64(1), uint16(0), uint16(5))
+	f.Add(uint8(200), uint8(1), int64(99), uint16(40), uint16(2))
+	f.Add(uint8(2), uint8(5), int64(-7), uint16(1), uint16(1))
+	f.Fuzz(func(t *testing.T, rawRouters, rawDeg uint8, seed int64, rawSrc, rawDst uint16) {
+		cfg := topo.ISPConfig{
+			Routers:   2 + int(rawRouters)%255,
+			MinDegree: 1 + int(rawDeg)%5,
+			Hosts:     8,
+			Seed:      seed,
+		}
+		g, err := topo.ISPGraph(cfg)
+		if err != nil {
+			t.Fatalf("%+v rejected: %v", cfg, err)
+		}
+		wantNodes := cfg.Routers + cfg.Hosts
+		if got := len(g.Nodes()); got != wantNodes {
+			t.Fatalf("%d nodes, want %d", got, wantNodes)
+		}
+		table := g.SPTable(topo.ByDelay)
+		reach, err := table.ReachableFrom("r0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reach != wantNodes {
+			t.Fatalf("r0 reaches %d of %d nodes — not connected", reach, wantNodes)
+		}
+		dom, err := polka.NewDomain(g.NodesOfKind(topo.Core), g.MaxPort())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes := g.Nodes()
+		src := nodes[int(rawSrc)%len(nodes)]
+		dst := nodes[int(rawDst)%len(nodes)]
+		if src != dst {
+			verifyRoute(t, g, table, dom, src, dst)
+		}
+	})
+}

@@ -1,0 +1,270 @@
+package topo
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFatTreeStructure checks the closed-form element counts of the
+// k-ary fat-tree for several arities: (k/2)² cores, k·k/2 agg, k·k/2
+// edge, k³/4 hosts, and k³/4 + k³/4 + k³/4 bidirectional link pairs
+// (agg↔core, edge↔agg, host↔edge each contribute k·(k/2)² links).
+func TestFatTreeStructure(t *testing.T) {
+	for _, k := range []int{2, 4, 8, 16} {
+		tr, err := FatTree(DefaultFatTreeConfig(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		half := k / 2
+		wantCores := half * half
+		wantAgg := k * half
+		wantEdge := k * half
+		wantHosts := k * half * half
+		wantNodes := wantCores + wantAgg + wantEdge + wantHosts
+		if got := len(tr.Nodes()); got != wantNodes {
+			t.Errorf("k=%d: %d nodes, want %d", k, got, wantNodes)
+		}
+		if got := len(tr.NodesOfKind(Host)); got != wantHosts {
+			t.Errorf("k=%d: %d hosts, want %d", k, got, wantHosts)
+		}
+		if got := len(tr.NodesOfKind(Edge)); got != wantEdge {
+			t.Errorf("k=%d: %d edge switches, want %d", k, got, wantEdge)
+		}
+		// Links() reports directed links; each tier adds k·(k/2)² pairs.
+		wantLinks := 3 * k * half * half * 2
+		if got := len(tr.Links()); got != wantLinks {
+			t.Errorf("k=%d: %d directed links, want %d", k, got, wantLinks)
+		}
+	}
+}
+
+// TestFatTreeRejectsBadConfigs pins the validation surface.
+func TestFatTreeRejectsBadConfigs(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -4} {
+		if _, err := FatTree(DefaultFatTreeConfig(k)); err == nil {
+			t.Errorf("arity %d accepted", k)
+		}
+	}
+	bad := DefaultFatTreeConfig(4)
+	bad.EdgeCapacityMbps = 0
+	if _, err := FatTree(bad); err == nil {
+		t.Error("zero edge capacity accepted")
+	}
+}
+
+// TestFatTreeLargeBuildsFast is the scale gate behind the generator
+// layer: a k=16 tree (1344 nodes, 4.6k directed links) plus a full
+// shortest-path tree from one host must come in far under a second.
+func TestFatTreeLargeBuildsFast(t *testing.T) {
+	start := time.Now()
+	tr, err := FatTree(DefaultFatTreeConfig(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.Nodes()); got != 1344 {
+		t.Fatalf("k=16 tree has %d nodes, want 1344", got)
+	}
+	table := tr.SPTable(ByDelay)
+	reach, err := table.ReachableFrom(ftHost(0, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reach != 1344 {
+		t.Fatalf("host reaches %d of 1344 nodes", reach)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("k=16 build+SSSP took %v, want < 1s", elapsed)
+	}
+}
+
+// TestFatTreeInterPodPathShape checks that an inter-pod host pair rides
+// the canonical 6-link host→edge→agg→core→agg→edge→host route.
+func TestFatTreeInterPodPathShape(t *testing.T) {
+	tr, err := FatTree(DefaultFatTreeConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := tr.ShortestPath(ftHost(0, 0, 0), ftHost(1, 0, 0), ByDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 6 {
+		t.Fatalf("inter-pod path %s has %d links, want 6", p, p.Len())
+	}
+	intra, err := tr.ShortestPath(ftHost(0, 0, 0), ftHost(0, 0, 1), ByDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intra.Len() != 2 {
+		t.Fatalf("same-edge path %s has %d links, want 2", intra, intra.Len())
+	}
+}
+
+// TestISPGraphShape checks connectivity, determinism, and the
+// heavy-tailed degree sequence of the preferential-attachment graph.
+func TestISPGraphShape(t *testing.T) {
+	cfg := DefaultISPConfig()
+	start := time.Now()
+	g, err := ISPGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNodes := cfg.Routers + cfg.Hosts
+	if got := len(g.Nodes()); got != wantNodes {
+		t.Fatalf("%d nodes, want %d", got, wantNodes)
+	}
+	reach, err := g.SPTable(ByDelay).ReachableFrom("r0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reach != wantNodes {
+		t.Fatalf("r0 reaches %d of %d nodes — graph not connected", reach, wantNodes)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("2064-node ISP graph build+SSSP took %v, want < 1s", elapsed)
+	}
+
+	// Degree sequence: preferential attachment concentrates links on the
+	// early routers; the max degree must clearly exceed the mean.
+	deg := make(map[string]int)
+	for _, l := range g.Links() {
+		deg[l.From]++
+	}
+	maxDeg, sum := 0, 0
+	for _, d := range deg {
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(len(deg))
+	if float64(maxDeg) < 4*mean {
+		t.Errorf("max degree %d vs mean %.1f — degree tail not heavy", maxDeg, mean)
+	}
+
+	// Same seed, same graph: node and link counts and one probe path.
+	g2, err := ISPGraph(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g2.Links()) != len(g.Links()) {
+		t.Fatalf("re-generation changed link count: %d vs %d", len(g2.Links()), len(g.Links()))
+	}
+	p1, err := g.ShortestPath("h0", "h1", ByDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := g2.ShortestPath("h0", "h1", ByDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.String() != p2.String() {
+		t.Fatalf("re-generation changed shortest path: %s vs %s", p1, p2)
+	}
+
+	// A different seed must actually change the wiring somewhere.
+	cfg2 := cfg
+	cfg2.Seed = 99
+	g3, err := ISPGraph(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for _, l := range g.Links() {
+		if _, err := g3.Link(l.From, l.To); err != nil {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical edge set")
+	}
+}
+
+// TestISPGraphRejectsBadConfigs pins the validation surface.
+func TestISPGraphRejectsBadConfigs(t *testing.T) {
+	for _, cfg := range []ISPConfig{
+		{Routers: 1, MinDegree: 1},
+		{Routers: 10, MinDegree: 0},
+		{Routers: 10, MinDegree: 1, Hosts: -1},
+	} {
+		if _, err := ISPGraph(cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+}
+
+// TestSPTableMatchesShortestPath cross-checks the memoized table against
+// the existing single-shot Dijkstra on both generated topologies: equal
+// path cost under ByDelay for a spread of pairs, and equal hop count
+// under Hops.
+func TestSPTableMatchesShortestPath(t *testing.T) {
+	ft, err := FatTree(DefaultFatTreeConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	isp, err := ISPGraph(ISPConfig{Routers: 200, MinDegree: 2, Hosts: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		g     *Topology
+		pairs [][2]string
+	}{
+		{ft, [][2]string{
+			{ftHost(0, 0, 0), ftHost(3, 1, 1)},
+			{ftHost(1, 0, 1), ftHost(1, 1, 0)},
+			{ftHost(2, 1, 0), ftHost(2, 1, 1)},
+			{ftCore(0), ftHost(0, 0, 0)},
+		}},
+		{isp, [][2]string{
+			{"h0", "h7"}, {"r0", "r199"}, {"r42", "h3"},
+		}},
+	} {
+		table := tc.g.SPTable(ByDelay)
+		for _, pair := range tc.pairs {
+			direct, err := tc.g.ShortestPath(pair[0], pair[1], ByDelay)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := table.Path(pair[0], pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dd, err := tc.g.PathDelayMs(direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cd, err := tc.g.PathDelayMs(cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dd != cd {
+				t.Errorf("%s -> %s: table path delay %.6f, direct %.6f", pair[0], pair[1], cd, dd)
+			}
+			dist, err := table.Dist(pair[0], pair[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dist != cd {
+				t.Errorf("%s -> %s: Dist %.6f disagrees with path delay %.6f", pair[0], pair[1], dist, cd)
+			}
+		}
+	}
+
+	// Error surface: unknown endpoints and the trivial self path.
+	table := ft.SPTable(ByDelay)
+	if _, err := table.Path("nosuch", ftCore(0)); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := table.Path(ftCore(0), "nosuch"); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	self, err := table.Path(ftCore(0), ftCore(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(self.Nodes) != 1 {
+		t.Errorf("self path has %d nodes, want 1", len(self.Nodes))
+	}
+}
