@@ -1,0 +1,159 @@
+// Command labvet runs this project's static-analysis suite: the
+// determinism, metric-direction, map-order, cancellation, and
+// suppression-hygiene contracts encoded in internal/lint.
+//
+// Standalone:
+//
+//	labvet ./...            # whole module (default)
+//	labvet ./internal/link  # one package directory
+//
+// As a vet tool (the mode CI gates on):
+//
+//	go build -o labvet ./cmd/labvet
+//	go vet -vettool=$(pwd)/labvet ./...
+//
+// labvet speaks the cmd/go vet-tool protocol directly (-V=full version
+// handshake, -flags discovery, per-package vet.cfg units with gc export
+// data), so it needs neither golang.org/x/tools nor network access.
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	// cmd/go handshakes, sent before any unit of real work.
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("labvet version %s\n", buildHash())
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no tool-specific flags
+		return
+	}
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		os.Exit(unitMain(args[n-1]))
+	}
+	os.Exit(standaloneMain(args))
+}
+
+// buildHash derives a content-addressed version string from the binary
+// itself, so cmd/go's vet result cache invalidates whenever labvet is
+// rebuilt with different analyzers.
+func buildHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "0.0.0-unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "0.0.0-unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "0.0.0-unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+func standaloneMain(args []string) int {
+	fs := flag.NewFlagSet("labvet", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "also print type-check warnings from partially loaded packages")
+	list := fs.Bool("list", false, "list the analyzer suite and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: labvet [-v] [-list] [./... | package dirs]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			all, err := loader.LoadAll()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, all...)
+		default:
+			pkg, err := loadDirPattern(loader, pat)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		if *verbose {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "# %s: typecheck: %v\n", pkg.Path, terr)
+			}
+		}
+		diags, err := lint.Check(pkg, lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "labvet: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}
+
+// loadDirPattern resolves a directory argument ("./internal/link",
+// "internal/link") to its import path under the loader's module.
+func loadDirPattern(loader *lint.Loader, pat string) (*lint.Package, error) {
+	abs, err := filepath.Abs(strings.TrimSuffix(pat, "/..."))
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(loader.Root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("labvet: %s is outside module root %s", pat, loader.Root)
+	}
+	importPath := loader.ModPath
+	if rel != "." {
+		importPath += "/" + filepath.ToSlash(rel)
+	}
+	return loader.LoadImportPath(importPath)
+}

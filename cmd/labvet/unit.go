@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors cmd/go's per-package vet configuration (see
+// cmd/go/internal/work.vetConfig). cmd/go writes one of these as
+// <objdir>/vet.cfg and invokes the vet tool with its path as the final
+// argument; the tool type-checks from the supplied export data, runs
+// its analyzers, and must write VetxOutput (facts for downstream
+// units — empty for labvet, which is factless).
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+
+	ModulePath    string
+	ModuleVersion string
+	ImportMap     map[string]string
+	PackageFile   map[string]string
+	Standard      map[string]bool
+	PackageVetx   map[string]string
+	VetxOnly      bool
+	VetxOutput    string
+
+	GoVersion string
+
+	SucceedOnTypecheckFailure bool
+}
+
+func unitMain(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "labvet: reading vet config: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "labvet: parsing vet config %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The facts file must exist for cmd/go's caching even when there is
+	// nothing to analyze; labvet carries no facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "labvet: writing vetx output: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and labvet has none
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "labvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+
+	pkg := &lint.Package{Path: cfg.ImportPath, Fset: fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	conf := types.Config{
+		Importer:    exportDataImporter(fset, &cfg, compiler),
+		FakeImportC: true,
+		GoVersion:   strings.TrimSuffix(cfg.GoVersion, " // indirect"),
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(cfg.ImportPath, "")
+	}
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0 // cmd/go contract: broken packages are vetted silently
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+
+	diags, err := lint.Check(pkg, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "labvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (labvet/%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// exportDataImporter resolves imports through the vet config: source
+// import paths canonicalize via ImportMap, and canonical paths load gc
+// export data from the PackageFile map. Paths with no export data
+// (should not happen for a buildable package) degrade to an empty
+// placeholder so analysis can continue.
+func exportDataImporter(fset *token.FileSet, cfg *vetConfig, compiler string) types.Importer {
+	gc := importer.ForCompiler(fset, compiler, func(importPath string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[importPath]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", importPath)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		pkg, err := gc.Import(importPath)
+		if err == nil {
+			return pkg, nil
+		}
+		ph := types.NewPackage(importPath, path.Base(importPath))
+		ph.MarkComplete()
+		return ph, nil
+	})
+}

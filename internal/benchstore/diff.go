@@ -37,60 +37,14 @@ func (d Direction) String() string {
 	}
 }
 
-// neutralNames are exact metric names that never gate: envelope durations
-// and anything else whose value is wall-clock (machine) dependent.
-var neutralNames = map[string]bool{
-	"wall_seconds":     true,
-	"emulated_seconds": true,
-	"ns_per_op":        true, // go-bench time: machine-dependent
-	"iterations":       true, // go-bench iteration count: benchtime-dependent
-}
-
-// neutralSuffixes mark machine-dependent rates: meaningful on one box,
-// noise across CI runner generations. Override per metric (Options.
-// Directions) to gate them on a pinned machine. "_per_s" and "_per_ms"
-// catch custom go-bench rate units ("ops/s", "items/ms") before the
-// lower-is-better "_s"/"_ms" suffixes would invert them.
-var neutralSuffixes = []string{"_per_sec", "_per_s", "_per_ms", "_mpps"}
-
-// higherSuffixes mark throughput/quality metrics (more is better).
-var higherSuffixes = []string{
-	"_mbps", "_r2", "_flows", "_completed", "_verified", "_episodes",
-	"delivered", "completed", "verified", "episodes",
-}
-
-// lowerSuffixes mark cost metrics (less is better). Checked after the
-// higher/neutral lists so e.g. "_mbps" is not caught by the bare "_s";
-// bytes/allocs per op are deterministic for a Go version, so they gate.
-var lowerSuffixes = []string{
-	"_rmse", "_mse", "_loss", "_ms", "_s", "drops", "rmse",
-	"bytes_per_op", "allocs_per_op",
-}
-
-// DirectionFor classifies a metric by naming convention. Unknown names
-// are Neutral: an unrecognized metric must never fail a CI gate by
-// accident — give it a conventional suffix or an explicit override to
-// put it under the gate.
+// DirectionFor classifies a metric by naming convention — the exported
+// table in directions.go, shared with the labvet metricname analyzer.
+// Unknown names are Neutral: an unrecognized metric must never fail a CI
+// gate by accident — give it a conventional suffix or an explicit
+// override to put it under the gate.
 func DirectionFor(metric string) Direction {
-	if neutralNames[metric] {
-		return Neutral
-	}
-	for _, suf := range neutralSuffixes {
-		if strings.HasSuffix(metric, suf) {
-			return Neutral
-		}
-	}
-	for _, suf := range higherSuffixes {
-		if strings.HasSuffix(metric, suf) {
-			return HigherIsBetter
-		}
-	}
-	for _, suf := range lowerSuffixes {
-		if strings.HasSuffix(metric, suf) {
-			return LowerIsBetter
-		}
-	}
-	return Neutral
+	d, _ := KnownDirection(metric)
+	return d
 }
 
 // Options tunes a Diff. The zero value uses DefaultThreshold, no absolute

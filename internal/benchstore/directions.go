@@ -1,0 +1,108 @@
+package benchstore
+
+import (
+	"sort"
+	"strings"
+)
+
+// This file is the single source of truth for metric-direction naming:
+// Diff classifies metrics through it, and the labvet metricname analyzer
+// (internal/lint) imports the same table to reject metric names that
+// would silently fall through to Neutral and never gate. Adding a suffix
+// here simultaneously teaches the compare gate and the static checker.
+
+// SuffixRule binds one metric-name suffix to the direction Diff assumes
+// for metrics carrying it.
+type SuffixRule struct {
+	Suffix    string
+	Direction Direction
+}
+
+// suffixRules is the ordered direction table. Order is the match order:
+// neutral machine-dependent rates come first so "_per_s"/"_per_ms" are
+// not swallowed by the lower-is-better "_s"/"_ms", and higher-is-better
+// "_mbps" is not caught by the bare "_s".
+var suffixRules = []SuffixRule{
+	// Machine-dependent rates: meaningful on one box, noise across CI
+	// runner generations. Override per metric (Options.Directions) to
+	// gate them on a pinned machine.
+	{"_per_sec", Neutral}, {"_per_s", Neutral}, {"_per_ms", Neutral},
+	{"_mpps", Neutral},
+	// Structural counts: deterministic topology/run-shape invariants
+	// (hop counts) whose "better" has no sign.
+	{"_hops", Neutral},
+	// Throughput/quality: more is better.
+	{"_mbps", HigherIsBetter}, {"_r2", HigherIsBetter},
+	{"_flows", HigherIsBetter}, {"_completed", HigherIsBetter},
+	{"_verified", HigherIsBetter}, {"_episodes", HigherIsBetter},
+	{"delivered", HigherIsBetter}, {"completed", HigherIsBetter},
+	{"verified", HigherIsBetter}, {"episodes", HigherIsBetter},
+	{"_rate", HigherIsBetter},   // delivery/success fractions
+	{"_paths", HigherIsBetter},  // verified path counts
+	{"_acked", HigherIsBetter},  // acknowledged byte/packet counts
+	{"_tunnel", HigherIsBetter}, // failover recovery counts
+	// Cost: less is better. Bytes/allocs per op are deterministic for a
+	// Go version, so they gate.
+	{"_rmse", LowerIsBetter}, {"_mse", LowerIsBetter},
+	{"_loss", LowerIsBetter}, {"_ms", LowerIsBetter},
+	{"_s", LowerIsBetter}, {"drops", LowerIsBetter},
+	{"rmse", LowerIsBetter},
+	{"bytes_per_op", LowerIsBetter}, {"allocs_per_op", LowerIsBetter},
+	{"_violations", LowerIsBetter}, // invariant-violation counts, gated at 0
+	{"_bits", LowerIsBetter},       // encoding sizes: compactness wins
+}
+
+// neutralNames are exact metric names that never gate: envelope
+// durations, wall-clock-dependent values, and structural counts that
+// describe the run's shape rather than its quality.
+var neutralNames = map[string]bool{
+	"wall_seconds":     true,
+	"emulated_seconds": true,
+	"ns_per_op":        true, // go-bench time: machine-dependent
+	"iterations":       true, // go-bench iteration count: benchtime-dependent
+	// Structural counts stamped by scenarios for artifact self-description.
+	"nodes":    true,
+	"links":    true,
+	"flows":    true,
+	"branches": true,
+	"cells":    true,
+	"samples":  true,
+	"states":   true,
+	"models":   true,
+	"hops":     true,
+}
+
+// Directions returns the ordered suffix table Diff classifies by. The
+// slice is a copy; mutating it does not change Diff.
+func Directions() []SuffixRule {
+	out := make([]SuffixRule, len(suffixRules))
+	copy(out, suffixRules)
+	return out
+}
+
+// NeutralNames returns the exact metric names that are always Neutral,
+// sorted. The slice is a copy.
+func NeutralNames() []string {
+	out := make([]string, 0, len(neutralNames))
+	for name := range neutralNames {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KnownDirection resolves a metric name against the table: exact neutral
+// names first, then the suffix rules in declared order. ok is false when
+// nothing matches — such a metric is Neutral by fallback and will never
+// gate, which is exactly the condition the metricname analyzer flags.
+func KnownDirection(metric string) (d Direction, ok bool) {
+	if neutralNames[metric] {
+		return Neutral, true
+	}
+	for _, r := range suffixRules {
+		if strings.HasSuffix(metric, r.Suffix) {
+			return r.Direction, true
+		}
+	}
+	return Neutral, false
+}

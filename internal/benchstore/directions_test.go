@@ -1,0 +1,83 @@
+package benchstore
+
+import "testing"
+
+// snapWith builds a one-scenario snapshot with a single metric value.
+func snapWith(metric string, v float64) *Snapshot {
+	s := &Snapshot{Label: "t", QuickUnknown: true}
+	s.Add("x", metric, v)
+	return s
+}
+
+// TestDirectionsTableAgreesWithDiff drives every exported suffix rule
+// and neutral name through a real Diff and checks the gate behaves as
+// the table claims: a 50% move in the bad direction regresses exactly
+// the non-neutral entries, and neutral entries never gate. This pins
+// the exported table (which the labvet metricname analyzer consumes) to
+// Diff's actual behavior so the two can never drift.
+func TestDirectionsTableAgreesWithDiff(t *testing.T) {
+	check := func(metric string, want Direction) {
+		t.Helper()
+		if got := DirectionFor(metric); got != want {
+			t.Fatalf("DirectionFor(%q) = %v, want %v", metric, got, want)
+		}
+		// Bad-direction move: higher-is-better loses half, everything
+		// else (lower/neutral) rises by half.
+		base, cur := 100.0, 150.0
+		if want == HigherIsBetter {
+			cur = 50
+		}
+		c := Diff(snapWith(metric, base), snapWith(metric, cur), Options{})
+		gates := c.Regressions > 0
+		if want == Neutral && gates {
+			t.Fatalf("metric %q: neutral per table but Diff regressed on it", metric)
+		}
+		if want != Neutral && !gates {
+			t.Fatalf("metric %q: direction %v per table but Diff did not regress on a 50%% bad move", metric, want)
+		}
+	}
+
+	for _, r := range Directions() {
+		// A synthetic name carrying exactly this suffix. The prefix must
+		// not itself match an earlier rule; "zz" + suffix is safe for
+		// every entry in the table.
+		check("zz"+r.Suffix, r.Direction)
+	}
+	for _, name := range NeutralNames() {
+		check(name, Neutral)
+	}
+}
+
+// TestKnownDirectionUnrecognized pins the analyzer-facing contract: a
+// name matching neither the suffix table nor the neutral list reports
+// ok=false (and falls back to Neutral in Diff).
+func TestKnownDirectionUnrecognized(t *testing.T) {
+	if d, ok := KnownDirection("some_mystery_metric"); ok || d != Neutral {
+		t.Fatalf("KnownDirection(some_mystery_metric) = %v, %v; want Neutral, false", d, ok)
+	}
+	if DirectionFor("some_mystery_metric") != Neutral {
+		t.Fatal("unrecognized metric must diff as Neutral")
+	}
+}
+
+// TestSuffixRuleOrder pins the ordering hazards the table comment
+// promises: rate suffixes beat the bare "_s"/"_ms" cost suffixes, and
+// "_mbps" is not swallowed by "_s".
+func TestSuffixRuleOrder(t *testing.T) {
+	for metric, want := range map[string]Direction{
+		"ops_per_s":     Neutral,
+		"items_per_ms":  Neutral,
+		"forward_mpps":  Neutral,
+		"agg_mbps":      HigherIsBetter,
+		"latency_ms":    LowerIsBetter,
+		"makespan_s":    LowerIsBetter,
+		"mean_hops":     Neutral,
+		"route_bits":    LowerIsBetter,
+		"x_violations":  LowerIsBetter,
+		"delivery_rate": HigherIsBetter,
+	} {
+		if got := DirectionFor(metric); got != want {
+			t.Errorf("DirectionFor(%q) = %v, want %v", metric, got, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 )
 
@@ -41,8 +42,21 @@ type Broker struct {
 
 	mu     sync.Mutex
 	conns  map[*brokerConn]bool
+	nextID uint64
 	closed bool
 	wg     sync.WaitGroup
+}
+
+// snapshotConns copies the live connection set in accept order, so
+// fan-out and shutdown walk subscribers deterministically instead of in
+// map-iteration order. Caller must hold b.mu.
+func (b *Broker) snapshotConnsLocked() []*brokerConn {
+	conns := make([]*brokerConn, 0, len(b.conns))
+	for bc := range b.conns {
+		conns = append(conns, bc)
+	}
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+	return conns
 }
 
 type brokerConn struct {
@@ -51,6 +65,7 @@ type brokerConn struct {
 	encMu  sync.Mutex
 	topics map[string]bool
 	mu     sync.Mutex
+	id     uint64 // accept order; keys deterministic fan-out
 }
 
 func (bc *brokerConn) subscribed(topic string) bool {
@@ -101,6 +116,8 @@ func (b *Broker) acceptLoop() {
 			_ = c.Close()
 			return
 		}
+		b.nextID++
+		bc.id = b.nextID
 		b.conns[bc] = true
 		b.mu.Unlock()
 		b.wg.Add(1)
@@ -145,10 +162,7 @@ func (b *Broker) serve(bc *brokerConn) {
 // fanOut delivers a message to every connection subscribed to its topic.
 func (b *Broker) fanOut(m Message) {
 	b.mu.Lock()
-	conns := make([]*brokerConn, 0, len(b.conns))
-	for bc := range b.conns {
-		conns = append(conns, bc)
-	}
+	conns := b.snapshotConnsLocked()
 	b.mu.Unlock()
 	for _, bc := range conns {
 		if bc.subscribed(m.Topic) {
@@ -166,10 +180,7 @@ func (b *Broker) Close() error {
 		return nil
 	}
 	b.closed = true
-	conns := make([]*brokerConn, 0, len(b.conns))
-	for bc := range b.conns {
-		conns = append(conns, bc)
-	}
+	conns := b.snapshotConnsLocked()
 	b.mu.Unlock()
 	err := b.ln.Close()
 	for _, bc := range conns {

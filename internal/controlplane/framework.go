@@ -3,6 +3,7 @@ package controlplane
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bus"
@@ -142,6 +143,9 @@ func NewFramework(cfg FrameworkConfig) (*Framework, error) {
 	for id := range cfg.Tunnels {
 		ids = append(ids, id)
 	}
+	// Deterministic controller wiring: map order must not decide the
+	// tunnel scan order.
+	sort.Ints(ids)
 	lag := cfg.Hecate.Lag
 	if lag < 1 {
 		lag = 10

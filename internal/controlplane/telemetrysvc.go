@@ -2,6 +2,7 @@ package controlplane
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/bus"
 	"repro/internal/netem"
@@ -25,9 +26,16 @@ type TelemetryService struct {
 // itself is started with StartCollection.
 func NewTelemetryService(b bus.Bus, emu *netem.Emulator, tunnels map[int]topo.Path) (*TelemetryService, error) {
 	store := telemetry.NewStore()
+	// Probe registration order drives the collector's sampling order:
+	// walk tunnel IDs sorted, not in map order, so runs are repeatable.
+	ids := make([]int, 0, len(tunnels))
+	for id := range tunnels {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var probes []telemetry.Probe
-	for id, path := range tunnels {
-		id, path := id, path
+	for _, id := range ids {
+		id, path := id, tunnels[id]
 		probes = append(probes,
 			telemetry.Probe{
 				Key: telemetry.PathBandwidthKey(tunnelName(id)),

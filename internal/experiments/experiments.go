@@ -60,6 +60,8 @@ type MLComparisonResult struct {
 //
 // Deprecated: use RunMLComparisonContext (or the "mlcompare" entry in the
 // scenario registry); this wrapper runs under context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunMLComparison(cfg MLConfig) (*MLComparisonResult, error) {
 	return RunMLComparisonContext(context.Background(), cfg)
 }
@@ -111,6 +113,8 @@ func lagImportance(model string, series []float64, cfg ml.PipelineConfig) ([]flo
 //
 // Deprecated: use RunObservedVsPredictedContext (or the "mlpredict" entry
 // in the scenario registry); this wrapper runs under context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunObservedVsPredicted(model string, cfg MLConfig) (*ObservedVsPredicted, error) {
 	return RunObservedVsPredictedContext(context.Background(), model, cfg)
 }

@@ -34,6 +34,8 @@ type FailoverResult struct {
 //
 // Deprecated: use RunFailureRecoveryContext (or the "failover" entry in
 // the scenario registry); this wrapper runs under context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunFailureRecovery(cfg TestbedConfig) (*FailoverResult, error) {
 	return RunFailureRecoveryContext(context.Background(), cfg)
 }

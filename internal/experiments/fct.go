@@ -61,6 +61,8 @@ type FCTResult struct {
 //
 // Deprecated: use RunFCTContext (or the "fct" entry in the scenario
 // registry); this wrapper runs under context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunFCT(cfg FCTConfig) (*FCTResult, error) {
 	return RunFCTContext(context.Background(), cfg)
 }

@@ -48,6 +48,8 @@ type MultipathResult struct {
 // Deprecated: use RunMultipathAggregationContext (or the "multipath"
 // entry in the scenario registry); this wrapper runs under
 // context.Background with default settings.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunMultipathAggregation() (*MultipathResult, error) {
 	return RunMultipathAggregationContext(context.Background(), DefaultMultipathConfig())
 }

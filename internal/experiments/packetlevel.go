@@ -91,6 +91,8 @@ type PacketLevelResult struct {
 //
 // Deprecated: use RunPacketLevelContext (or the "packetlevel" entry in
 // the scenario registry); this wrapper runs under context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunPacketLevel(cfg PacketLevelConfig) (*PacketLevelResult, error) {
 	return RunPacketLevelContext(context.Background(), cfg)
 }
@@ -181,12 +183,12 @@ func RunPacketLevelContext(ctx context.Context, cfg PacketLevelConfig) (*PacketL
 		nextLo += uint64(cfg.PacketsPerRoute)
 	}
 
-	start := time.Now()
+	start := time.Now() //lint:labvet-ignore wall-clock run duration is the measured quantity (pkts/sec is Neutral in gates)
 	stats, err := engine.Run(ctx)
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //lint:labvet-ignore pairs with the wall-clock start above; measures real forwarding throughput
 
 	res := &PacketLevelResult{Stats: stats, Duration: elapsed}
 	if s := elapsed.Seconds(); s > 0 {

@@ -52,6 +52,8 @@ type RLResult struct {
 //
 // Deprecated: use RunRLComparisonContext (or the "rl" entry in the
 // scenario registry); this wrapper runs under context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunRLComparison(cfg RLConfig) (*RLResult, error) {
 	return RunRLComparisonContext(context.Background(), cfg)
 }

@@ -108,6 +108,8 @@ type LatencyMigrationResult struct {
 // Deprecated: use RunLatencyMigrationContext (or the "latencymigration"
 // entry in the scenario registry); this wrapper runs under
 // context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunLatencyMigration(cfg TestbedConfig) (*LatencyMigrationResult, error) {
 	return RunLatencyMigrationContext(context.Background(), cfg)
 }
@@ -240,6 +242,8 @@ type FlowAggregationResult struct {
 // Deprecated: use RunFlowAggregationContext (or the "flowaggregation"
 // entry in the scenario registry); this wrapper runs under
 // context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunFlowAggregation(cfg TestbedConfig) (*FlowAggregationResult, error) {
 	return RunFlowAggregationContext(context.Background(), cfg)
 }

@@ -98,6 +98,8 @@ type WorkloadResult struct {
 //
 // Deprecated: use RunWorkloadContext (or the "workload" entry in the
 // scenario registry); this wrapper runs under context.Background.
+//
+//lint:labvet-ignore deprecated pre-context wrapper; delegates to the Context variant, which is the cancellable entry point
 func RunWorkload(cfg WorkloadConfig) (*WorkloadResult, error) {
 	return RunWorkloadContext(context.Background(), cfg)
 }

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"unicode"
+	"unicode/utf8"
+)
+
+// CtxPackages are the packages whose exported Run*/Execute* entry points
+// must be cancellable: the simulation packages plus the long-running
+// service layers (job execution, fleet dispatch, control plane). This
+// preserves the cancellation story threaded through the stack in PR 2:
+// a SIGINT to labctl must be able to unwind an arbitrarily long run.
+var CtxPackages = append(append([]string{}, SimPackages...),
+	"internal/labd",
+	"internal/dispatch",
+	"internal/controlplane",
+)
+
+// CtxLoop enforces the cancellation contract on exported Run*/Execute*
+// functions and methods in CtxPackages: they must accept a
+// context.Context, and any unbounded loop in their body (`for {}` or a
+// range over a channel) must observe the context — directly via
+// ctx.Err()/ctx.Done(), or by handing ctx to a callee each iteration.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "exported Run*/Execute* entry points in simulation and service packages " +
+		"must take a context.Context and observe it inside unbounded loops",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	if !anyPathMatches(pass.Pkg.Path(), CtxPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !runShaped(fn.Name.Name) {
+				continue
+			}
+			ctxParam := contextParam(pass, fn.Type.Params)
+			if ctxParam == nil {
+				pass.Reportf(fn.Name.Pos(), "exported %s is Run/Execute-shaped but takes no context.Context; long-running entry points must be cancellable", fn.Name.Name)
+				continue
+			}
+			checkUnboundedLoops(pass, fn, ctxParam)
+		}
+	}
+	return nil
+}
+
+// runShaped reports whether an exported identifier reads as a run entry
+// point: "Run" or "Execute", alone or followed by a capitalized (or
+// non-letter) continuation. "Runner" and "Executed" are not entry
+// points.
+func runShaped(name string) bool {
+	for _, prefix := range []string{"Run", "Execute"} {
+		rest, ok := cutPrefix(name, prefix)
+		if !ok {
+			continue
+		}
+		if rest == "" {
+			return true
+		}
+		r, _ := utf8.DecodeRuneInString(rest)
+		if !unicode.IsLower(r) {
+			return true
+		}
+	}
+	return false
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}
+
+// contextParam finds the parameter of type context.Context, returning
+// its declaring identifier (nil if absent). The match is syntactic —
+// a selector `context.Context` whose qualifier is the context package
+// (or literally named "context" when type info is incomplete) — so it
+// holds even when an import failed to type-check.
+func contextParam(pass *Pass, params *ast.FieldList) *ast.Ident {
+	if params == nil {
+		return nil
+	}
+	for _, field := range params.List {
+		sel, ok := field.Type.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Context" {
+			continue
+		}
+		qual, ok := sel.X.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if p := importedPath(pass.TypesInfo, sel.X); p != "context" && !(p == "" && qual.Name == "context") {
+			continue
+		}
+		if len(field.Names) == 0 {
+			// Unnamed context parameter: present but unobservable; treat
+			// the declaration as satisfying the signature half only.
+			return ast.NewIdent("_")
+		}
+		return field.Names[0]
+	}
+	return nil
+}
+
+// checkUnboundedLoops reports unbounded loops in fn's body that never
+// touch the context parameter.
+func checkUnboundedLoops(pass *Pass, fn *ast.FuncDecl, ctxParam *ast.Ident) {
+	ctxObj := pass.TypesInfo.Defs[ctxParam]
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				return true // bounded by its condition
+			}
+			body = n.Body
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(n.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Chan); !ok {
+				return true // slice/map/int ranges terminate
+			}
+			body = n.Body
+		default:
+			return true
+		}
+		if !usesIdent(pass, body, ctxParam, ctxObj) {
+			pass.Reportf(n.Pos(), "unbounded loop in %s never observes its context; check ctx.Err()/ctx.Done() (or pass ctx to the loop body) so cancellation can unwind it", fn.Name.Name)
+		}
+		return true
+	})
+}
+
+// usesIdent reports whether body references the given parameter — by
+// resolved object when type info has it, by name otherwise.
+func usesIdent(pass *Pass, body *ast.BlockStmt, param *ast.Ident, obj types.Object) bool {
+	if param.Name == "_" {
+		return false
+	}
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || used {
+			return !used
+		}
+		if obj != nil {
+			if pass.TypesInfo.Uses[id] == obj {
+				used = true
+			}
+		} else if id.Name == param.Name {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

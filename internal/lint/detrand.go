@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SimPackages are the path-suffix patterns of packages where determinism
+// is contractual: every run with the same config (and Seed) must produce
+// byte-identical artifacts across local, remote, and fleet execution, so
+// the wall clock and ambient randomness are banned outright. Seeded
+// *rand.Rand values plumbed from a config Seed are the only sanctioned
+// entropy source.
+var SimPackages = []string{
+	"internal/dataplane",
+	"internal/link",
+	"internal/netem",
+	"internal/topo",
+	"internal/scengen",
+	"internal/experiments",
+}
+
+// randConstructors are the math/rand (v1 and v2) functions that build an
+// explicitly seeded generator — the sanctioned pattern. Everything else
+// at package level draws from the ambient, nondeterministically seeded
+// global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+// DetRand flags wall-clock reads (time.Now, time.Since, time.Sleep) and
+// global math/rand draws inside simulation packages. A time.Now that
+// sneaks into a simulation path silently breaks the byte-identical
+// artifact guarantee the fleet compare gates rely on; a global rand.Intn
+// decouples the run from its config Seed and kills CRN coupling.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc: "forbid wall clock and global math/rand in simulation packages; " +
+		"derive all entropy from a seeded *rand.Rand plumbed out of a config Seed",
+	Run: runDetRand,
+}
+
+func runDetRand(pass *Pass) error {
+	if !anyPathMatches(pass.Pkg.Path(), SimPackages) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch importedPath(pass.TypesInfo, sel.X) {
+			case "time":
+				switch sel.Sel.Name {
+				case "Now", "Since":
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock in a simulation package; derive timing from the virtual clock (link.Time / Engine.VirtualNow)", sel.Sel.Name)
+				case "Sleep":
+					pass.Reportf(call.Pos(), "time.Sleep blocks on real time in a simulation package; advance the virtual clock instead")
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[sel.Sel.Name] {
+					pass.Reportf(call.Pos(), "rand.%s draws from the global math/rand source in a simulation package; use a seeded *rand.Rand plumbed from the config Seed", sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package lint
+
+import "strings"
+
+// IgnoreReason polices the suppression mechanism itself: every
+// //lint:labvet-ignore directive must carry a reason. A reasoned
+// directive is a grep-able, reviewable waiver; a bare one is an
+// invisible hole in the contract wall. Bare directives also have no
+// suppression power (see Check), so this finding cannot be silenced by
+// the directive it complains about.
+var IgnoreReason = &Analyzer{
+	Name:           "ignorereason",
+	Doc:            "every //lint:labvet-ignore directive must state a reason",
+	Run:            runIgnoreReason,
+	Unsuppressable: true,
+}
+
+func runIgnoreReason(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				if strings.TrimSpace(rest) == "" {
+					pass.Reportf(c.Pos(), "%s without a reason: state why the finding is intentional (bare directives also suppress nothing)", IgnoreDirective)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package lint is labvet's analysis framework: a deliberately small,
+// dependency-free mirror of golang.org/x/tools/go/analysis. The
+// container this repo builds in has no module proxy, so the suite is
+// built on go/ast + go/types alone; the Analyzer/Pass/Diagnostic shapes
+// match the x/tools ones closely enough that a later migration is a
+// mechanical import swap.
+//
+// The analyzers encode this project's unwritten reproducibility
+// contracts (see ARCHITECTURE.md "Static analysis"):
+//
+//   - detrand: no wall clock or global math/rand in simulation packages
+//   - metricname: Report metric names must carry a benchstore direction
+//     suffix, or they silently never gate in compare runs
+//   - maporder: no map-iteration order leaking into ordered output
+//   - ctxloop: exported Run*/Execute* entry points accept a
+//     context.Context and unbounded loops observe it
+//   - ignorereason: every //lint:labvet-ignore carries a reason
+//
+// Findings are suppressed by a trailing or preceding comment of the form
+//
+//	//lint:labvet-ignore <reason>
+//
+// which applies to its own source line and the line directly below it.
+// The reason is mandatory: a bare directive is itself a finding
+// (ignorereason), and that finding cannot be suppressed.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one labvet check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression lists.
+	Name string
+	// Doc is the one-paragraph contract description shown by labvet -help.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+	// Unsuppressable analyzers ignore //lint:labvet-ignore directives —
+	// used by ignorereason, which polices the directives themselves.
+	Unsuppressable bool
+}
+
+// A Pass carries one package's parsed and type-checked form to one
+// analyzer. Types and TypesInfo are always non-nil, but may be
+// incomplete when the package (or one of its imports) failed to
+// type-check; analyzers must degrade gracefully on missing type info
+// rather than crash.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// IsTestFile reports whether the file holding pos is a _test.go file.
+// The determinism/metric/cancellation contracts bind production code;
+// test files are exempt by policy (a nondeterministic test breaks only
+// itself, not a shipped artifact).
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one reported finding, position-resolved.
+type Diagnostic struct {
+	Pos      token.Position
+	Message  string
+	Analyzer string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (labvet/%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// IgnoreDirective is the comment prefix that suppresses labvet findings.
+const IgnoreDirective = "//lint:labvet-ignore"
+
+// ignoreAt describes one parsed directive occurrence.
+type ignoreAt struct {
+	line   int
+	reason string
+}
+
+// parseIgnores extracts every //lint:labvet-ignore directive in the
+// files, keyed by filename.
+func parseIgnores(fset *token.FileSet, files []*ast.File) map[string][]ignoreAt {
+	out := make(map[string][]ignoreAt)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, IgnoreDirective)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out[pos.Filename] = append(out[pos.Filename], ignoreAt{
+					line:   pos.Line,
+					reason: strings.TrimSpace(rest),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// suppressedLines returns, per file, the set of lines covered by a
+// reasoned directive: the directive's own line and the one below it.
+func suppressedLines(ignores map[string][]ignoreAt) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for file, list := range ignores {
+		lines := make(map[int]bool)
+		for _, ig := range list {
+			if ig.reason == "" {
+				continue // bare directive: no suppression power
+			}
+			lines[ig.line] = true
+			lines[ig.line+1] = true
+		}
+		out[file] = lines
+	}
+	return out
+}
+
+// Check runs the analyzers over one loaded package and returns the
+// surviving diagnostics, sorted by position. Findings on lines covered
+// by a reasoned //lint:labvet-ignore directive are dropped, except for
+// Unsuppressable analyzers.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("labvet/%s on %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+
+	byName := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	suppressed := suppressedLines(parseIgnores(pkg.Fset, pkg.Files))
+	kept := diags[:0]
+	for _, d := range diags {
+		if a := byName[d.Analyzer]; a != nil && !a.Unsuppressable && suppressed[d.Pos.Filename][d.Pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return kept, nil
+}
+
+// All returns the full labvet analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{DetRand, MetricName, MapOrder, CtxLoop, IgnoreReason}
+}
+
+// importedPath resolves the package path a selector's qualifier refers
+// to, e.g. "time" for time.Now. It returns "" when the identifier is
+// not a package name (or type info is missing).
+func importedPath(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// pathMatches reports whether pkgPath contains the path suffix pattern
+// on a path-segment boundary: "internal/link" matches
+// "repro/internal/link" and "repro/internal/link/sub", but not
+// "repro/internal/linkage".
+func pathMatches(pkgPath, pattern string) bool {
+	return strings.Contains("/"+pkgPath+"/", "/"+pattern+"/")
+}
+
+// anyPathMatches reports whether pkgPath matches any pattern.
+func anyPathMatches(pkgPath string, patterns []string) bool {
+	for _, p := range patterns {
+		if pathMatches(pkgPath, p) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,85 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is driven through the linttest harness over fixtures
+// holding at least one caught violation, at least one accepted pattern,
+// and (where meaningful) a reasoned //lint:labvet-ignore suppression.
+
+func TestDetRand(t *testing.T) {
+	linttest.Run(t, "testdata", lint.DetRand, "internal/dataplane", "notsim")
+}
+
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MetricName, "metricname")
+}
+
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrder, "maporder")
+}
+
+func TestCtxLoop(t *testing.T) {
+	linttest.Run(t, "testdata", lint.CtxLoop, "internal/labd")
+}
+
+func TestIgnoreReason(t *testing.T) {
+	linttest.Run(t, "testdata", lint.IgnoreReason, "ignorereason")
+}
+
+// TestModuleLoader smoke-tests the module-mode loader the labvet CLI
+// uses: loading a real in-module package by import path must produce
+// complete type information (and transitively type-check its in-module
+// and standard-library imports).
+func TestModuleLoader(t *testing.T) {
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.ModPath != "repro" {
+		t.Fatalf("module path = %q, want repro", loader.ModPath)
+	}
+	pkg, err := loader.LoadImportPath("repro/internal/benchstore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Fatalf("benchstore should type-check cleanly, got: %v", pkg.TypeErrors)
+	}
+	if pkg.Types.Scope().Lookup("Directions") == nil {
+		t.Fatal("loaded benchstore lacks Directions in scope")
+	}
+	diags, err := lint.Check(pkg, lint.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("benchstore must be labvet-clean, got %d findings: %v", len(diags), diags)
+	}
+}
+
+func TestAllSuiteShape(t *testing.T) {
+	all := lint.All()
+	if len(all) < 4 {
+		t.Fatalf("suite has %d analyzers, contract requires at least 4", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incompletely declared", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, want := range []string{"detrand", "metricname", "maporder", "ctxloop", "ignorereason"} {
+		if !seen[want] {
+			t.Fatalf("suite is missing analyzer %q", want)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package linttest is labvet's analysistest analogue: it loads fixture
+// packages from a GOPATH-style testdata/src tree, runs one analyzer
+// (through the full driver, so //lint:labvet-ignore suppression is
+// exercised), and compares the surviving diagnostics against want
+// comments in the fixtures.
+//
+// Expectations are written as comments:
+//
+//	code() // want `regexp` `another regexp`
+//
+// matching diagnostics reported on that line. For diagnostics that land
+// on a line that cannot carry a trailing comment (e.g. a finding on a
+// directive comment itself), the form
+//
+//	// want-next `regexp`
+//
+// on the preceding line matches diagnostics on the line below it.
+// Every diagnostic must be matched by an expectation and vice versa.
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run loads each fixture import path under dir/src, applies the
+// analyzer via lint.Check, and reports any mismatch between produced
+// diagnostics and want expectations as test failures.
+func Run(t *testing.T, dir string, a *lint.Analyzer, importPaths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := lint.NewFixtureLoader(root)
+	for _, importPath := range importPaths {
+		pkg, err := loader.LoadImportPath(importPath)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", importPath, err)
+		}
+		diags, err := lint.Check(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("checking fixture %s: %v", importPath, err)
+		}
+		compare(t, pkg, diags)
+	}
+}
+
+// expectation is one want pattern anchored to a file line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("^// want(-next)?((?:\\s+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))+)\\s*$")
+var patRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectExpectations(t *testing.T, pkg *lint.Package) []*expectation {
+	t.Helper()
+	var exps []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				line := pos.Line
+				if m[1] == "-next" {
+					line++
+				}
+				for _, q := range patRE.FindAllString(m[2], -1) {
+					text := q
+					if q[0] == '`' {
+						text = q[1 : len(q)-1]
+					} else if u, err := strconv.Unquote(q); err == nil {
+						text = u
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+					}
+					exps = append(exps, &expectation{file: pos.Filename, line: line, pattern: re})
+				}
+			}
+		}
+	}
+	return exps
+}
+
+func compare(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	exps := collectExpectations(t, pkg)
+	for _, d := range diags {
+		found := false
+		for _, e := range exps {
+			if !e.matched && e.file == d.Pos.Filename && e.line == d.Pos.Line && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range exps {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", relToSrc(e.file), e.line, e.pattern)
+		}
+	}
+}
+
+func relToSrc(file string) string {
+	if i := strings.Index(file, fmt.Sprintf("testdata%csrc%c", filepath.Separator, filepath.Separator)); i >= 0 {
+		return file[i:]
+	}
+	return file
+}

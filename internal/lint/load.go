@@ -1,0 +1,250 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, type-checked compilation unit.
+type Package struct {
+	// Path is the import path ("repro/internal/link").
+	Path string
+	Fset *token.FileSet
+	// Files are the parsed sources, comments attached.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors collects non-fatal type-check problems. Analysis
+	// proceeds on the partial information; callers may surface these
+	// as warnings.
+	TypeErrors []error
+}
+
+// Loader resolves and type-checks packages rooted at a directory —
+// either a module root (go.mod present, imports resolved against the
+// module path) or a GOPATH-style fixture tree (linttest's testdata/src,
+// imports resolved as subdirectories). Standard-library imports are
+// type-checked from $GOROOT source via go/importer's "source" mode, so
+// the loader works with no module proxy, no export data, and no
+// network. An import that cannot be resolved degrades to an empty
+// placeholder package rather than aborting the load.
+type Loader struct {
+	Root    string // absolute directory packages are resolved under
+	ModPath string // module path prefix; "" for fixture trees
+
+	fset    *token.FileSet
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	loading map[string]bool     // cycle guard
+}
+
+// NewLoader builds a loader for the module containing dir, walking
+// upward to the nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("labvet: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("labvet: no module line in %s/go.mod", root)
+	}
+	return newLoader(root, modPath), nil
+}
+
+// NewFixtureLoader builds a loader for a GOPATH-style tree (root/<import
+// path>/*.go), as used by linttest fixtures.
+func NewFixtureLoader(root string) *Loader {
+	return newLoader(root, "")
+}
+
+func newLoader(root, modPath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:    root,
+		ModPath: modPath,
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// dirFor maps an import path to a directory under Root, or "" when the
+// path is not ours to resolve.
+func (l *Loader) dirFor(importPath string) string {
+	rel := ""
+	switch {
+	case l.ModPath != "" && importPath == l.ModPath:
+		rel = "."
+	case l.ModPath != "" && strings.HasPrefix(importPath, l.ModPath+"/"):
+		rel = importPath[len(l.ModPath)+1:]
+	case l.ModPath == "":
+		rel = importPath
+	default:
+		return ""
+	}
+	dir := filepath.Join(l.Root, filepath.FromSlash(rel))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return ""
+	}
+	return dir
+}
+
+// Import implements types.Importer, letting packages under load resolve
+// their dependencies: in-tree paths recurse through the loader, the
+// standard library is type-checked from source, and anything else
+// becomes an empty placeholder so analysis can continue.
+func (l *Loader) Import(importPath string) (*types.Package, error) {
+	if importPath == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(importPath); dir != "" {
+		pkg, err := l.load(importPath, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if pkg, err := l.std.Import(importPath); err == nil {
+		return pkg, nil
+	}
+	// Unresolvable import (missing dep, cgo-only std corner): a named,
+	// complete-but-empty package. Uses of its symbols become type
+	// errors, which the checker collects and analysis tolerates.
+	ph := types.NewPackage(importPath, path.Base(importPath))
+	ph.MarkComplete()
+	return ph, nil
+}
+
+// LoadImportPath loads one package by import path.
+func (l *Loader) LoadImportPath(importPath string) (*Package, error) {
+	dir := l.dirFor(importPath)
+	if dir == "" {
+		return nil, fmt.Errorf("labvet: import path %s not under %s", importPath, l.Root)
+	}
+	return l.load(importPath, dir)
+}
+
+// LoadAll loads every package under Root, skipping testdata, vendor,
+// and hidden directories. Directories with no buildable Go files are
+// skipped silently.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var pkgs []*Package
+	err := filepath.WalkDir(l.Root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.Root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		rel, err := filepath.Rel(l.Root, p)
+		if err != nil {
+			return err
+		}
+		importPath := path.Join(l.ModPath, filepath.ToSlash(rel))
+		pkg, err := l.load(importPath, p)
+		if err != nil {
+			if _, noGo := err.(*build.NoGoError); noGo {
+				return nil
+			}
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// load parses and type-checks the package in dir, memoized by import
+// path. Only non-test files participate: every labvet contract exempts
+// _test.go files, and leaving them out keeps fixture and module loads
+// free of test-only import tangles.
+func (l *Loader) load(importPath, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("labvet: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer func() { delete(l.loading, importPath) }()
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err // includes *build.NoGoError for empty dirs
+	}
+	var files []*ast.File
+	for _, name := range append(append([]string{}, bp.GoFiles...), bp.CgoFiles...) {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	pkg := &Package{Path: importPath, Fset: l.fset, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{
+		Importer:    l,
+		FakeImportC: true,
+		Error:       func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns an error when any type error occurred, but with an
+	// Error handler installed it still produces a partially complete
+	// package and Info — exactly what tolerant analysis wants.
+	tpkg, _ := conf.Check(importPath, l.fset, files, info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(importPath, bp.Name)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder flags `range` statements over maps whose bodies leak the
+// (randomized) iteration order into something order-sensitive: appending
+// to a slice that outlives the loop without a later sort, writing
+// formatted/stream output, or setting Report metrics. This is the
+// classic nondeterminism that survives -race and unit tests but breaks
+// byte-identical fleet merges: two runs produce the same set in a
+// different order and the zero-tolerance artifact compare fails.
+//
+// The accepted pattern is collect-then-sort: appending map keys (or
+// values) to a slice and passing that slice to sort.* or slices.* later
+// in the same function.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "map iteration order must not reach ordered output: " +
+		"sort collected keys before emitting, writing, or appending into long-lived slices",
+	Run: runMapOrder,
+}
+
+// orderedWriters are selector names that emit in call order; invoking
+// one inside a map range leaks iteration order directly.
+var orderedWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Metric": true,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fn.Body)
+		}
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok || !isMapType(pass.TypesInfo.TypeOf(rs.X)) {
+			return true
+		}
+		checkOneRange(pass, fnBody, rs)
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkOneRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && orderedWriters[sel.Sel.Name] {
+				pass.Reportf(n.Pos(), "%s call inside map iteration emits in nondeterministic order; collect and sort keys first", sel.Sel.Name)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "append" || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[target]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[target]
+				}
+				if obj == nil || obj.Pos() >= rs.Pos() {
+					continue // loop-local slice: order stays inside one iteration
+				}
+				if !sortedAfter(pass, fnBody, rs, obj) {
+					pass.Reportf(n.Pos(), "append to %q inside map iteration without a later sort leaks nondeterministic order; sort.* or slices.* it before use", target.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether the function body contains, after the
+// range statement, a call into package sort or slices that mentions obj
+// among its arguments — the collect-then-sort discharge.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch importedPath(pass.TypesInfo, sel.X) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

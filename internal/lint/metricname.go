@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/benchstore"
+)
+
+// MetricName checks every constant string key passed to a Report metric
+// setter against benchstore's exported direction table (the same table
+// Diff classifies by — they cannot drift). A metric whose name matches
+// neither a direction suffix nor an exact neutral name falls through to
+// Neutral and silently never gates in labctl compare: the measurement
+// is recorded forever but a regression in it can never fail CI.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "Report.Metric names must end in a direction suffix from " +
+		"benchstore.Directions() (or be an exact benchstore.NeutralNames() entry), " +
+		"so compare gates know which way is worse",
+	Run: runMetricName,
+}
+
+func runMetricName(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.IsTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Metric" || len(call.Args) != 2 {
+				return true
+			}
+			if !receiverNamed(pass.TypesInfo, sel, "Report") {
+				return true
+			}
+			name, exact, ok := stringTail(pass.TypesInfo, call.Args[0])
+			if !ok {
+				return true // dynamic name: not statically checkable
+			}
+			if exact {
+				if _, known := benchstore.KnownDirection(name); known {
+					return true
+				}
+			} else if suffixKnown(name) {
+				return true
+			}
+			pass.Reportf(call.Args[0].Pos(), "metric %q matches no benchstore direction suffix and would be silently neutral in compare gates; use a suffix from benchstore.Directions() or add one there", name)
+			return true
+		})
+	}
+	return nil
+}
+
+// receiverNamed reports whether the selector's receiver is a (pointer
+// to a) named type called name. Matching is by type name, not import
+// path, so the check holds for any Report-shaped envelope (and for
+// self-contained test fixtures).
+func receiverNamed(info *types.Info, sel *ast.SelectorExpr, name string) bool {
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+// suffixKnown reports whether a known-only-as-a-tail name fragment ends
+// in one of the table's suffixes (exact neutral names can't match a
+// fragment).
+func suffixKnown(tail string) bool {
+	for _, r := range benchstore.Directions() {
+		if len(tail) >= len(r.Suffix) && tail[len(tail)-len(r.Suffix):] == r.Suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// stringTail statically resolves the trailing literal portion of a
+// metric-name expression:
+//
+//   - a constant string yields (value, exact=true)
+//   - prefix + "const_tail" concatenation yields (tail, exact=false)
+//   - fmt.Sprintf("...fmt", args) yields the format string
+//     (exact=false) unless it ends in a verb
+//
+// ok=false means the name has no statically known tail and the call is
+// skipped.
+func stringTail(info *types.Info, e ast.Expr) (s string, exact, ok bool) {
+	if tv, found := info.Types[e]; found && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true, true
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		// a + b: only the right operand's tail can be the suffix.
+		s, _, ok = stringTail(info, e.Y)
+		return s, false, ok
+	case *ast.CallExpr:
+		sel, isSel := e.Fun.(*ast.SelectorExpr)
+		if !isSel || sel.Sel.Name != "Sprintf" || importedPath(info, sel.X) != "fmt" || len(e.Args) == 0 {
+			return "", false, false
+		}
+		format, _, fok := stringTail(info, e.Args[0])
+		if !fok || endsInVerb(format) {
+			return "", false, false
+		}
+		return format, false, true
+	}
+	return "", false, false
+}
+
+// endsInVerb reports whether a format string's final characters are a
+// formatting verb, making its literal suffix unknowable.
+func endsInVerb(format string) bool {
+	last := -1
+	for i := 0; i < len(format); i++ {
+		if format[i] == '%' {
+			if i+1 < len(format) && format[i+1] == '%' {
+				i++ // literal percent
+				continue
+			}
+			last = i
+		}
+	}
+	if last == -1 {
+		return false
+	}
+	// A verb runs from last to the first alphabetic character; if that
+	// consumes the rest of the string, the suffix is dynamic.
+	for i := last + 1; i < len(format); i++ {
+		c := format[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			return i == len(format)-1
+		}
+	}
+	return true // unterminated verb at end
+}

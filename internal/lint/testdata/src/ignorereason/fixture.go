@@ -1,0 +1,19 @@
+// Package ignorereason fixtures the suppression-hygiene contract.
+package ignorereason
+
+func reasoned() int {
+	return 1 //lint:labvet-ignore a stated reason makes the waiver reviewable
+}
+
+func bare() int {
+	// want-next `//lint:labvet-ignore without a reason`
+	//lint:labvet-ignore
+	return 2
+}
+
+func alsoBare() int {
+	x := 3
+	// want-next `//lint:labvet-ignore without a reason`
+	//lint:labvet-ignore
+	return x
+}

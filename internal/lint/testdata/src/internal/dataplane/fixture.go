@@ -1,0 +1,44 @@
+// Package dataplane is a detrand fixture: its import path carries the
+// internal/dataplane suffix, so the determinism contract applies.
+package dataplane
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock in a simulation package`
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks on real time in a simulation package`
+	return time.Since(start)     // want `time.Since reads the wall clock in a simulation package`
+}
+
+func globalRand() {
+	_ = rand.Intn(4)                   // want `rand.Intn draws from the global math/rand source`
+	rand.Shuffle(3, func(i, j int) {}) // want `rand.Shuffle draws from the global math/rand source`
+	_ = rand.Float64()                 // want `rand.Float64 draws from the global math/rand source`
+	rand.Seed(42)                      // want `rand.Seed draws from the global math/rand source`
+}
+
+// sanctioned is the approved pattern: a *rand.Rand seeded from a config
+// Seed, with every draw going through it.
+func sanctioned(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	if rng.Intn(2) == 0 {
+		return rng.Float64()
+	}
+	return rng.ExpFloat64()
+}
+
+// constants and non-call selectors on time are fine.
+func notCalls() time.Duration {
+	var f func() time.Time = time.Now
+	_ = f
+	return 5 * time.Millisecond
+}
+
+// suppressed demonstrates the waiver path: a reasoned directive on the
+// finding's line keeps the run clean while staying grep-able.
+func suppressed() time.Time {
+	return time.Now() //lint:labvet-ignore fixture demonstrates the reasoned-suppression path
+}

@@ -1,0 +1,74 @@
+// Package labd is a ctxloop fixture: its import path carries the
+// internal/labd suffix, so the cancellation contract applies.
+package labd
+
+import "context"
+
+func step()                       {}
+func stepCtx(ctx context.Context) {}
+
+// RunChecked observes ctx.Err inside its unbounded loop: the contract.
+func RunChecked(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}
+}
+
+// RunSelect observes ctx via a select on Done.
+func RunSelect(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ch:
+			step()
+		}
+	}
+}
+
+// RunDelegating hands ctx to the loop body every iteration: cancellation
+// is observed one call down.
+func RunDelegating(ctx context.Context) {
+	for {
+		stepCtx(ctx)
+	}
+}
+
+// RunBounded has only condition-bounded loops: nothing to check.
+func RunBounded(ctx context.Context, n int) {
+	for i := 0; i < n; i++ {
+		step()
+	}
+}
+
+func RunNoContext(cfg int) error { return nil } // want `exported RunNoContext is Run/Execute-shaped but takes no context.Context`
+
+func ExecuteBlind(ctx context.Context) {
+	for { // want `unbounded loop in ExecuteBlind never observes its context`
+		step()
+	}
+}
+
+func RunChannelBlind(ctx context.Context, ch chan int) {
+	for range ch { // want `unbounded loop in RunChannelBlind never observes its context`
+		step()
+	}
+}
+
+// Runner is not Run-shaped ("Run" followed by a lowercase continuation).
+func Runner(cfg int) {}
+
+// Executed is not Execute-shaped either.
+func Executed(cfg int) {}
+
+// unexported functions are out of contract.
+func runLoop() {
+	for {
+		step()
+	}
+}
+
+func RunLegacy(cfg int) error { return nil } //lint:labvet-ignore fixture demonstrates the deprecated-wrapper waiver

@@ -1,0 +1,91 @@
+// Package maporder fixtures the map-iteration-order contract.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+type Report struct{}
+
+func (r *Report) Metric(name string, value float64) {}
+
+// collectThenSort is the sanctioned pattern: gather, then sort before
+// the order can matter.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortSliceAlsoCounts accepts the sort.Slice form too.
+func sortSliceAlsoCounts(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+// unsortedEscape leaks iteration order into the returned slice.
+func unsortedEscape(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside map iteration without a later sort`
+	}
+	return keys
+}
+
+// printedOrder leaks iteration order straight into output.
+func printedOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `Fprintf call inside map iteration emits in nondeterministic order`
+	}
+}
+
+// reportFeed leaks iteration order into a Report.
+func reportFeed(r *Report, m map[string]float64) {
+	for k, v := range m {
+		r.Metric(k, v) // want `Metric call inside map iteration emits in nondeterministic order`
+	}
+}
+
+// loopLocal keeps the slice inside one iteration: no cross-iteration
+// order can leak.
+func loopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		doubled = append(doubled, vs...)
+		total += len(doubled)
+	}
+	return total
+}
+
+// aggregates are order-insensitive: nothing to flag.
+func aggregates(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sliceRangeIsFine: only maps have randomized order.
+func sliceRangeIsFine(w io.Writer, s []string) {
+	for _, v := range s {
+		fmt.Fprintln(w, v)
+	}
+}
+
+// suppressed demonstrates the waiver path.
+func suppressed(w io.Writer, m map[string]int) {
+	for k := range m {
+		fmt.Fprintln(w, k) //lint:labvet-ignore fixture demonstrates the reasoned-suppression path
+	}
+}

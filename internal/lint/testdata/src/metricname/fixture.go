@@ -1,0 +1,40 @@
+// Package metricname fixtures the metric-direction contract. The local
+// Report type stands in for scenario.Report: the analyzer matches metric
+// setters by receiver type name.
+package metricname
+
+import "fmt"
+
+type Report struct{ metrics map[string]float64 }
+
+func (r *Report) Metric(name string, value float64) {}
+
+// other.Metric must not be checked: the receiver is not a Report.
+type other struct{}
+
+func (o *other) Metric(name string, value float64) {}
+
+func dynamicName() string { return "computed_elsewhere" }
+
+func fill(r *Report, policy string) {
+	r.Metric("aggregate_mbps", 1) // ok: _mbps is higher-is-better
+	r.Metric("mean_rtt_ms", 2)    // ok: _ms is lower-is-better
+	r.Metric("pkts_per_sec", 3)   // ok: _per_sec is explicitly neutral
+	r.Metric("wall_seconds", 4)   // ok: exact neutral name
+	r.Metric("mystery_thing", 5)  // want `metric "mystery_thing" matches no benchstore direction suffix`
+	r.Metric("total_widgets", 6)  // want `metric "total_widgets" matches no benchstore direction suffix`
+
+	r.Metric(policy+"_mean_mbps", 7) // ok: constant tail carries the suffix
+	r.Metric(policy+"_widgets", 8)   // want `metric "_widgets" matches no benchstore direction suffix`
+
+	r.Metric(fmt.Sprintf("q%d_p99_queue_ms", 16), 9) // ok: format string tail carries the suffix
+	r.Metric(fmt.Sprintf("q%d_bogus", 16), 10)       // want `metric "q%d_bogus" matches no benchstore direction suffix`
+	r.Metric(fmt.Sprintf("row_%d", 16), 11)          // ok: suffix is dynamic, not statically checkable
+
+	r.Metric(dynamicName(), 12) // ok: dynamic name, not statically checkable
+
+	o := &other{}
+	o.Metric("anything_goes", 13) // ok: not a Report
+
+	r.Metric("legacy_thing", 14) //lint:labvet-ignore pinned by a committed BENCH baseline; renaming would break the trajectory
+}

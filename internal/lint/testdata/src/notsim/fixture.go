@@ -1,0 +1,14 @@
+// Package notsim is outside the simulation package list: wall-clock and
+// global rand use is not detrand's business here.
+package notsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure() (time.Duration, int) {
+	start := time.Now()
+	n := rand.Intn(10)
+	return time.Since(start), n
+}
