@@ -39,10 +39,12 @@ func benchCmd(ctx context.Context, stdout, errOut io.Writer, args []string) erro
 	fs := newFlagSet("bench", errOut)
 	var rf runFlags
 	var (
-		dir     = fs.String("dir", ".", "trajectory directory: the snapshot is appended as BENCH_<n>.json")
-		label   = fs.String("label", "", "snapshot label (default: the file's base name)")
-		merge   = fs.Bool("merge", false, "merge the positional result files into one snapshot instead of running")
-		gobench = fs.String("gobench", "", "fold `go test -bench` output from this file into the snapshot")
+		dir         = fs.String("dir", ".", "trajectory directory: the snapshot is appended as BENCH_<n>.json")
+		label       = fs.String("label", "", "snapshot label (default: the file's base name)")
+		merge       = fs.Bool("merge", false, "merge the positional result files into one snapshot instead of running")
+		gobench     = fs.String("gobench", "", "fold `go test -bench` output from this file into the snapshot")
+		gobenchOnly = fs.Bool("gobench-only", false, "snapshot only the -gobench file, without running the suite (requires -o)")
+		calibrate   = fs.Bool("calibrate", false, "calibrate this host and stamp dimensionless _ratio companions next to _per_sec rates")
 	)
 	registerRunFlags(fs, &rf, true)
 	fs.StringVar(&rf.outPath, "o", "", "write the snapshot here instead of appending to -dir")
@@ -52,7 +54,16 @@ func benchCmd(ctx context.Context, stdout, errOut io.Writer, args []string) erro
 	}
 
 	if *merge {
+		if *calibrate {
+			return fmt.Errorf("bench -merge -calibrate: merge inputs were measured elsewhere; calibrate in the shard runs instead")
+		}
 		return benchMerge(stdout, rf.outPath, *label, names)
+	}
+	// Calibration only means anything in the process that measured the
+	// rates: a local calibration cannot normalize rates a remote backend
+	// produced on different hardware.
+	if *calibrate && (rf.addr != "" || rf.dispatchMode()) {
+		return fmt.Errorf("bench -calibrate must run on the measuring host; with -addr/-addrs the rates come from remote backends")
 	}
 	if names, err = withFamily(names, rf.family); err != nil {
 		return err
@@ -65,14 +76,26 @@ func benchCmd(ctx context.Context, stdout, errOut io.Writer, args []string) erro
 		return fmt.Errorf("bench -shard requires -o: a shard is not a full trajectory point (merge shards with bench -merge)")
 	}
 	var snap *benchstore.Snapshot
-	if rf.dispatchMode() {
+	switch {
+	case *gobenchOnly:
+		// A gobench-only snapshot carries no suite scenarios, so it is not
+		// a trajectory point: it must go to an explicit -o file and be
+		// compared against its own baseline (the gobench CI gate).
+		if *gobench == "" {
+			return fmt.Errorf("bench -gobench-only requires -gobench <file>")
+		}
+		if rf.outPath == "" {
+			return fmt.Errorf("bench -gobench-only requires -o: go-bench results are not suite trajectory points")
+		}
+		snap = benchstore.New(*label)
+	case rf.dispatchMode():
 		// Fleet mode: each backend contributed one shard; the shard
 		// snapshots union through benchstore.Merge, the same guarded path
 		// `bench -merge` uses (overlaps and quick/full mixes refuse).
 		if snap, err = dispatchBench(ctx, names, rf, *label, errOut); err != nil {
 			return err
 		}
-	} else {
+	default:
 		res, err := runSuite(ctx, names, rf, errOut)
 		if err != nil {
 			return err
@@ -85,6 +108,17 @@ func benchCmd(ctx context.Context, stdout, errOut io.Writer, args []string) erro
 	}
 	snap.Quick = rf.quick
 	snap.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	if *calibrate {
+		// Normalize before folding gobench output so go-bench custom rate
+		// units never grow gating ratios: their fixed -benchtime samples
+		// are far noisier than the suite's scenario rates.
+		rate := benchstore.CalibrateHost()
+		n, err := benchstore.NormalizeRates(snap, rate)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "bench: host calibration %.4g steps/sec, %d ratio metric(s) stamped\n", rate, n)
+	}
 	if *gobench != "" {
 		if err := foldGoBench(snap, *gobench); err != nil {
 			return err

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/benchstore"
+)
+
+// TestBenchCalibrateStampsGatingRatios runs the real calibrate path end
+// to end: `bench -calibrate` appends a snapshot whose _per_sec rates
+// carry _ratio companions, a tampered ratio fails `compare`, and a
+// tampered raw rate alone does not — the gating contract of the
+// calibration design.
+func TestBenchCalibrateStampsGatingRatios(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run([]string{"bench", "-quick", "-calibrate", "-dir", dir, "packetlevel"}, &out, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "host calibration") {
+		t.Fatalf("bench did not report the calibration:\n%s", out.String())
+	}
+	basePath := filepath.Join(dir, "BENCH_0.json")
+	snap, err := benchstore.Load(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := snap.Scenarios["packetlevel"]
+	if pl["pkts_per_sec"] <= 0 || pl["pkts_ratio"] <= 0 {
+		t.Fatalf("snapshot missing rate or ratio: %+v", pl)
+	}
+
+	tamper := func(metric string, scale float64) string {
+		t.Helper()
+		doc, err := benchstore.Load(basePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc.Scenarios["packetlevel"][metric] *= scale
+		path := filepath.Join(dir, "tampered_"+metric+".json")
+		if err := doc.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// A halved ratio is a hot-path regression: the gate must trip.
+	out.Reset()
+	err = run([]string{"compare", basePath, tamper("pkts_ratio", 0.5)}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("halved pkts_ratio passed compare: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "pkts_ratio") {
+		t.Fatalf("comparison does not name the regressed ratio:\n%s", out.String())
+	}
+	// A halved raw rate with the ratio intact reads as a slower machine,
+	// not a slower hot path: rates are Neutral and must not gate.
+	out.Reset()
+	if err := run([]string{"compare", basePath, tamper("pkts_per_sec", 0.5)}, &out, &out); err != nil {
+		t.Fatalf("neutral raw-rate movement failed compare: %v\n%s", err, out.String())
+	}
+}
+
+// TestBenchCalibrateRefusals pins where calibration is meaningless: on
+// merge inputs measured elsewhere, and in dispatch mode where the rates
+// come from remote backends.
+func TestBenchCalibrateRefusals(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"bench", "-merge", "-calibrate", "-o", filepath.Join(t.TempDir(), "m.json"), "x.json"}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "calibrate") {
+		t.Fatalf("bench -merge -calibrate accepted: %v", err)
+	}
+	err = run([]string{"bench", "-quick", "-calibrate", "-addr", "127.0.0.1:1", "packetlevel"}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "measuring host") {
+		t.Fatalf("bench -calibrate with -addr accepted: %v", err)
+	}
+}
+
+// gobenchSample is a realistic `go test -bench` transcript for the CLI
+// tests, with the serial forwarding benchmark at zero allocations.
+const gobenchSample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkDataplaneForwarding/serial         	     200	    176063 ns/op	  19368021 hops/s	   5810406 pkts/s	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	0.131s
+`
+
+// TestBenchGobenchOnly covers the gobench gate's snapshot producer: a
+// snapshot built purely from `go test -bench` output, its flag
+// validation, and the zero-tolerance allocs_per_op compare it feeds.
+func TestBenchGobenchOnly(t *testing.T) {
+	dir := t.TempDir()
+	gb := filepath.Join(dir, "gobench.txt")
+	if err := os.WriteFile(gb, []byte(gobenchSample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "GOBENCH.json")
+	var out bytes.Buffer
+	if err := run([]string{"bench", "-gobench-only", "-gobench", gb, "-label", "gb", "-o", outPath}, &out, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	snap, err := benchstore.Load(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen := benchstore.GoBenchPrefix + "DataplaneForwarding/serial"
+	m, ok := snap.Scenarios[scen]
+	if !ok {
+		t.Fatalf("snapshot scenarios: %v", snap.ScenarioNames())
+	}
+	if m["allocs_per_op"] != 0 || m["hops_per_s"] != 19368021 {
+		t.Fatalf("gobench metrics: %+v", m)
+	}
+	if len(snap.Scenarios) != 1 {
+		t.Fatalf("gobench-only snapshot grew suite scenarios: %v", snap.ScenarioNames())
+	}
+
+	// Flag validation: both -gobench and -o are load-bearing.
+	if err := run([]string{"bench", "-gobench-only", "-o", outPath}, &out, &out); err == nil {
+		t.Fatal("bench -gobench-only without -gobench accepted")
+	}
+	if err := run([]string{"bench", "-gobench-only", "-gobench", gb}, &out, &out); err == nil {
+		t.Fatal("bench -gobench-only without -o accepted")
+	}
+
+	// The allocs gate: one leaked allocation fails zero-tolerance compare.
+	leaky := filepath.Join(dir, "leaky.json")
+	doc, err := benchstore.Load(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.Scenarios[scen]["allocs_per_op"] = 1
+	if err := doc.Save(leaky); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run([]string{"compare", "-threshold", "-1", outPath, leaky}, &out, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("allocs/op 0 -> 1 passed the zero-tolerance gate: %v\n%s", err, out.String())
+	}
+	// Identical snapshots pass it.
+	if err := run([]string{"compare", "-threshold", "-1", outPath, outPath}, &out, &out); err != nil {
+		t.Fatalf("self-compare failed: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package benchstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Host calibration: raw `_per_sec` rates are meaningful on one machine
+// and noise across CI runner generations, which is why the direction
+// table keeps them Neutral — they never gate. CalibrateHost measures a
+// fixed, dependency-free CPU reference workload on the measuring host;
+// dividing a rate by the host's reference rate yields a dimensionless
+// `_ratio` metric that tracks the workload's efficiency relative to the
+// machine it ran on. Ratios are HigherIsBetter in the direction table, so
+// they do gate: a hot-path regression slides every ratio down no matter
+// which runner class the suite landed on.
+
+// calibOps is the reference-kernel iteration count. ~16M splitmix64
+// steps run in tens of milliseconds on anything CI-grade: long enough to
+// amortize timer granularity, short enough to repeat best-of-N.
+const calibOps = 1 << 24
+
+// calibRounds is the best-of-N trial count. The minimum over trials is
+// the standard noise filter for CPU-bound microbenchmarks: interference
+// only ever slows a trial down.
+const calibRounds = 3
+
+// calibSink defeats dead-code elimination of the reference kernel.
+var calibSink uint64
+
+// calibKernel is the reference workload: n steps of the splitmix64
+// mixing function. Pure register arithmetic — no memory traffic, no
+// allocation — so it proxies scalar CPU speed, the resource the
+// forwarding hot path is bound by.
+func calibKernel(n int) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return x
+}
+
+// CalibrateHost measures the host's reference rate in kernel steps per
+// second (best of calibRounds trials). Run it in the same process as the
+// benchmark suite it normalizes, on the measuring host — a calibration
+// taken on one machine says nothing about rates measured on another.
+func CalibrateHost() float64 {
+	best := math.MaxFloat64
+	for i := 0; i < calibRounds; i++ {
+		start := time.Now()
+		calibSink += calibKernel(calibOps)
+		if el := time.Since(start).Seconds(); el < best {
+			best = el
+		}
+	}
+	return float64(calibOps) / best
+}
+
+// rateSuffixes are the machine-dependent rate suffixes NormalizeRates
+// derives `_ratio` metrics from — exactly the Neutral rate entries of
+// the direction table.
+var rateSuffixes = []string{"_per_sec", "_per_s", "_per_ms", "_mpps"}
+
+// NormalizeRates stamps a `<base>_ratio` companion next to every rate
+// metric of the snapshot: the rate divided by hostRate (a CalibrateHost
+// result from the same host). It returns the number of ratios written.
+// Scale differences between rates and the reference kernel are absorbed
+// by the baseline: the gate compares ratios across snapshots, so only
+// their movement matters, not their magnitude.
+func NormalizeRates(s *Snapshot, hostRate float64) (int, error) {
+	if !(hostRate > 0) || math.IsInf(hostRate, 1) {
+		return 0, fmt.Errorf("benchstore: host calibration rate %v is not a positive finite number", hostRate)
+	}
+	n := 0
+	for _, metrics := range s.Scenarios {
+		type pair struct {
+			name string
+			v    float64
+		}
+		var derived []pair
+		for name, v := range metrics {
+			for _, suf := range rateSuffixes {
+				if strings.HasSuffix(name, suf) {
+					derived = append(derived, pair{strings.TrimSuffix(name, suf) + "_ratio", v / hostRate})
+					break
+				}
+			}
+		}
+		// Insertion into the metrics map is order-independent, but keep
+		// the derived list canonical anyway — it sizes n and may grow
+		// order-sensitive consumers later.
+		sort.Slice(derived, func(i, j int) bool { return derived[i].name < derived[j].name })
+		for _, d := range derived {
+			metrics[d.name] = d.v
+		}
+		n += len(derived)
+	}
+	return n, nil
+}

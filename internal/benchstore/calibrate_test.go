@@ -1,0 +1,139 @@
+package benchstore
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCalibrateHost(t *testing.T) {
+	rate := CalibrateHost()
+	if !(rate > 0) || math.IsInf(rate, 1) || math.IsNaN(rate) {
+		t.Fatalf("CalibrateHost() = %v, want a positive finite rate", rate)
+	}
+	// Even a slow emulated CPU runs the kernel above 1M steps/sec; a value
+	// below that means the timer, not the kernel, was measured.
+	if rate < 1e6 {
+		t.Fatalf("CalibrateHost() = %v steps/sec, implausibly slow", rate)
+	}
+}
+
+func TestNormalizeRates(t *testing.T) {
+	s := New("t")
+	s.Add("pl", "pkts_per_sec", 3_000_000)
+	s.Add("pl", "hops_per_sec", 9_000_000)
+	s.Add("pl", "delivery_rate", 1.0) // not a rate suffix: untouched
+	s.Add("tx", "frames_per_ms", 20)
+	s.Add("tx", "throughput_mpps", 4.5)
+	s.Add("tx", "events_per_s", 100)
+	n, err := NormalizeRates(s, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("NormalizeRates stamped %d ratios, want 5", n)
+	}
+	checks := []struct {
+		scen, metric string
+		want         float64
+	}{
+		{"pl", "pkts_ratio", 1.5},
+		{"pl", "hops_ratio", 4.5},
+		{"tx", "frames_ratio", 1e-5},
+		{"tx", "throughput_ratio", 2.25e-6},
+		{"tx", "events_ratio", 5e-5},
+	}
+	for _, c := range checks {
+		got, ok := s.Scenarios[c.scen][c.metric]
+		if !ok {
+			t.Fatalf("%s/%s not stamped", c.scen, c.metric)
+		}
+		if math.Abs(got-c.want) > 1e-12*c.want {
+			t.Fatalf("%s/%s = %v, want %v", c.scen, c.metric, got, c.want)
+		}
+	}
+	if _, leaked := s.Scenarios["pl"]["delivery_ratio"]; leaked {
+		t.Fatal("non-rate metric grew a ratio")
+	}
+	// Every stamped ratio must be under the gate per the direction table.
+	for _, c := range checks {
+		if d, ok := KnownDirection(c.metric); !ok || d != HigherIsBetter {
+			t.Fatalf("KnownDirection(%q) = %v, %v; ratios must gate higher-is-better", c.metric, d, ok)
+		}
+	}
+	// Idempotence matters for re-running bench tooling over a snapshot:
+	// ratios must not grow ratios of their own.
+	if n, err := NormalizeRates(s, 2_000_000); err != nil || n != 5 {
+		t.Fatalf("second normalize: n=%d err=%v (ratio metrics re-derived?)", n, err)
+	}
+	if _, leaked := s.Scenarios["pl"]["pkts_ratio_ratio"]; leaked {
+		t.Fatal("ratio metric grew a nested ratio")
+	}
+}
+
+func TestNormalizeRatesRejectsBadRate(t *testing.T) {
+	s := New("t")
+	s.Add("pl", "pkts_per_sec", 1)
+	for _, rate := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NormalizeRates(s, rate); err == nil {
+			t.Fatalf("NormalizeRates(%v) accepted", rate)
+		}
+	}
+}
+
+// TestRatioRegressionGates is the end-to-end gating property the
+// calibration exists for: raw _per_sec rates never fail a compare, but a
+// slide in the derived _ratio does — and an allocs_per_op rise gates at
+// zero tolerance through the same Diff.
+func TestRatioRegressionGates(t *testing.T) {
+	mkSnap := func(rate float64) *Snapshot {
+		s := New("t")
+		s.QuickUnknown = true
+		s.Add("packetlevel", "pkts_per_sec", rate)
+		if _, err := NormalizeRates(s, 2_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	base, slid := mkSnap(6_000_000), mkSnap(3_000_000)
+	c := Diff(base, slid, Options{})
+	if c.Regressions != 1 {
+		t.Fatalf("halved ratio: %d regressions, want exactly the _ratio metric", c.Regressions)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("halved ratio passed the gate: %v", err)
+	}
+	for _, d := range c.Deltas {
+		if d.Status == StatusRegressed && d.Metric != "pkts_ratio" {
+			t.Fatalf("regression attributed to %q, want pkts_ratio", d.Metric)
+		}
+		if d.Metric == "pkts_per_sec" && d.Status != StatusOK {
+			t.Fatalf("raw rate gated (%s); rates must stay neutral", d.Status)
+		}
+	}
+	// Same movement on both sides cancels in the ratio: no regression
+	// even though the raw rate halved, if the host calibration halved too
+	// (a slower runner, not a slower hot path).
+	slowHost := New("t")
+	slowHost.QuickUnknown = true
+	slowHost.Add("packetlevel", "pkts_per_sec", 3_000_000)
+	if _, err := NormalizeRates(slowHost, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c := Diff(base, slowHost, Options{}); c.Regressions != 0 {
+		t.Fatalf("proportionally slower host flagged %d regressions; the ratio should cancel machine speed", c.Regressions)
+	}
+	// allocs_per_op gates with zero tolerance (negative threshold).
+	allocBase, allocCur := New("b"), New("c")
+	allocBase.QuickUnknown, allocCur.QuickUnknown = true, true
+	allocBase.Add(GoBenchPrefix+"DataplaneForwarding/serial", "allocs_per_op", 0)
+	allocCur.Add(GoBenchPrefix+"DataplaneForwarding/serial", "allocs_per_op", 1)
+	if c := Diff(allocBase, allocCur, Options{Threshold: -1}); c.Regressions != 1 || c.Err() == nil {
+		t.Fatalf("allocs/op 0 -> 1 at zero tolerance: %d regressions, err %v", c.Regressions, c.Err())
+	}
+	// And the boundary: unchanged allocs pass.
+	allocCur.Scenarios[GoBenchPrefix+"DataplaneForwarding/serial"]["allocs_per_op"] = 0
+	if c := Diff(allocBase, allocCur, Options{Threshold: -1}); c.Err() != nil {
+		t.Fatalf("unchanged allocs failed zero-tolerance gate: %v", c.Err())
+	}
+}

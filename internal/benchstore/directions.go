@@ -38,6 +38,7 @@ var suffixRules = []SuffixRule{
 	{"delivered", HigherIsBetter}, {"completed", HigherIsBetter},
 	{"verified", HigherIsBetter}, {"episodes", HigherIsBetter},
 	{"_rate", HigherIsBetter},   // delivery/success fractions
+	{"_ratio", HigherIsBetter},  // calibration-normalized rates: dimensionless, gate across hosts
 	{"_paths", HigherIsBetter},  // verified path counts
 	{"_acked", HigherIsBetter},  // acknowledged byte/packet counts
 	{"_tunnel", HigherIsBetter}, // failover recovery counts

@@ -44,7 +44,57 @@ type Engine struct {
 	pending int
 	stats   Stats
 	deliv   []Packet
-	full    *fullState // nil unless Config.LinkMode == LinkFull
+	full    *fullState  // nil unless Config.LinkMode == LinkFull
+	sched   *schedState // pooled round machinery
+}
+
+// schedState is the engine's pooled round machinery: the static
+// node→worker block partition, recycled queue backing arrays, and one
+// round buffer per worker. Everything here is reused round over round and
+// run over run, so steady-state forwarding allocates nothing.
+type schedState struct {
+	workers int     // effective worker count (clamped to the node count)
+	bounds  []int   // worker w owns nodes[bounds[w]:bounds[w+1]]
+	owner   []int32 // node index → owning worker
+	// batches recycles round input arrays: each round a node's queue is
+	// swapped against its consumed batch from the previous round, so
+	// queue growth amortizes to zero instead of re-appending from nil.
+	batches [][]Packet
+	bufs    []*roundBuf
+	merged  []int // per-worker merge counts of the current round
+}
+
+// newSchedState partitions n nodes into contiguous worker blocks. Block
+// (not strided) ownership is what makes parallel merge order reproduce
+// the serial order exactly: concatenating per-owner buckets in worker
+// order visits source nodes 0..n-1 in sequence.
+func newSchedState(n, workers int) *schedState {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	s := &schedState{
+		workers: workers,
+		bounds:  make([]int, workers+1),
+		owner:   make([]int32, n),
+		batches: make([][]Packet, n),
+		bufs:    make([]*roundBuf, workers),
+		merged:  make([]int, workers),
+	}
+	for w := 0; w <= workers; w++ {
+		s.bounds[w] = w * n / workers
+	}
+	for w := 0; w < workers; w++ {
+		for i := s.bounds[w]; i < s.bounds[w+1]; i++ {
+			s.owner[i] = int32(w)
+		}
+	}
+	for w := range s.bufs {
+		s.bufs[w] = &roundBuf{out: make([][]outPkt, workers)}
+	}
+	return s
 }
 
 // New builds an engine over the topology. Every node of the domain (the
@@ -117,7 +167,35 @@ func New(t *topo.Topology, cfg Config) (*Engine, error) {
 		}
 		e.full = fs
 	}
+	e.sched = newSchedState(len(e.nodes), cfg.Workers)
 	return e, nil
+}
+
+// errCap is the unified in-flight-cap violation: every admission site
+// (Inject, InjectBatch, Run, runFull) enforces the same boundary — the
+// packet population may reach MaxInFlight exactly, and n > MaxInFlight is
+// refused — and reports it with the same text.
+func (e *Engine) errCap(n int) error {
+	return fmt.Errorf("dataplane: %d packets in flight exceeds MaxInFlight %d (drain with Run or raise Config.MaxInFlight)",
+		n, e.cfg.MaxInFlight)
+}
+
+// inFlight is the engine's total packet population: queued at forwarding
+// nodes plus resident in the full-tier link arena (packets a canceled
+// runFull left on wires).
+func (e *Engine) inFlight() int {
+	if e.full != nil {
+		return e.pending + e.full.inFlight
+	}
+	return e.pending
+}
+
+// admit checks that k more packets fit under the cap.
+func (e *Engine) admit(k int) error {
+	if n := e.inFlight() + k; n > e.cfg.MaxInFlight {
+		return e.errCap(n)
+	}
+	return nil
 }
 
 // Topology returns the engine's topology.
@@ -127,15 +205,16 @@ func (e *Engine) Topology() *topo.Topology { return e.topo }
 func (e *Engine) Domain() *polka.Domain { return e.domain }
 
 // Inject queues one packet at the named forwarding node and returns its
-// engine-assigned ID.
+// engine-assigned ID. The in-flight population (queued packets plus any
+// the full link tier still holds on wires) may reach Config.MaxInFlight
+// exactly; an injection that would exceed it is refused.
 func (e *Engine) Inject(node string, pkt Packet) (uint64, error) {
 	idx, ok := e.index[node]
 	if !ok {
 		return 0, fmt.Errorf("dataplane: %q is not a forwarding node", node)
 	}
-	if e.pending >= e.cfg.MaxInFlight {
-		return 0, fmt.Errorf("dataplane: %d packets already in flight, cap is %d — drain with Run first",
-			e.pending, e.cfg.MaxInFlight)
+	if err := e.admit(1); err != nil {
+		return 0, err
 	}
 	if pkt.TTL <= 0 {
 		pkt.TTL = e.cfg.DefaultTTL
@@ -149,12 +228,30 @@ func (e *Engine) Inject(node string, pkt Packet) (uint64, error) {
 }
 
 // InjectBatch queues a batch of packets at the named forwarding node.
+// Admission is atomic: either the whole batch fits under the in-flight cap
+// and is queued, or the engine is left untouched — so a caller retrying a
+// rejected batch after draining never double-injects a prefix of it.
 func (e *Engine) InjectBatch(node string, pkts []Packet) error {
-	for i := range pkts {
-		if _, err := e.Inject(node, pkts[i]); err != nil {
-			return fmt.Errorf("packet %d: %w", i, err)
-		}
+	idx, ok := e.index[node]
+	if !ok {
+		return fmt.Errorf("dataplane: %q is not a forwarding node", node)
 	}
+	if err := e.admit(len(pkts)); err != nil {
+		return fmt.Errorf("batch of %d: %w", len(pkts), err)
+	}
+	q := e.nodes[idx].queue
+	for i := range pkts {
+		pkt := pkts[i]
+		if pkt.TTL <= 0 {
+			pkt.TTL = e.cfg.DefaultTTL
+		}
+		e.nextID++
+		pkt.ID = e.nextID
+		q = append(q, pkt)
+	}
+	e.nodes[idx].queue = q
+	e.pending += len(pkts)
+	e.stats.Injected += uint64(len(pkts))
 	return nil
 }
 
@@ -173,6 +270,7 @@ func (e *Engine) Run(ctx context.Context) (Stats, error) {
 	if e.full != nil {
 		return e.runFull(ctx)
 	}
+	s := e.sched
 	for e.pending > 0 {
 		select {
 		case <-ctx.Done():
@@ -180,24 +278,17 @@ func (e *Engine) Run(ctx context.Context) (Stats, error) {
 		default:
 		}
 		e.stats.Rounds++
-		var bufs []*roundBuf
-		if e.cfg.Workers > 1 {
-			bufs = e.runRoundParallel()
+		if s.workers > 1 {
+			e.pending = e.runRoundParallel()
 		} else {
-			bufs = []*roundBuf{e.runRoundSerial()}
+			e.pending = e.runRoundSerial()
 		}
-		e.pending = 0
-		for _, b := range bufs {
+		for _, b := range s.bufs {
 			e.stats.add(b.stats)
 			e.deliv = append(e.deliv, b.delivered...)
-			for _, op := range b.out {
-				e.nodes[op.dst].queue = append(e.nodes[op.dst].queue, op.pkt)
-			}
-			e.pending += len(b.out)
 		}
 		if e.pending > e.cfg.MaxInFlight {
-			return e.stats, fmt.Errorf("dataplane: %d packets in flight exceeds the cap of %d — multicast replication loop?",
-				e.pending, e.cfg.MaxInFlight)
+			return e.stats, e.errCap(e.pending)
 		}
 	}
 	return e.stats, nil
@@ -207,8 +298,9 @@ func (e *Engine) Run(ctx context.Context) (Stats, error) {
 func (e *Engine) Stats() Stats { return e.stats }
 
 // Delivered returns the packets delivered since the last Reset, in
-// delivery order (deterministic for serial runs; grouped per worker shard
-// for parallel runs).
+// delivery order. The order is deterministic and identical for serial and
+// parallel runs: workers own contiguous node blocks and their buffers are
+// merged in worker order, which reproduces the serial node sweep.
 func (e *Engine) Delivered() []Packet {
 	out := make([]Packet, len(e.deliv))
 	copy(out, e.deliv)
@@ -229,16 +321,22 @@ func (e *Engine) NodeStats(name string) (NodeStats, error) {
 }
 
 // Reset clears all queues, counters and the delivered list, keeping the
-// topology, domain and reducers. Full-mode link state is rebuilt from
+// topology, domain, reducers — and the warmed round buffers and queue
+// backing arrays, so an engine reused across benchmark iterations runs at
+// steady state without reallocating. Full-mode link state is rebuilt from
 // scratch (virtual clock back to zero, random streams re-seeded), so a
-// reset engine replays identically. Benchmarks use it between runs.
+// reset engine replays identically.
 func (e *Engine) Reset() {
 	for _, ns := range e.nodes {
-		ns.queue = nil
-		ns.stats = NodeStats{Egress: make([]uint64, len(ns.next))}
+		ns.queue = ns.queue[:0]
+		eg := ns.stats.Egress
+		for i := range eg {
+			eg[i] = 0
+		}
+		ns.stats = NodeStats{Egress: eg}
 	}
 	e.stats = Stats{}
-	e.deliv = nil
+	e.deliv = e.deliv[:0]
 	e.pending = 0
 	e.nextID = 0
 	if e.full != nil {
@@ -257,63 +355,188 @@ type outPkt struct {
 	pkt Packet
 }
 
-// roundBuf collects one worker's outputs for a round: packets bound for
-// other switches, delivered packets, and counter deltas.
+// roundBuf collects one worker's outputs for a round — packets bound for
+// other switches (bucketed by the destination's owning worker), delivered
+// packets, and counter deltas — plus the worker's batch-forwarding
+// scratch. Buffers live in schedState and are truncated, never freed, so
+// a warm engine forwards without allocating.
 type roundBuf struct {
-	out       []outPkt
+	out       [][]outPkt // indexed by destination owner worker
+	outN      int        // packets emitted directly to queues (serial mode)
 	delivered []Packet
 	stats     Stats
+	rids      [][]byte // scratch: routeIDs of the batch under forwarding
+	ports     []uint64 // scratch: per-packet forwarding residues
 }
 
-// runRoundSerial forwards every queued packet one hop on the calling
-// goroutine.
-func (e *Engine) runRoundSerial() *roundBuf {
-	buf := &roundBuf{}
-	batches := make([][]Packet, len(e.nodes))
+// reset truncates the buffers for a new round, keeping capacity.
+func (b *roundBuf) reset() {
+	for i := range b.out {
+		b.out[i] = b.out[i][:0]
+	}
+	b.outN = 0
+	b.delivered = b.delivered[:0]
+	b.stats = Stats{}
+}
+
+// runRoundSerial is the single-worker round: all queues are swapped out
+// first, then every batch is forwarded with emit appending straight into
+// the destination queues — no out buckets and no merge pass, so each
+// packet is copied once per hop. Returns the next round's pending count.
+func (e *Engine) runRoundSerial() int {
+	s := e.sched
+	buf := s.bufs[0]
+	buf.reset()
 	for i, ns := range e.nodes {
-		batches[i], ns.queue = ns.queue, nil
+		batch := ns.queue
+		ns.queue = s.batches[i][:0]
+		s.batches[i] = batch
 	}
 	for i, ns := range e.nodes {
-		for _, pkt := range batches[i] {
-			e.forward(ns, pkt, buf)
+		if batch := s.batches[i]; len(batch) > 0 {
+			e.forwardBatch(ns, batch, buf)
 		}
 	}
-	return buf
+	return buf.outN
 }
 
-// runRoundParallel shards the switches over Config.Workers goroutines;
-// worker w owns every node with index ≡ w (mod Workers), so per-node queues
-// and counters are touched by exactly one goroutine. Emitted packets are
-// buffered per worker and merged by Run after the barrier.
-func (e *Engine) runRoundParallel() []*roundBuf {
-	w := e.cfg.Workers
-	if w > len(e.nodes) {
-		w = len(e.nodes)
+// runBlock forwards every queued packet of worker w's node block one hop,
+// emitting into w's round buffer. Each node's queue is swapped against
+// its recycled batch array from the previous round, so the pair of
+// backing arrays ping-pongs between "this round's input" and "next
+// round's queue" with no reallocation.
+func (e *Engine) runBlock(w int) {
+	s := e.sched
+	buf := s.bufs[w]
+	buf.reset()
+	for i := s.bounds[w]; i < s.bounds[w+1]; i++ {
+		ns := e.nodes[i]
+		batch := ns.queue
+		ns.queue = s.batches[i][:0]
+		s.batches[i] = batch
+		if len(batch) > 0 {
+			e.forwardBatch(ns, batch, buf)
+		}
 	}
-	bufs := make([]*roundBuf, w)
-	var wg sync.WaitGroup
-	for wi := 0; wi < w; wi++ {
-		buf := &roundBuf{}
-		bufs[wi] = buf
-		wg.Add(1)
-		go func(wi int, buf *roundBuf) {
-			defer wg.Done()
-			for i := wi; i < len(e.nodes); i += w {
-				ns := e.nodes[i]
-				batch := ns.queue
-				ns.queue = nil
-				for _, pkt := range batch {
-					e.forward(ns, pkt, buf)
-				}
+}
+
+// mergeBlock drains every round buffer's bucket for worker w into the
+// ingress queues of w's own nodes and returns the packet count merged.
+// Source buffers are read in worker order, so the merged queue order is
+// exactly the serial order regardless of the worker count.
+func (e *Engine) mergeBlock(w int) int {
+	s := e.sched
+	n := 0
+	for src := 0; src < s.workers; src++ {
+		bucket := s.bufs[src].out[w]
+		for k := range bucket {
+			op := &bucket[k]
+			e.nodes[op.dst].queue = append(e.nodes[op.dst].queue, op.pkt)
+		}
+		n += len(bucket)
+	}
+	return n
+}
+
+// runRoundParallel runs one round over the worker blocks: every worker
+// forwards its block, then — after a single barrier — merges the packets
+// bound for its own nodes. Per-node state stays single-owner end to end;
+// no coordinator re-buckets packets.
+func (e *Engine) runRoundParallel() int {
+	s := e.sched
+	var fwd, all sync.WaitGroup
+	fwd.Add(s.workers)
+	all.Add(s.workers)
+	for w := 0; w < s.workers; w++ {
+		go func(w int) {
+			defer all.Done()
+			e.runBlock(w)
+			fwd.Done()
+			fwd.Wait()
+			s.merged[w] = e.mergeBlock(w)
+		}(w)
+	}
+	all.Wait()
+	n := 0
+	for _, m := range s.merged {
+		n += m
+	}
+	return n
+}
+
+// forwardBatch executes the forwarding decisions for one node's ingress
+// batch. The output ports of the whole batch come from a single
+// Switch.OutputPortBatch call — runs of packets sharing a routeID cost
+// one GF(2) reduction. Runs of live packets agreeing on the residue and
+// mode are then moved in bulk (one append memmove plus a TTL fix-up
+// sweep): a PoT run accumulates once and stamps the shared result, a
+// multicast run bulk-replicates per one-hot port. Only TTL expiry,
+// tracing, and path recording fall back to the per-packet path.
+func (e *Engine) forwardBatch(ns *nodeState, batch []Packet, buf *roundBuf) {
+	buf.rids = buf.rids[:0]
+	for j := range batch {
+		buf.rids = append(buf.rids, batch[j].RouteID)
+	}
+	buf.ports = ns.sw.OutputPortBatch(buf.rids, buf.ports[:0])
+	perPacket := e.cfg.Trace != nil || e.cfg.RecordPaths
+	j := 0
+	for j < len(batch) {
+		pkt := &batch[j]
+		if perPacket || pkt.TTL <= 0 {
+			e.forwardOne(ns, batch[j], buf.ports[j], buf)
+			j++
+			continue
+		}
+		// Maximal bulk run: alive packets agreeing on output residue and
+		// mode — and, for PoT, on the whole proof state, so one
+		// accumulation (and one egress verification) covers the run.
+		residue := buf.ports[j]
+		pot := pkt.Mode == PoT && pkt.Proof != nil
+		k := j + 1
+		for k < len(batch) {
+			q := &batch[k]
+			if buf.ports[k] != residue || q.Mode != pkt.Mode || q.TTL <= 0 {
+				break
 			}
-		}(wi, buf)
+			if pot && (q.Proof != pkt.Proof || !q.Nonce.Equal(pkt.Nonce) || !q.Acc.Equal(pkt.Acc)) {
+				break
+			}
+			k++
+		}
+		run := batch[j:k]
+		n := uint64(len(run))
+		ns.stats.Rx += n
+		buf.stats.Hops += n
+		if pot {
+			acc, err := pkt.Proof.Accumulate(pkt.Acc, ns.name, pkt.Nonce)
+			if err != nil {
+				// Off the protected path: misrouted PoT packets.
+				ns.stats.PoTDrops += n
+				buf.stats.PoTDrops += n
+				j = k
+				continue
+			}
+			for i := range run {
+				run[i].Acc = acc
+			}
+		}
+		if pkt.Mode != Multicast {
+			e.emitRun(ns, run, residue, buf)
+		} else {
+			// Multicast: the residue is a one-hot port set; replicate the
+			// whole run to each port.
+			for mask := residue; mask != 0; mask &= mask - 1 {
+				port := uint64(bits.TrailingZeros64(mask))
+				e.emitRun(ns, run, port, buf)
+			}
+		}
+		j = k
 	}
-	wg.Wait()
-	return bufs
 }
 
-// forward executes one forwarding decision for pkt at node ns.
-func (e *Engine) forward(ns *nodeState, pkt Packet, buf *roundBuf) {
+// forwardOne executes one forwarding decision for pkt at node ns — the
+// per-packet path of forwardBatch, with the output port already reduced.
+func (e *Engine) forwardOne(ns *nodeState, pkt Packet, residue uint64, buf *roundBuf) {
 	ns.stats.Rx++
 	buf.stats.Hops++
 	if pkt.TTL <= 0 {
@@ -333,7 +556,6 @@ func (e *Engine) forward(ns *nodeState, pkt Packet, buf *roundBuf) {
 		}
 		pkt.Acc = acc
 	}
-	residue := ns.sw.OutputPortBytes(pkt.RouteID)
 	if pkt.Mode != Multicast {
 		e.emit(ns, pkt, residue, buf)
 		return
@@ -343,6 +565,70 @@ func (e *Engine) forward(ns *nodeState, pkt Packet, buf *roundBuf) {
 		port := uint64(bits.TrailingZeros64(mask))
 		e.emit(ns, pkt, port, buf)
 	}
+}
+
+// emitRun sends a run of live packets out of ns through one port: the run
+// is appended in a single copy to its destination (next-hop queue,
+// per-owner bucket, or the delivered list) and the per-packet mutations
+// (TTL decrement, egress stamp) are fixed up in place. Rx/Hops accounting
+// happens once per run in forwardBatch, so multicast replication through
+// repeated emitRun calls counts each packet's arrival once.
+func (e *Engine) emitRun(ns *nodeState, run []Packet, port uint64, buf *roundBuf) {
+	n := uint64(len(run))
+	if port == 0 || port >= uint64(len(ns.next)) || ns.next[port] == noLink {
+		ns.stats.BadPortDrops += n
+		buf.stats.BadPortDrops += n
+		return
+	}
+	dst := ns.next[port]
+	if dst >= 0 {
+		ns.stats.Tx += n
+		ns.stats.Egress[port] += n
+		if e.sched.workers == 1 {
+			q := append(e.nodes[dst].queue, run...)
+			seg := q[len(q)-len(run):]
+			for i := range seg {
+				seg[i].TTL--
+			}
+			e.nodes[dst].queue = q
+			buf.outN += len(run)
+			return
+		}
+		o := e.sched.owner[dst]
+		bkt := buf.out[o]
+		for i := range run {
+			pkt := run[i]
+			pkt.TTL--
+			bkt = append(bkt, outPkt{dst: dst, pkt: pkt})
+		}
+		buf.out[o] = bkt
+		return
+	}
+	// Delivery off-domain. A PoT run shares one (Acc, Nonce) — stamped by
+	// forwardBatch — so one verification covers every packet in it.
+	if run[0].Mode == PoT && run[0].Proof != nil {
+		if err := run[0].Proof.Verify(run[0].Acc, run[0].Nonce); err != nil {
+			ns.stats.PoTDrops += n
+			buf.stats.PoTDrops += n
+			return
+		}
+		buf.stats.PoTVerified += n
+	}
+	egress := ns.neighbor[port]
+	ns.stats.Tx += n
+	ns.stats.Egress[port] += n
+	ns.stats.Delivered += n
+	buf.stats.Delivered += n
+	for i := range run {
+		buf.stats.DeliveredBytes += uint64(run[i].Size)
+	}
+	d := append(buf.delivered, run...)
+	seg := d[len(d)-len(run):]
+	for i := range seg {
+		seg[i].TTL--
+		seg[i].Egress = egress
+	}
+	buf.delivered = d
 }
 
 // emit sends one copy of pkt out of ns through port: onward to another
@@ -367,7 +653,16 @@ func (e *Engine) emit(ns *nodeState, pkt Packet, port uint64, buf *roundBuf) {
 	if dst >= 0 {
 		ns.stats.Tx++
 		ns.stats.Egress[port]++
-		buf.out = append(buf.out, outPkt{dst: dst, pkt: pkt})
+		if e.sched.workers == 1 {
+			// Serial rounds swap every queue out before forwarding, so
+			// appending straight to the destination skips the bucket+merge
+			// copy without ever re-forwarding a packet within its round.
+			e.nodes[dst].queue = append(e.nodes[dst].queue, pkt)
+			buf.outN++
+		} else {
+			o := e.sched.owner[dst]
+			buf.out[o] = append(buf.out[o], outPkt{dst: dst, pkt: pkt})
+		}
 		e.trace(TraceEvent{PacketID: pkt.ID, Node: ns.name, Port: port,
 			Next: ns.neighbor[port], TTL: pkt.TTL})
 		return

@@ -181,9 +181,8 @@ func (e *Engine) runFull(ctx context.Context) (Stats, error) {
 		}
 		for _, l := range fs.links {
 			for {
-				if fs.inFlight > e.cfg.MaxInFlight {
-					return e.stats, fmt.Errorf("dataplane: %d packets in flight exceeds the cap of %d — multicast replication loop?",
-						fs.inFlight, e.cfg.MaxInFlight)
+				if n := e.inFlight(); n > e.cfg.MaxInFlight {
+					return e.stats, e.errCap(n)
 				}
 				f, ok := l.path.Pop(fs.now)
 				if !ok {

@@ -52,6 +52,17 @@ func (r *Route) NewPackets(n, size int) []Packet {
 	return out
 }
 
+// AppendPackets appends n freshly stamped packets for this route to dst
+// and returns the extended slice — the recycling companion of NewPackets,
+// so a driver re-injecting every iteration reuses one backing array and
+// the steady-state injection path allocates nothing.
+func (r *Route) AppendPackets(dst []Packet, n, size int) []Packet {
+	for i := 0; i < n; i++ {
+		dst = append(dst, r.NewPacket(size))
+	}
+	return dst
+}
+
 // Proof returns the proof-of-transit context of a PoT route (nil
 // otherwise).
 func (r *Route) Proof() *polka.TransitProof { return r.proof }

@@ -15,12 +15,24 @@ type Reducer struct {
 	deg  int    // degree of the modulus
 	mask uint64 // (1<<deg)-1, masks the remainder register
 	tbl  [256]uint64
+	// wide holds the slice-by-4 tables for moduli of degree ≤ 32:
+	// wide[s][b] = (b·t^(8s)) mod m. They let ReduceBytes consume four
+	// input bytes per step as eight independent table lookups — the
+	// software analogue of a sliced CRC unit — instead of one dependent
+	// lookup per byte. nil for wider moduli.
+	wide *[8][256]uint64
 }
 
 // MaxReducerDegree is the largest modulus degree NewReducer accepts.
 const MaxReducerDegree = 56
 
-// NewReducer builds the 256-entry reduction table for modulus m.
+// maxWideDegree is the largest modulus degree the sliced tables support:
+// the remainder register (deg bits) shifted up 32 bits must still fit in
+// the uint64 lookup window.
+const maxWideDegree = 32
+
+// NewReducer builds the 256-entry reduction table for modulus m, plus the
+// sliced-by-4 tables when the degree permits.
 func NewReducer(m Poly) (*Reducer, error) {
 	d := m.Degree()
 	if d < 1 {
@@ -37,6 +49,32 @@ func NewReducer(m Poly) (*Reducer, error) {
 		rem, _ := FromUint64(uint64(b)).Shl(d).Mod(m).Uint64()
 		r.tbl[b] = rem
 	}
+	if d <= maxWideDegree {
+		var w [8][256]uint64
+		if d >= 8 {
+			// wide[0][b] = b mod m = b (a byte fits under degree ≥ 8), and
+			// each higher slice is the previous one advanced by t^8, which
+			// the base table reduces without polynomial division:
+			// v·t^8 = (v >> (deg-8))·t^deg + ((v<<8) & mask).
+			for b := 0; b < 256; b++ {
+				w[0][b] = uint64(b)
+			}
+			for s := 1; s < 8; s++ {
+				for b := 0; b < 256; b++ {
+					v := w[s-1][b]
+					w[s][b] = ((v << 8) & r.mask) ^ r.tbl[v>>(d-8)]
+				}
+			}
+		} else {
+			for s := 0; s < 8; s++ {
+				for b := 0; b < 256; b++ {
+					rem, _ := FromUint64(uint64(b)).Shl(8 * s).Mod(m).Uint64()
+					w[s][b] = rem
+				}
+			}
+		}
+		r.wide = &w
+	}
 	return r, nil
 }
 
@@ -52,6 +90,28 @@ func (r *Reducer) Modulus() Poly { return FromUint64(r.mod) }
 // how a switch CRC unit consumes the routeID field from the packet header.
 func (r *Reducer) ReduceBytes(msb []byte) uint64 {
 	reg := uint64(0)
+	if r.wide != nil && len(msb) >= 8 {
+		// Sliced path: fold four bytes per step. The register (≤ 32 bits)
+		// stacked over four input bytes is an exact 64-bit polynomial
+		// value; its reduction is the XOR of eight per-byte table rows,
+		// all independent loads. Short inputs skip this: below two steps
+		// the per-byte path's single dependent lookup is cheaper.
+		w := r.wide
+		i := 0
+		for ; i+4 <= len(msb); i += 4 {
+			x := reg<<32 | uint64(msb[i])<<24 | uint64(msb[i+1])<<16 |
+				uint64(msb[i+2])<<8 | uint64(msb[i+3])
+			reg = w[7][byte(x>>56)] ^ w[6][byte(x>>48)] ^ w[5][byte(x>>40)] ^
+				w[4][byte(x>>32)] ^ w[3][byte(x>>24)] ^ w[2][byte(x>>16)] ^
+				w[1][byte(x>>8)] ^ w[0][byte(x)]
+		}
+		for ; i < len(msb); i++ {
+			x := reg<<8 | uint64(msb[i])
+			reg = w[4][byte(x>>32)] ^ w[3][byte(x>>24)] ^ w[2][byte(x>>16)] ^
+				w[1][byte(x>>8)] ^ w[0][byte(x)]
+		}
+		return reg
+	}
 	if r.deg >= 8 {
 		// Invariant: reg = (bits consumed so far) mod m. Each step shifts
 		// the register up one byte, reduces the byte that crossed t^deg
@@ -84,6 +144,38 @@ func (r *Reducer) ReduceBytes(msb []byte) uint64 {
 // with byte-wide steps.
 func (r *Reducer) Reduce(p Poly) Poly {
 	return FromUint64(r.ReduceBytes(bigEndianBytes(p)))
+}
+
+// ReducePoly returns the coefficient bits of p mod m, reading p's backing
+// words directly — no byte-string materialization, so the reduction is
+// allocation-free. Leading zero bytes are no-ops in the shift register
+// (tbl[0] == 0), so no normalization pass is needed either. It is the
+// residue primitive of the proof-of-transit hot path.
+func (r *Reducer) ReducePoly(p Poly) uint64 {
+	reg := uint64(0)
+	if r.deg >= 8 {
+		for i := len(p.w) - 1; i >= 0; i-- {
+			word := p.w[i]
+			for s := 56; s >= 0; s -= 8 {
+				hi := byte(reg >> (r.deg - 8))
+				reg = ((reg << 8) & r.mask) ^ r.tbl[hi] ^ uint64(byte(word>>uint(s)))
+			}
+		}
+		return reg
+	}
+	top := uint64(1) << (r.deg - 1)
+	for i := len(p.w) - 1; i >= 0; i-- {
+		word := p.w[i]
+		for k := 63; k >= 0; k-- {
+			in := (word >> uint(k)) & 1
+			carry := reg & top
+			reg = ((reg << 1) | in) & r.mask
+			if carry != 0 {
+				reg ^= r.mod & r.mask
+			}
+		}
+	}
+	return reg
 }
 
 // bigEndianBytes serializes p's coefficient string most-significant byte

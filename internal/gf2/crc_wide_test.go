@@ -1,0 +1,100 @@
+package gf2
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// irreducibleOfDegree returns the first irreducible polynomial of exactly
+// the requested degree (scanning up from x^d+1, so high degrees stay
+// cheap — enumerating all of them would not).
+func irreducibleOfDegree(t *testing.T, d int) Poly {
+	t.Helper()
+	for low := uint64(1); low < 1<<uint(min(d, 20)); low += 2 {
+		p := FromUint64(low).ToggleBit(d)
+		if IsIrreducible(p) {
+			return p
+		}
+	}
+	t.Fatalf("no irreducible of degree %d", d)
+	return Poly{}
+}
+
+// TestWideReducerMatchesMod drives the sliced 4-bytes-per-step table path
+// (taken for moduli of degree ≤ 32 on inputs of 8+ bytes) against plain
+// polynomial long division, across every wide-eligible degree and input
+// lengths straddling the 4-byte step boundary and its 1-byte tail.
+func TestWideReducerMatchesMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for d := 1; d <= 32; d++ {
+		m := irreducibleOfDegree(t, d)
+		red, err := NewReducer(m)
+		if err != nil {
+			t.Fatalf("NewReducer(%v): %v", m, err)
+		}
+		for _, n := range []int{8, 9, 10, 11, 12, 15, 16, 17, 31, 40} {
+			for trial := 0; trial < 10; trial++ {
+				msb := make([]byte, n)
+				rng.Read(msb)
+				want, ok := FromBigEndianBytes(msb).Mod(m).Uint64()
+				if !ok {
+					t.Fatalf("degree %d: residue exceeds a word", d)
+				}
+				if got := red.ReduceBytes(msb); got != want {
+					t.Fatalf("degree %d, %d bytes: ReduceBytes = %#x, want %#x", d, n, got, want)
+				}
+			}
+		}
+		// Leading zero bytes must not change the residue.
+		msb := make([]byte, 12)
+		rng.Read(msb[4:])
+		want, _ := FromBigEndianBytes(msb).Mod(m).Uint64()
+		if got := red.ReduceBytes(msb); got != want {
+			t.Fatalf("degree %d: leading zeros changed the residue: %#x vs %#x", d, got, want)
+		}
+	}
+}
+
+// TestReducePolyMatchesMod checks the allocation-free word-walking
+// reduction against Poly.Mod over the full reducer degree range.
+func TestReducePolyMatchesMod(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, d := range []int{1, 2, 3, 7, 8, 9, 16, 24, 32, 33, 47, 56} {
+		m := irreducibleOfDegree(t, d)
+		red, err := NewReducer(m)
+		if err != nil {
+			t.Fatalf("NewReducer(%v): %v", m, err)
+		}
+		for trial := 0; trial < 100; trial++ {
+			w := make([]uint64, 1+rng.Intn(4))
+			for i := range w {
+				w[i] = rng.Uint64()
+			}
+			p := FromWords(w)
+			want, ok := p.Mod(m).Uint64()
+			if !ok {
+				t.Fatalf("degree %d: residue exceeds a word", d)
+			}
+			if got := red.ReducePoly(p); got != want {
+				t.Fatalf("degree %d: ReducePoly(%v) = %#x, want %#x", d, p, got, want)
+			}
+		}
+		if got := red.ReducePoly(Zero); got != 0 {
+			t.Fatalf("degree %d: ReducePoly(0) = %#x", d, got)
+		}
+	}
+}
+
+// TestReducePolyAllocFree pins the hot-path contract: reducing a
+// multi-word polynomial through the table allocates nothing.
+func TestReducePolyAllocFree(t *testing.T) {
+	m := irreducibleOfDegree(t, 24)
+	red, err := NewReducer(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := FromWords([]uint64{0xdeadbeefcafef00d, 0x0123456789abcdef})
+	if avg := testing.AllocsPerRun(100, func() { _ = red.ReducePoly(p) }); avg != 0 {
+		t.Fatalf("ReducePoly allocates %v per call, want 0", avg)
+	}
+}

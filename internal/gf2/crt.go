@@ -94,6 +94,11 @@ func (b *CRTBasis) Moduli() []Poly {
 // this polynomial.
 func (b *CRTBasis) Product() Poly { return b.product }
 
+// Basis returns the i-th basis polynomial b_i, with b_i ≡ 1 (mod m_i) and
+// b_i ≡ 0 (mod m_j) for j ≠ i. Polynomials are immutable, so the returned
+// value can be shared freely.
+func (b *CRTBasis) Basis(i int) Poly { return b.basis[i] }
+
 // Solve combines the residues with the precomputed basis, returning the
 // unique R with R ≡ residues[i] (mod moduli[i]) and deg(R) < deg(Product).
 func (b *CRTBasis) Solve(residues []Poly) (Poly, error) {

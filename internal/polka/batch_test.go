@@ -1,0 +1,176 @@
+package polka
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+// batchDomain builds a small domain with a few encoded routeIDs for the
+// batch-forwarding tests.
+func batchDomain(t *testing.T) (*Domain, []gf2.Poly) {
+	t.Helper()
+	names := []string{"s1", "s2", "s3", "s4", "s5"}
+	d, err := NewDomain(names, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []gf2.Poly
+	for route := 0; route < 4; route++ {
+		hops := make([]PathHop, len(names))
+		for i, name := range names {
+			hops[i] = PathHop{Node: name, Port: uint64((route+i)%5 + 1)}
+		}
+		rid, err := d.EncodePath(hops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	return d, rids
+}
+
+// TestOutputPortBatchMatchesPerPacket checks that the batch reduction
+// returns exactly the per-packet ports for a mixed batch, including the
+// memoized run path for consecutive identical routeIDs — whether they
+// share a backing array or are equal bytes in distinct allocations.
+func TestOutputPortBatchMatchesPerPacket(t *testing.T) {
+	d, rids := batchDomain(t)
+	sw, err := d.Switch("s3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	shared := make([][]byte, len(rids))
+	for i, rid := range rids {
+		shared[i] = RouteIDBytes(rid)
+	}
+	var batch [][]byte
+	for i := 0; i < 200; i++ {
+		w := shared[rng.Intn(len(shared))]
+		if rng.Intn(3) == 0 {
+			// Equal bytes, different backing array: the memoization must
+			// fall through to the byte comparison, not miss.
+			w = append([]byte(nil), w...)
+		}
+		batch = append(batch, w)
+		// Runs: duplicate the previous routeID a few times.
+		for r := rng.Intn(4); r > 0; r-- {
+			batch = append(batch, w)
+		}
+	}
+	out := sw.OutputPortBatch(batch, nil)
+	if len(out) != len(batch) {
+		t.Fatalf("batch returned %d ports for %d routeIDs", len(out), len(batch))
+	}
+	for i, rid := range batch {
+		if want := sw.OutputPortBytes(rid); out[i] != want {
+			t.Fatalf("packet %d: batch port %d, per-packet port %d", i, out[i], want)
+		}
+	}
+	// Reusing the scratch buffer must not allocate or change results.
+	out2 := sw.OutputPortBatch(batch, out[:0])
+	for i := range out2 {
+		if out2[i] != out[i] {
+			t.Fatalf("scratch reuse diverged at %d", i)
+		}
+	}
+}
+
+// TestTransitProofNonceChange exercises the per-nonce fold cache across
+// nonce switches: accumulating and verifying under a second nonce must
+// not reuse the first nonce's tags, and returning to the first nonce
+// recomputes a correct table.
+func TestTransitProofNonceChange(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	d, err := NewDomain(names, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := NewTransitProof(d, names, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, n2 := proof.NewNonce(), proof.NewNonce()
+	if n1.Equal(n2) {
+		t.Fatal("distinct nonce draws are equal")
+	}
+	walk := func(nonce gf2.Poly) gf2.Poly {
+		acc, err := proof.WalkAccumulate(nonce)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	for cycle, nonce := range []gf2.Poly{n1, n2, n1, n2} {
+		acc := walk(nonce)
+		if err := proof.Verify(acc, nonce); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+	// Cross-check: an accumulator built under one nonce must not verify
+	// under the other.
+	if err := proof.Verify(walk(n1), n2); err == nil {
+		t.Fatal("accumulator for nonce 1 verified under nonce 2")
+	}
+	// Tags are per-nonce route constants and must differ across nonces.
+	tag1, err := proof.NodeTag("b", n1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag2, err := proof.NodeTag("b", n2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag1.Equal(tag2) {
+		t.Fatal("node tag identical under both nonces")
+	}
+}
+
+// TestTransitProofAccumulateOutOfOrder pins the fold cache's slow path:
+// an accumulator that does not match the in-order prefix (a replayed or
+// misordered packet) still folds correctly via explicit arithmetic.
+func TestTransitProofAccumulateOutOfOrder(t *testing.T) {
+	names := []string{"a", "b", "c"}
+	d, err := NewDomain(names, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := NewTransitProof(d, names, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := proof.NewNonce()
+	// Fold the nodes in reverse order: no prefix hit anywhere, but the
+	// accumulator is order-independent (XOR of per-node terms), so the
+	// final value must still verify.
+	var acc gf2.Poly
+	for i := len(names) - 1; i >= 0; i-- {
+		if acc, err = proof.Accumulate(acc, names[i], nonce); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := proof.Verify(acc, nonce); err != nil {
+		t.Fatalf("reverse-order walk failed verification: %v", err)
+	}
+	if _, err := proof.Accumulate(gf2.Poly{}, "zz", nonce); err == nil {
+		t.Fatal("accumulating an off-path node succeeded")
+	}
+}
+
+// TestOutputPortBatchEmpty covers the degenerate shapes.
+func TestOutputPortBatchEmpty(t *testing.T) {
+	d, rids := batchDomain(t)
+	sw, err := d.Switch("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := sw.OutputPortBatch(nil, nil); len(out) != 0 {
+		t.Fatalf("empty batch returned %d ports", len(out))
+	}
+	one := [][]byte{RouteIDBytes(rids[0])}
+	if out := sw.OutputPortBatch(one, nil); len(out) != 1 || out[0] != sw.OutputPortBytes(one[0]) {
+		t.Fatalf("single-element batch: got %v", out)
+	}
+}

@@ -19,6 +19,7 @@
 package polka
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -156,6 +157,39 @@ func (s *Switch) OutputPortBytes(routeID []byte) uint64 {
 	}
 	v, _ := RouteIDFromBytes(routeID).Mod(s.nodeID).Uint64()
 	return v
+}
+
+// OutputPortBatch forwards a whole ingress batch: it appends each
+// routeID's output port to out and returns the extended slice (pass
+// out[:0] to reuse a scratch buffer allocation-free). Runs of consecutive
+// identical routeIDs — the common case, since all packets of a flow are
+// stamped from one route and queue back-to-back — are reduced once and
+// replayed, which amortizes the CRC setup across the batch.
+func (s *Switch) OutputPortBatch(routeIDs [][]byte, out []uint64) []uint64 {
+	var last []byte
+	var port uint64
+	have := false
+	for _, rid := range routeIDs {
+		if !have || !sameRouteID(last, rid) {
+			port = s.OutputPortBytes(rid)
+			last, have = rid, true
+		}
+		out = append(out, port)
+	}
+	return out
+}
+
+// sameRouteID reports whether two wire routeIDs are the same, in O(1) when
+// they share a backing array (Route.NewPacket stamps one slice onto every
+// packet of a route) and by byte comparison otherwise.
+func sameRouteID(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	return bytes.Equal(a, b)
 }
 
 // Domain is a PolKA routing domain: a set of named core nodes with pairwise

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/gf2"
 )
@@ -41,6 +42,31 @@ type TransitProof struct {
 	basis    *gf2.CRTBasis
 	nonceDeg int
 	rng      *rand.Rand
+	// index maps node name → path position, replacing the per-hop linear
+	// scan of nodes.
+	index map[string]int
+	// reducers holds one CRC-table reducer per modulus (nil where the
+	// degree exceeds gf2.MaxReducerDegree), so residues on the forwarding
+	// hot path avoid polynomial long division.
+	reducers []*gf2.Reducer
+	// fold caches the per-nonce tag/term table. All packets of a route
+	// share one nonce, so after the first hop every Accumulate and Verify
+	// is a table lookup. Swapped atomically: recomputation under a racing
+	// nonce change is idempotent (Poly values are immutable).
+	fold atomic.Pointer[potFold]
+}
+
+// potFold is the memoized per-nonce transit state: for each path node i,
+// its tag tag_i = (N mod s_i)·k_i mod s_i, the accumulator increment
+// term_i = tag_i·b_i mod M it folds in at that hop, and the prefix
+// accumulator an in-order traversal carries after hop i. Packets walking
+// the path in encoded order (every packet, absent misrouting) hit the
+// prefix table and fold without allocating.
+type potFold struct {
+	nonce  gf2.Poly
+	tags   []gf2.Poly
+	terms  []gf2.Poly
+	prefix []gf2.Poly
 }
 
 // NewTransitProof builds the PoT context for an ordered node path within
@@ -79,9 +105,19 @@ func NewTransitProof(d *Domain, path []string, seed int64) (*TransitProof, error
 	}
 	nodes := make([]string, len(path))
 	copy(nodes, path)
+	index := make(map[string]int, len(nodes))
+	reducers := make([]*gf2.Reducer, len(nodes))
+	for i, name := range nodes {
+		index[name] = i
+		if moduli[i].Degree() <= gf2.MaxReducerDegree {
+			if r, err := gf2.NewReducer(moduli[i]); err == nil {
+				reducers[i] = r
+			}
+		}
+	}
 	return &TransitProof{
 		nodes: nodes, moduli: moduli, keys: keys, basis: basis,
-		nonceDeg: totalDeg, rng: rng,
+		nonceDeg: totalDeg, rng: rng, index: index, reducers: reducers,
 	}, nil
 }
 
@@ -103,45 +139,84 @@ func (t *TransitProof) NewNonce() gf2.Poly {
 
 // nodeIndex locates a node on the path.
 func (t *TransitProof) nodeIndex(name string) (int, error) {
-	for i, n := range t.nodes {
-		if n == name {
-			return i, nil
-		}
+	if i, ok := t.index[name]; ok {
+		return i, nil
 	}
 	return 0, fmt.Errorf("%w: %q not on the protected path", ErrUnknownNode, name)
 }
 
+// foldFor returns the per-nonce tag/term table, computing and caching it on
+// first use. Concurrent callers may race to compute the same table; the
+// computation is pure, so last-store-wins is harmless.
+func (t *TransitProof) foldFor(nonce gf2.Poly) *potFold {
+	if f := t.fold.Load(); f != nil && f.nonce.Equal(nonce) {
+		return f
+	}
+	f := &potFold{
+		nonce:  nonce,
+		tags:   make([]gf2.Poly, len(t.nodes)),
+		terms:  make([]gf2.Poly, len(t.nodes)),
+		prefix: make([]gf2.Poly, len(t.nodes)),
+	}
+	product := t.basis.Product()
+	var acc gf2.Poly
+	for i, name := range t.nodes {
+		s := t.moduli[i]
+		var tag gf2.Poly
+		if r := t.reducers[i]; r != nil {
+			nres := gf2.FromUint64(r.ReducePoly(nonce))
+			tag = gf2.FromUint64(r.ReducePoly(nres.Mul(t.keys[name])))
+		} else {
+			tag = nonce.Mod(s).Mul(t.keys[name]).Mod(s)
+		}
+		f.tags[i] = tag
+		// tag_i·b_i has residue tag_i at s_i and 0 elsewhere.
+		f.terms[i] = tag.Mul(t.basis.Basis(i)).Mod(product)
+		acc = acc.Add(f.terms[i])
+		f.prefix[i] = acc
+	}
+	t.fold.Store(f)
+	return f
+}
+
 // NodeTag computes the transit tag node name contributes for the nonce —
 // the in-switch operation (two CRC-style mod reductions and one carry-less
-// multiply).
+// multiply). Tags are route constants per nonce, so repeated calls hit the
+// memoized fold table.
 func (t *TransitProof) NodeTag(name string, nonce gf2.Poly) (gf2.Poly, error) {
 	i, err := t.nodeIndex(name)
 	if err != nil {
 		return gf2.Poly{}, err
 	}
-	s := t.moduli[i]
-	return nonce.Mod(s).Mul(t.keys[name]).Mod(s), nil
+	return t.foldFor(nonce).tags[i], nil
 }
 
 // Accumulate folds a node's tag into the packet accumulator (the
-// operation executed at each hop).
+// operation executed at each hop). With the fold table warm this is one
+// XOR of polynomials already reduced below deg(M).
 func (t *TransitProof) Accumulate(acc gf2.Poly, name string, nonce gf2.Poly) (gf2.Poly, error) {
 	i, err := t.nodeIndex(name)
 	if err != nil {
 		return gf2.Poly{}, err
 	}
-	tag, err := t.NodeTag(name, nonce)
-	if err != nil {
-		return gf2.Poly{}, err
+	f := t.foldFor(nonce)
+	// In-order traversal fast path: the accumulator arriving at hop i of
+	// an unmolested walk is exactly prefix[i-1] (zero at the ingress), so
+	// the folded result is the shared prefix[i] — no arithmetic at all.
+	if i == 0 {
+		if acc.IsZero() {
+			return f.prefix[0], nil
+		}
+	} else if acc.Equal(f.prefix[i-1]) {
+		return f.prefix[i], nil
 	}
-	// Solve-by-basis: tag_i·b_i has residue tag_i at s_i and 0 elsewhere.
-	residues := make([]gf2.Poly, len(t.nodes))
-	residues[i] = tag
-	term, err := t.basis.Solve(residues)
-	if err != nil {
-		return gf2.Poly{}, err
+	sum := acc.Add(f.terms[i])
+	// Both operands carry degree < deg(M) on the engine path; the guard
+	// covers callers feeding an unreduced accumulator.
+	if sum.Degree() >= t.basis.Product().Degree() {
+		sum = sum.Mod(t.basis.Product())
 	}
-	return acc.Add(term).Mod(t.basis.Product()), nil
+	return sum, nil
 }
 
 // WalkAccumulate simulates the full path traversal: every node folds its
@@ -162,13 +237,20 @@ func (t *TransitProof) WalkAccumulate(nonce gf2.Poly) (gf2.Poly, error) {
 // in its residue. It returns ErrTransitViolation (wrapped with the first
 // offending node) on mismatch.
 func (t *TransitProof) Verify(acc, nonce gf2.Poly) error {
+	f := t.foldFor(nonce)
 	for i, name := range t.nodes {
-		want, err := t.NodeTag(name, nonce)
-		if err != nil {
-			return err
+		if r := t.reducers[i]; r != nil {
+			// Tags fit in a word (modulus degree ≤ 56), so the residue
+			// check is a table reduction and an integer compare.
+			want, _ := f.tags[i].Uint64()
+			if got := r.ReducePoly(acc); got != want {
+				return fmt.Errorf("%w: node %s residue %v, want %v",
+					ErrTransitViolation, name, gf2.FromUint64(got), f.tags[i])
+			}
+			continue
 		}
-		if got := acc.Mod(t.moduli[i]); !got.Equal(want) {
-			return fmt.Errorf("%w: node %s residue %v, want %v", ErrTransitViolation, name, got, want)
+		if got := acc.Mod(t.moduli[i]); !got.Equal(f.tags[i]) {
+			return fmt.Errorf("%w: node %s residue %v, want %v", ErrTransitViolation, name, got, f.tags[i])
 		}
 	}
 	return nil
